@@ -1,0 +1,103 @@
+"""Benchmarks of the executable recovery schemes and the simulation substrate.
+
+E8/E9 — the runtime counterpart of the paper's trade-off discussion — plus
+microbenchmarks of the hot substrate paths (event queue, model sampler, rollback
+propagation) so performance regressions in the kernel are visible.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.rollback import propagate_rollback
+from repro.experiments.strategy_comparison import run_strategy_comparison
+from repro.markov.montecarlo import ModelSimulator
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.recovery.asynchronous import AsynchronousRuntime
+from repro.recovery.pseudo import PseudoRecoveryPointRuntime
+from repro.recovery.synchronized import SynchronizedRuntime
+from repro.sim.engine import SimulationEngine
+from repro.workloads.generators import homogeneous_workload, paper_table1_case
+
+
+@pytest.mark.benchmark(group="runtimes")
+def test_bench_strategy_comparison(benchmark):
+    """E9 — the three schemes on the same workload (averaged replications)."""
+    workload = homogeneous_workload(n=3, mu=1.0, lam=1.0, work=25.0,
+                                    error_rate=0.04)
+    result = benchmark.pedantic(run_strategy_comparison, args=(workload,),
+                                kwargs=dict(replications=3, base_seed=7),
+                                iterations=1, rounds=1)
+    emit(result)
+    assert result.row("synchronized").get("waiting_time") > 0.0
+    assert result.row("asynchronous").get("peak_saved_states") >= \
+        result.row("pseudo").get("peak_saved_states")
+
+
+@pytest.mark.benchmark(group="runtimes")
+@pytest.mark.parametrize("scheme,cls", [
+    ("asynchronous", AsynchronousRuntime),
+    ("pseudo", PseudoRecoveryPointRuntime),
+    ("synchronized", SynchronizedRuntime),
+])
+def test_bench_single_runtime(benchmark, scheme, cls):
+    """E8 — one full run of each scheme under fault injection."""
+    workload = homogeneous_workload(n=3, mu=1.0, lam=1.0, work=30.0,
+                                    error_rate=0.05)
+
+    def run_once():
+        return cls(workload, seed=3).run()
+
+    report = benchmark.pedantic(run_once, iterations=1, rounds=3)
+    assert report.completed
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_event_queue_throughput(benchmark):
+    """Kernel microbenchmark: schedule/execute 20k timer events."""
+
+    def run_events():
+        engine = SimulationEngine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.drain()
+        return count[0]
+
+    assert benchmark(run_events) == 20_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_model_sampler(benchmark):
+    """Model-level Monte-Carlo sampling rate (intervals per call)."""
+    simulator = ModelSimulator(paper_table1_case(1), seed=5)
+    samples = benchmark.pedantic(simulator.sample_intervals, args=(1500,),
+                                 iterations=1, rounds=3)
+    assert samples.n_samples == 1500
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_phase_type_solution(benchmark):
+    """Analytic pipeline: build the chain and compute E[X] + E[L_i] for n=3."""
+
+    def solve():
+        model = RecoveryLineIntervalModel(paper_table1_case(2),
+                                          prefer_simplified=False)
+        return model.mean_interval(), model.expected_rp_counts("all")
+
+    mean, counts = benchmark(solve)
+    assert mean == pytest.approx(3.231, abs=1e-3)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bench_rollback_propagation(benchmark):
+    """Rollback propagation over a long generated history."""
+    history = ModelSimulator(paper_table1_case(1), seed=11).generate_history(300.0)
+    failure_time = history.end_time
+
+    result = benchmark(propagate_rollback, history, 0, failure_time)
+    assert result.affected

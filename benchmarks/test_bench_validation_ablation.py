@@ -1,0 +1,49 @@
+"""Benchmarks for the validation (E10) and ablation experiments."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
+from repro.experiments.sync_loss import run_sync_loss_validation
+from repro.experiments.validation import run_validation
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_validation_three_way(benchmark):
+    """E10 — analytic vs Monte-Carlo vs history-level agreement on E[X]."""
+    result = benchmark.pedantic(run_validation,
+                                kwargs=dict(cases=(1, 2), n_intervals=3000,
+                                            history_duration=250.0, seed=17),
+                                iterations=1, rounds=1)
+    emit(result)
+    for row in result.rows:
+        assert row.get("MC rel err") < 0.12
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_sync_loss_runtime_validation(benchmark):
+    """E6 cross-check — measured waiting loss of the synchronized runtime vs CL."""
+    result = benchmark.pedantic(run_sync_loss_validation,
+                                kwargs=dict(n=3, work=300.0, seed=13),
+                                iterations=1, rounds=1)
+    emit(result)
+    assert result.rows[0].get("relative error") < 0.3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_detectors(benchmark):
+    """Ablation — exact vs latest-RP (paper model) recovery-line detection."""
+    result = benchmark.pedantic(run_detector_ablation,
+                                kwargs=dict(cases=(1, 2), duration=200.0, seed=19),
+                                iterations=1, rounds=1)
+    emit(result)
+    for row in result.rows:
+        assert row.get("conservatism") >= 1.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_solvers(benchmark):
+    """Ablation — matrix-exponential vs Chapman-Kolmogorov ODE evaluation."""
+    result = benchmark(run_solver_ablation, 1)
+    emit(result)
+    assert max(result.column("abs diff")) < 1e-6

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Time-critical control tasks: why unbounded rollback is unacceptable.
+
+The paper singles out "time-critical tasks in which a delay in system response
+beyond a certain value, the system deadline, leads to a catastrophic failure" as
+the case where the asynchronous method is not acceptable.  This example models a
+small triple-redundant control loop (sensor fusion, control law, actuation) and
+asks, for a range of recovery deadlines: which strategies can guarantee — in
+expectation and at the 95th percentile — to recover in time?
+
+Run with:  python examples/realtime_deadline.py
+"""
+
+import numpy as np
+
+from repro.analysis.comparison import StrategyComparison
+from repro.analysis.prp_overhead import PRPOverheadModel
+from repro.analysis.rollback_distance import AsynchronousRollbackModel
+from repro.util.tables import AsciiTable
+from repro.workloads import realtime_control_workload
+
+
+def main() -> None:
+    workload = realtime_control_workload(n=3, cycle_rate=2.0, coupling=1.5,
+                                         work=30.0, error_rate=0.05)
+    params = workload.params
+    print("Control workload:", params.describe())
+
+    async_model = AsynchronousRollbackModel(params)
+    prp_model = PRPOverheadModel(params, record_cost=workload.checkpoint_cost)
+    comparison = StrategyComparison(params, record_cost=workload.checkpoint_cost,
+                                    sync_period=1.0)
+
+    async_mean = async_model.expected_distance_inspection_paradox()
+    async_sim = async_model.simulate_distance(n_failures=4000, seed=3)
+    prp_mean = prp_model.rollback_distance_bound()
+    prp_p95 = prp_model.rollback_distance_bound_quantile(0.95)
+    sync_mean = comparison.synchronized_costs().expected_rollback_distance
+
+    print("\nExpected recovery delay after an error is detected:")
+    table = AsciiTable(["scheme", "mean delay", "95th percentile"])
+    table.add_row(["asynchronous", async_mean, async_sim["p95_distance"]])
+    table.add_row(["synchronized (period 1.0)", sync_mean, 1.0 + prp_p95])
+    table.add_row(["pseudo recovery points", prp_mean, prp_p95])
+    print(table.render())
+
+    print("\nWhich schemes meet a given recovery deadline (mean-delay criterion)?")
+    deadlines = (0.5, 1.0, 1.5, 2.0, 3.0, 5.0)
+    table = AsciiTable(["deadline", "asynchronous", "synchronized", "PRP"])
+    for deadline in deadlines:
+        table.add_row([
+            f"{deadline:g}",
+            "ok" if async_mean <= deadline else "MISS",
+            "ok" if sync_mean <= deadline else "MISS",
+            "ok" if prp_mean <= deadline else "MISS",
+        ])
+    print(table.render())
+
+    overhead = prp_model.overhead_per_process_rate()
+    print(f"\nPrice of the PRP guarantee: {overhead:.3f} extra state-saving time "
+          f"per unit time per process ((n-1)·t_r per recovery point), and "
+          f"{prp_model.steady_state_storage()} saved states retained system-wide.")
+    print("The asynchronous scheme only meets loose deadlines; the synchronized "
+          "scheme meets intermediate ones at the cost of waiting "
+          f"(CL = {comparison.sync_model.expected_loss():.3f} per synchronisation); "
+          "pseudo recovery points meet the tight ones without synchronisation — "
+          "exactly the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compare the three recovery-block strategies on the same workload.
+
+The paper's conclusion describes the selection trade-off qualitatively; this
+example makes it concrete for two workloads:
+
+* a loosely coupled compute job (few interactions, moderate checkpointing), and
+* a tightly coupled producer/consumer pipeline (heavy neighbour traffic).
+
+For each workload the analytic comparison (normal-operation overhead vs expected
+rollback distance) is printed next to measured runtime results averaged over a few
+replications, and the scheme the paper's guidance would recommend is reported.
+
+Run with:  python examples/strategy_comparison.py
+"""
+
+from repro.analysis.comparison import StrategyComparison, recommend_scheme
+from repro.experiments.strategy_comparison import run_strategy_comparison
+from repro.util.tables import AsciiTable
+from repro.workloads import homogeneous_workload, pipeline_workload
+
+
+def analyse(name: str, workload, sync_period: float = 2.0,
+            failure_rate: float = 0.04) -> None:
+    print("=" * 78)
+    print(f"Workload: {name} — {workload.params.describe()}")
+    print("=" * 78)
+
+    comparison = StrategyComparison(workload.params,
+                                    record_cost=workload.checkpoint_cost,
+                                    sync_period=sync_period)
+    table = AsciiTable(["scheme", "normal overhead/time", "E[rollback distance]",
+                        "steady storage (states)", "total cost rate"])
+    for scheme, costs in comparison.all_costs().items():
+        table.add_row([scheme, costs.normal_overhead_rate,
+                       costs.expected_rollback_distance, costs.storage_states,
+                       costs.total_cost(failure_rate)])
+    print("\nAnalytic comparison (Sections 2-4):")
+    print(table.render())
+    print(f"\nRecommended scheme at failure rate {failure_rate}: "
+          f"{recommend_scheme(workload.params, failure_rate=failure_rate, record_cost=workload.checkpoint_cost, sync_period=sync_period)}")
+    print(f"Recommended with a hard 2.0-unit recovery deadline: "
+          f"{recommend_scheme(workload.params, failure_rate=failure_rate, record_cost=workload.checkpoint_cost, sync_period=sync_period, deadline=2.0)}")
+
+    print("\nMeasured (discrete-event runtimes, 3 replications):")
+    result = run_strategy_comparison(workload, replications=3, base_seed=11,
+                                     sync_interval=sync_period)
+    print(result.render(3))
+    print()
+
+
+def main() -> None:
+    analyse("loosely coupled compute job",
+            homogeneous_workload(n=3, mu=1.0, lam=0.4, work=30.0, error_rate=0.04))
+    analyse("tightly coupled pipeline",
+            pipeline_workload(n=4, mu=1.0, lam=2.5, work=25.0, error_rate=0.05))
+
+
+if __name__ == "__main__":
+    main()

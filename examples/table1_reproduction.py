@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate the paper's quantitative artefacts from the command line.
+
+Prints Table 1, the Figure 5 series and the Figure 6 density samples, each next to
+the values printed in the paper where available.
+
+Run with:  python examples/table1_reproduction.py [--simulate]
+"""
+
+import argparse
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.table1 import run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulate", action="store_true",
+                        help="also run the paper's Monte-Carlo methodology "
+                             "(slower, adds 'sim' columns)")
+    parser.add_argument("--intervals", type=int, default=10_000,
+                        help="Monte-Carlo sample size per case")
+    args = parser.parse_args()
+
+    print(run_table1(simulate=args.simulate, n_intervals=args.intervals,
+                     seed=2024).render(3))
+    print()
+    print(run_figure5().render(3))
+    print()
+    print(run_figure6().render(3))
+
+
+if __name__ == "__main__":
+    main()

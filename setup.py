@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+``wheel`` package required by the PEP 660 editable-install path (pip then falls
+back to the legacy ``setup.py develop`` route).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of Shin & Lee (1983), *Analysis of Backward Error Recovery
+for Concurrent Processes with Recovery Blocks* (ICPP 1983).
+
+The package provides:
+
+* a domain model of concurrent processes with recovery blocks
+  (:mod:`repro.core`);
+* a discrete-event simulation substrate and executable recovery-block runtimes —
+  asynchronous, synchronized (conversation), and pseudo-recovery-point based
+  (:mod:`repro.sim`, :mod:`repro.processes`, :mod:`repro.recovery`,
+  :mod:`repro.faults`, :mod:`repro.workloads`);
+* the paper's probabilistic models: the Markov chain for asynchronous recovery
+  blocks, the synchronized-loss formula, and the PRP overhead analysis
+  (:mod:`repro.markov`, :mod:`repro.analysis`);
+* an experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import SystemParameters, RecoveryLineIntervalModel
+>>> params = SystemParameters.three_process(mu=(1.0, 1.0, 1.0),
+...                                         lam_12_23_31=(1.0, 1.0, 1.0))
+>>> model = RecoveryLineIntervalModel(params)
+>>> round(model.mean_interval(), 3)
+2.5
+"""
+
+from repro._version import __version__
+from repro.core import (
+    CheckpointKind,
+    EventKind,
+    HistoryDiagram,
+    Interaction,
+    RecoveryLine,
+    RecoveryPoint,
+    SystemParameters,
+    extract_intervals,
+    find_recovery_lines,
+    propagate_rollback,
+)
+from repro.markov import (
+    ModelSimulator,
+    PhaseType,
+    RecoveryLineIntervalModel,
+    SimplifiedChain,
+)
+
+__all__ = [
+    "__version__",
+    "CheckpointKind",
+    "EventKind",
+    "HistoryDiagram",
+    "Interaction",
+    "RecoveryLine",
+    "RecoveryPoint",
+    "SystemParameters",
+    "extract_intervals",
+    "find_recovery_lines",
+    "propagate_rollback",
+    "ModelSimulator",
+    "PhaseType",
+    "RecoveryLineIntervalModel",
+    "SimplifiedChain",
+]

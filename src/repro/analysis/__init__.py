@@ -1,0 +1,43 @@
+"""Closed-form analyses: Sections 3 and 4 of the paper, plus strategy selection.
+
+* :mod:`~repro.analysis.order_statistics` — moments of the maximum of independent
+  exponentials (the random variable ``Z = max{y_1,…,y_n}`` both sections rely on);
+* :mod:`~repro.analysis.synchronized_loss` — the mean computation-power loss
+  ``CL = n∫(1−G(t))dt − Σ1/μ_i`` of synchronized recovery blocks;
+* :mod:`~repro.analysis.prp_overhead` — storage, time overhead and rollback-distance
+  bound of the pseudo-recovery-point scheme;
+* :mod:`~repro.analysis.rollback_distance` — rollback-distance estimates for the
+  asynchronous scheme (the interval ``X`` as an inner bound, per Section 5);
+* :mod:`~repro.analysis.comparison` — side-by-side comparison and the selection
+  guidance the paper sketches in its conclusion.
+"""
+
+from repro.analysis.order_statistics import (
+    expected_maximum_exponential,
+    maximum_exponential_cdf,
+    maximum_exponential_pdf,
+    expected_range_exponential,
+)
+from repro.analysis.synchronized_loss import (
+    SynchronizedLossModel,
+    computation_loss,
+    computation_loss_homogeneous,
+)
+from repro.analysis.prp_overhead import PRPOverheadModel
+from repro.analysis.rollback_distance import AsynchronousRollbackModel
+from repro.analysis.comparison import StrategyComparison, SchemeCosts, recommend_scheme
+
+__all__ = [
+    "expected_maximum_exponential",
+    "maximum_exponential_cdf",
+    "maximum_exponential_pdf",
+    "expected_range_exponential",
+    "SynchronizedLossModel",
+    "computation_loss",
+    "computation_loss_homogeneous",
+    "PRPOverheadModel",
+    "AsynchronousRollbackModel",
+    "StrategyComparison",
+    "SchemeCosts",
+    "recommend_scheme",
+]

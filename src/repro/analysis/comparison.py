@@ -1,0 +1,150 @@
+"""Side-by-side comparison of the three recovery-block strategies.
+
+The paper's conclusion sketches a selection procedure: "we have to first examine
+the properties of concurrent processes such as the amount of interprocess
+communications and the distribution of recovery points.  Then, we weigh the
+trade-off between the loss of computation power during normal operation and the
+increase in response time due to rollback recovery."  This module makes that
+procedure executable: :class:`StrategyComparison` computes, from the analytic
+models, the normal-operation overhead and the expected rollback exposure of each
+scheme, and :func:`recommend_scheme` applies the paper's qualitative rules
+(deadline-critical tasks avoid the asynchronous scheme; PRPs are wasteful when
+checkpointing is frequent but communication rare; synchronisation is wasteful when
+its period is short relative to the checkpoint intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.prp_overhead import PRPOverheadModel
+from repro.analysis.rollback_distance import AsynchronousRollbackModel
+from repro.analysis.synchronized_loss import SynchronizedLossModel
+from repro.core.parameters import SystemParameters
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["SchemeCosts", "StrategyComparison", "recommend_scheme"]
+
+
+@dataclass(frozen=True)
+class SchemeCosts:
+    """Costs of one scheme, split into normal-operation and recovery components.
+
+    ``normal_overhead_rate`` is time lost per unit time while nothing fails
+    (state saving, implantation, synchronisation waiting); ``expected_rollback_distance``
+    is the expected computation discarded by the failing process when an error *is*
+    detected (the response-time hit the paper worries about for real-time tasks).
+    """
+
+    scheme: str
+    normal_overhead_rate: float
+    expected_rollback_distance: float
+    storage_states: float
+
+    def total_cost(self, failure_rate: float) -> float:
+        """Overall cost rate for a given failure (detection) rate."""
+        check_non_negative(failure_rate, "failure_rate")
+        return self.normal_overhead_rate + failure_rate * self.expected_rollback_distance
+
+
+class StrategyComparison:
+    """Analytic comparison of the three schemes for one system.
+
+    Parameters
+    ----------
+    params:
+        System rates.
+    record_cost:
+        ``t_r`` — time to save one state.
+    sync_period:
+        Mean period between synchronisation requests for the synchronized scheme.
+    """
+
+    def __init__(self, params: SystemParameters, *, record_cost: float = 0.02,
+                 sync_period: float = 2.0) -> None:
+        self.params = params
+        self.record_cost = check_non_negative(record_cost, "record_cost")
+        self.sync_period = check_positive(sync_period, "sync_period")
+        self.async_model = AsynchronousRollbackModel(params)
+        self.sync_model = SynchronizedLossModel(params.mu)
+        self.prp_model = PRPOverheadModel(params, record_cost=record_cost)
+
+    # ------------------------------------------------------------------ per scheme
+    def asynchronous_costs(self) -> SchemeCosts:
+        """Asynchronous RBs: cheap in normal operation, unbounded rollback."""
+        # Normal operation: each process saves a state at rate μ_i.
+        overhead = self.params.total_rp_rate * self.record_cost
+        distance = self.async_model.expected_distance_inspection_paradox()
+        # Storage: states accumulated over one inter-line interval per process
+        # (nothing older than a committed recovery line needs to be kept).
+        storage = self.async_model.interval_model.expected_total_rp_count("all") \
+            + self.params.n
+        return SchemeCosts(scheme="asynchronous", normal_overhead_rate=overhead,
+                           expected_rollback_distance=distance,
+                           storage_states=storage)
+
+    def synchronized_costs(self) -> SchemeCosts:
+        """Synchronized RBs: waiting loss in normal operation, bounded rollback."""
+        per_period = self.sync_model.expected_loss()
+        state_saving = self.params.n * self.record_cost / self.sync_period
+        overhead = per_period / self.sync_period + state_saving
+        # Rollback goes back to the last committed line: on average half the
+        # synchronisation period plus the commit wait.
+        distance = 0.5 * self.sync_period + self.sync_model.expected_wait()
+        return SchemeCosts(scheme="synchronized", normal_overhead_rate=overhead,
+                           expected_rollback_distance=distance,
+                           storage_states=float(2 * self.params.n))
+
+    def prp_costs(self) -> SchemeCosts:
+        """Pseudo recovery points: implantation overhead, bounded rollback."""
+        overhead = (self.params.total_rp_rate * self.record_cost
+                    + self.prp_model.overhead_time_rate())
+        distance = self.prp_model.rollback_distance_bound()
+        return SchemeCosts(scheme="pseudo-recovery-points",
+                           normal_overhead_rate=overhead,
+                           expected_rollback_distance=distance,
+                           storage_states=float(self.prp_model.steady_state_storage()))
+
+    # ------------------------------------------------------------------ aggregate
+    def all_costs(self) -> Dict[str, SchemeCosts]:
+        return {
+            "asynchronous": self.asynchronous_costs(),
+            "synchronized": self.synchronized_costs(),
+            "pseudo-recovery-points": self.prp_costs(),
+        }
+
+    def table(self, failure_rate: float = 0.01) -> Dict[str, Dict[str, float]]:
+        """Nested dict: scheme → metric → value (for the experiment harness)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, costs in self.all_costs().items():
+            out[name] = {
+                "normal_overhead_rate": costs.normal_overhead_rate,
+                "expected_rollback_distance": costs.expected_rollback_distance,
+                "storage_states": costs.storage_states,
+                "total_cost": costs.total_cost(failure_rate),
+            }
+        return out
+
+
+def recommend_scheme(params: SystemParameters, *, failure_rate: float = 0.01,
+                     record_cost: float = 0.02, sync_period: float = 2.0,
+                     deadline: Optional[float] = None) -> str:
+    """Apply the paper's selection guidance and return the recommended scheme.
+
+    A hard *deadline* on recovery latency disqualifies any scheme whose expected
+    rollback distance exceeds it (the asynchronous scheme is the usual casualty);
+    among the remaining candidates the one with the lowest total cost rate at the
+    given failure rate wins.
+    """
+    comparison = StrategyComparison(params, record_cost=record_cost,
+                                    sync_period=sync_period)
+    candidates = comparison.all_costs()
+    if deadline is not None:
+        check_positive(deadline, "deadline")
+        admissible = {name: costs for name, costs in candidates.items()
+                      if costs.expected_rollback_distance <= deadline}
+        if admissible:
+            candidates = admissible
+    best = min(candidates.values(), key=lambda costs: costs.total_cost(failure_rate))
+    return best.scheme

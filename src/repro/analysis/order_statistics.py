@@ -1,0 +1,99 @@
+"""Order statistics of independent exponential random variables.
+
+Both Section 3 (the synchronisation wait ``Z = max{y_1,…,y_n}``) and Section 4
+(the PRP rollback-distance bound ``sup{y_1,…,y_n}``) reduce to the maximum of
+independent exponentials with rates ``μ_1,…,μ_n``.  Its distribution function is
+``G(t) = Π_i (1 − e^{−μ_i t})`` and the mean follows from inclusion–exclusion:
+
+    E[max] = Σ_{∅≠S⊆{1..n}} (−1)^{|S|+1} / (Σ_{i∈S} μ_i)
+
+For equal rates this reduces to the harmonic-number formula ``H_n / μ``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import as_float_array
+
+__all__ = [
+    "maximum_exponential_cdf",
+    "maximum_exponential_pdf",
+    "expected_maximum_exponential",
+    "expected_maximum_exponential_homogeneous",
+    "expected_range_exponential",
+    "harmonic_number",
+]
+
+
+def _check_rates(rates: Sequence[float]) -> np.ndarray:
+    arr = as_float_array(rates, name="rates")
+    if np.any(arr <= 0.0):
+        raise ValueError("all rates must be strictly positive")
+    return arr
+
+
+def maximum_exponential_cdf(rates: Sequence[float], t: float | np.ndarray
+                            ) -> float | np.ndarray:
+    """``G(t) = P(max y_i ≤ t) = Π_i (1 − e^{−μ_i t})``."""
+    rates = _check_rates(rates)
+    t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+    values = np.prod(1.0 - np.exp(-np.outer(t_arr, rates)), axis=-1)
+    values = np.where(t_arr < 0.0, 0.0, values)
+    return float(values[0]) if np.isscalar(t) else values.reshape(np.shape(t))
+
+def maximum_exponential_pdf(rates: Sequence[float], t: float | np.ndarray
+                            ) -> float | np.ndarray:
+    """Density of ``max y_i``: ``G'(t) = Σ_i μ_i e^{−μ_i t} Π_{j≠i}(1 − e^{−μ_j t})``."""
+    rates = _check_rates(rates)
+    t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+    out = np.zeros_like(t_arr)
+    for i, mu_i in enumerate(rates):
+        others = np.delete(rates, i)
+        term = mu_i * np.exp(-mu_i * t_arr)
+        if others.size:
+            term = term * np.prod(1.0 - np.exp(-np.outer(t_arr, others)), axis=-1)
+        out += term
+    out = np.where(t_arr < 0.0, 0.0, out)
+    return float(out[0]) if np.isscalar(t) else out
+
+
+def expected_maximum_exponential(rates: Sequence[float]) -> float:
+    """``E[max y_i]`` by inclusion–exclusion (exact)."""
+    rates = _check_rates(rates)
+    n = rates.shape[0]
+    total = 0.0
+    for size in range(1, n + 1):
+        sign = 1.0 if size % 2 else -1.0
+        for subset in itertools.combinations(range(n), size):
+            total += sign / float(rates[list(subset)].sum())
+    return total
+
+
+def harmonic_number(n: int) -> float:
+    """``H_n = Σ_{k=1}^{n} 1/k``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return float(sum(1.0 / k for k in range(1, n + 1)))
+
+
+def expected_maximum_exponential_homogeneous(n: int, mu: float) -> float:
+    """``E[max of n iid Exp(μ)] = H_n / μ``."""
+    if n < 1:
+        raise ValueError("need at least one variable")
+    if mu <= 0.0:
+        raise ValueError("mu must be positive")
+    return harmonic_number(n) / mu
+
+
+def expected_range_exponential(rates: Sequence[float]) -> float:
+    """``E[max y_i − min y_i]`` — the spread of readiness times.
+
+    The minimum of independent exponentials is exponential with the summed rate, so
+    ``E[min] = 1 / Σμ_i``.
+    """
+    rates = _check_rates(rates)
+    return expected_maximum_exponential(rates) - 1.0 / float(rates.sum())

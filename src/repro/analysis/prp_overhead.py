@@ -1,0 +1,143 @@
+"""Overhead and rollback-distance analysis of pseudo recovery points (Section 4).
+
+For ``n`` cooperating processes the PRP scheme costs, per recovery point
+established anywhere in the system:
+
+* **time** — ``(n−1)·t_r`` extra (each of the other processes records one PRP,
+  ``t_r`` being the time to record a process state), on top of the ``t_r`` the RP
+  itself costs;
+* **storage** — ``n`` saved states per RP (one RP plus ``n−1`` PRPs); old states
+  outside the current pseudo recovery lines can be purged, so the steady-state
+  requirement is roughly ``n`` states per process, i.e. ``n²`` overall;
+* **rollback distance** — bounded by ``sup{y_1,…,y_n}`` where ``y_i`` is the
+  interval between two successive recovery points of ``P_i`` (exponential with
+  rate ``μ_i``), i.e. ``E[bound] = E[max Exp(μ_i)]``.
+
+The model also reports the overhead *rate* (state saves per unit time multiplied by
+their cost), which is what makes the paper's closing remark quantitative: the
+scheme "is inefficient for concurrent processes when they establish recovery points
+frequently … and rarely communicate with each other".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.order_statistics import expected_maximum_exponential
+from repro.core.parameters import SystemParameters
+from repro.util.validation import check_non_negative
+
+__all__ = ["PRPOverheadModel"]
+
+
+@dataclass(frozen=True)
+class PRPOverheadModel:
+    """Closed-form costs of the PRP scheme for a given system.
+
+    Parameters
+    ----------
+    params:
+        System rates (``μ_i``, ``λ_ij``).
+    record_cost:
+        ``t_r`` — time to record one process state.
+    """
+
+    params: SystemParameters
+    record_cost: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.record_cost, "record_cost")
+
+    # ------------------------------------------------------------------ time
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    def rp_rate_total(self) -> float:
+        """System-wide rate of recovery-point establishment, ``Σ μ_k``."""
+        return self.params.total_rp_rate
+
+    def extra_time_per_rp(self) -> float:
+        """Additional time overhead per RP: ``(n−1)·t_r``."""
+        return (self.n - 1) * self.record_cost
+
+    def overhead_time_rate(self) -> float:
+        """Extra state-saving time per unit time across the whole system.
+
+        Every RP (rate ``Σμ_k``) triggers ``n−1`` PRPs of cost ``t_r`` each.
+        """
+        return self.rp_rate_total() * self.extra_time_per_rp()
+
+    def overhead_per_process_rate(self) -> float:
+        """Extra state-saving time per unit time per process."""
+        return self.overhead_time_rate() / self.n
+
+    # ------------------------------------------------------------------ storage
+    def states_per_rp(self) -> int:
+        """States saved per recovery point: one RP plus ``n−1`` PRPs."""
+        return self.n
+
+    def steady_state_storage(self) -> int:
+        """Saved states retained after purging (Section 4 rule).
+
+        Each process keeps its most recent RP and one PRP per other process's
+        current RP: ``n`` states per process, ``n²`` system-wide (the initial
+        states are subsumed once every process has taken at least one RP).
+        """
+        return self.n * self.n
+
+    def save_rate(self) -> float:
+        """State saves per unit time (RPs + PRPs) across the system."""
+        return self.rp_rate_total() * self.states_per_rp()
+
+    # ------------------------------------------------------------------ rollback
+    def rollback_distance_bound(self) -> float:
+        """``E[sup{y_1,…,y_n}]`` — mean bound on the rollback distance."""
+        return expected_maximum_exponential(self.params.mu)
+
+    def rollback_distance_bound_quantile(self, q: float) -> float:
+        """Quantile of the rollback-distance bound (numerically inverted CDF)."""
+        if not (0.0 < q < 1.0):
+            raise ValueError("q must lie strictly between 0 and 1")
+        from repro.analysis.order_statistics import maximum_exponential_cdf
+
+        lo, hi = 0.0, 1.0
+        while maximum_exponential_cdf(self.params.mu, hi) < q:
+            hi *= 2.0
+            if hi > 1e9:  # pragma: no cover - defensive
+                raise RuntimeError("quantile search diverged")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if maximum_exponential_cdf(self.params.mu, mid) < q:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------ trade-off
+    def efficiency_ratio(self) -> float:
+        """PRP overhead per unit of interaction: ``overhead rate / Σλ``.
+
+        Large values flag the regime the paper calls inefficient: many recovery
+        points implanted for processes that hardly ever communicate (so the PRPs
+        are rarely needed).  Returns ``inf`` when the processes never interact.
+        """
+        interactions = self.params.total_interaction_rate
+        if interactions <= 0.0:
+            return float("inf")
+        return self.overhead_time_rate() / interactions
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "n": float(self.n),
+            "extra_time_per_rp": self.extra_time_per_rp(),
+            "overhead_time_rate": self.overhead_time_rate(),
+            "states_per_rp": float(self.states_per_rp()),
+            "steady_state_storage": float(self.steady_state_storage()),
+            "save_rate": self.save_rate(),
+            "rollback_distance_bound": self.rollback_distance_bound(),
+            "efficiency_ratio": self.efficiency_ratio(),
+        }

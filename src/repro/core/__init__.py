@@ -1,0 +1,69 @@
+"""Core domain model for recovery-block analysis.
+
+This package contains the objects the paper reasons about, independent of any
+particular implementation strategy:
+
+* :class:`~repro.core.parameters.SystemParameters` — the stochastic model of
+  Section 2.1 (recovery-point rates ``μ_i`` and pairwise interaction rates ``λ_ij``).
+* :class:`~repro.core.types.RecoveryPoint`, :class:`~repro.core.types.Interaction`,
+  :class:`~repro.core.types.RecoveryLine` — the entities appearing in the paper's
+  history diagrams (Figure 1).
+* :class:`~repro.core.history.HistoryDiagram` — a recorded execution history of a
+  set of cooperating processes.
+* :mod:`~repro.core.recovery_line` — detection of recovery lines, both the exact
+  pairwise "no sandwiched message" condition and the conservative latest-RP
+  condition used by the paper's Markov model.
+* :mod:`~repro.core.rollback` — rollback propagation / domino-effect computation.
+* :mod:`~repro.core.intervals` — extraction of the interval ``X`` between successive
+  recovery lines and the per-process recovery-point counts ``L_i``.
+"""
+
+from repro.core.types import (
+    CheckpointKind,
+    EventKind,
+    Interaction,
+    ProcessId,
+    RecoveryLine,
+    RecoveryPoint,
+)
+from repro.core.parameters import SystemParameters
+from repro.core.events import Event, EventLog
+from repro.core.history import HistoryDiagram
+from repro.core.recovery_line import (
+    RecoveryLineDetector,
+    ExactRecoveryLineDetector,
+    LatestRPRecoveryLineDetector,
+    is_consistent_line,
+    find_recovery_lines,
+)
+from repro.core.rollback import (
+    RollbackResult,
+    propagate_rollback,
+    rollback_distance,
+    is_domino,
+)
+from repro.core.intervals import IntervalObservation, extract_intervals
+
+__all__ = [
+    "CheckpointKind",
+    "EventKind",
+    "Interaction",
+    "ProcessId",
+    "RecoveryLine",
+    "RecoveryPoint",
+    "SystemParameters",
+    "Event",
+    "EventLog",
+    "HistoryDiagram",
+    "RecoveryLineDetector",
+    "ExactRecoveryLineDetector",
+    "LatestRPRecoveryLineDetector",
+    "is_consistent_line",
+    "find_recovery_lines",
+    "RollbackResult",
+    "propagate_rollback",
+    "rollback_distance",
+    "is_domino",
+    "IntervalObservation",
+    "extract_intervals",
+]

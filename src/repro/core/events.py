@@ -1,0 +1,152 @@
+"""Event records and event logs.
+
+The discrete-event simulator and the recovery-block runtimes emit
+:class:`Event` records into an :class:`EventLog`.  The log can be replayed, filtered
+and converted into a :class:`~repro.core.history.HistoryDiagram` for recovery-line
+and rollback analysis — keeping *measurement* separate from *execution*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.types import EventKind, ProcessId
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A single timestamped event in an execution trace.
+
+    ``data`` carries event-kind-specific payload (e.g. the peer process of an
+    interaction, the index of a recovery point, the verdict of an acceptance test).
+    It does not participate in ordering or equality so that logs can be compared
+    structurally in tests.
+    """
+
+    time: float
+    kind: EventKind
+    process: ProcessId
+    seq: int = 0
+    data: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ValueError("event time must be non-negative")
+
+
+class EventLog:
+    """Append-only, time-ordered log of :class:`Event` records.
+
+    Events must be appended in non-decreasing time order (the simulator guarantees
+    this); a monotonic sequence number breaks ties deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ recording
+    def append(self, time: float, kind: EventKind, process: ProcessId,
+               **data: object) -> Event:
+        """Record an event and return it."""
+        if self._events and time < self._events[-1].time - 1e-12:
+            raise ValueError(
+                f"events must be appended in time order: {time} < {self._events[-1].time}")
+        event = Event(time=float(time), kind=kind, process=int(process),
+                      seq=self._seq, data=dict(data))
+        self._events.append(event)
+        self._seq += 1
+        return event
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event.time, event.kind, event.process, **event.data)
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> List[Event]:
+        """A copy of the recorded events."""
+        return list(self._events)
+
+    @property
+    def end_time(self) -> float:
+        return self._events[-1].time if self._events else 0.0
+
+    def filter(self, *, kind: Optional[EventKind] = None,
+               process: Optional[ProcessId] = None,
+               predicate: Optional[Callable[[Event], bool]] = None) -> List[Event]:
+        """Return events matching the given criteria."""
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, kind: EventKind, process: Optional[ProcessId] = None) -> int:
+        """Number of events of *kind* (optionally restricted to one process)."""
+        return len(self.filter(kind=kind, process=process))
+
+    def processes(self) -> List[ProcessId]:
+        """Sorted list of process ids appearing in the log."""
+        return sorted({event.process for event in self._events})
+
+    # ------------------------------------------------------------------ conversion
+    def to_history(self, n_processes: Optional[int] = None):
+        """Build a :class:`~repro.core.history.HistoryDiagram` from this log.
+
+        Recovery-point events (regular and pseudo) and interaction events are
+        translated; other event kinds are ignored.  Interaction events are expected
+        to carry a ``peer`` entry and, to avoid double counting, only the *sender*
+        side (``initiator=True`` or absence of the flag on exactly one side) is
+        converted.
+        """
+        from repro.core.history import HistoryDiagram
+        from repro.core.types import CheckpointKind
+
+        if n_processes is None:
+            procs = self.processes()
+            n_processes = (max(procs) + 1) if procs else 0
+        history = HistoryDiagram(n_processes)
+        for event in self._events:
+            if event.kind is EventKind.RECOVERY_POINT:
+                history.add_recovery_point(event.process, event.time,
+                                           kind=CheckpointKind.REGULAR)
+            elif event.kind is EventKind.PSEUDO_RECOVERY_POINT:
+                origin = event.data.get("origin")
+                history.add_recovery_point(event.process, event.time,
+                                           kind=CheckpointKind.PSEUDO,
+                                           origin=origin)
+            elif event.kind is EventKind.INTERACTION:
+                if not event.data.get("initiator", True):
+                    continue
+                peer = event.data.get("peer")
+                if peer is None:
+                    raise ValueError("interaction event missing 'peer' entry")
+                receive_time = float(event.data.get("receive_time", event.time))
+                history.add_interaction(event.process, int(peer), event.time,
+                                        receive_time=receive_time)
+        return history
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per kind (string keyed, for readable test assertions)."""
+        out: Dict[str, int] = {}
+        for event in self._events:
+            out[event.kind.value] = out.get(event.kind.value, 0) + 1
+        return out

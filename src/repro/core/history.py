@@ -1,0 +1,268 @@
+"""Execution-history diagrams (the paper's Figure 1).
+
+A :class:`HistoryDiagram` records, per process, the checkpoints (recovery points and
+pseudo recovery points) it established and, globally, the interactions between
+processes.  All recovery-line detection and rollback-propagation analysis operates
+on this structure, whether the history was produced by the full discrete-event
+simulator, by the model-level Monte-Carlo sampler, or built by hand in a test.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.types import (
+    CheckpointKind,
+    Interaction,
+    ProcessId,
+    RecoveryPoint,
+)
+
+__all__ = ["HistoryDiagram"]
+
+
+class HistoryDiagram:
+    """Recorded history of ``n`` cooperating processes.
+
+    The structure is append-friendly (events arrive in time order from the
+    simulator) but also supports out-of-order insertion for hand-built test
+    fixtures; per-process checkpoint lists are kept sorted by time.
+    """
+
+    def __init__(self, n_processes: int) -> None:
+        n_processes = int(n_processes)
+        if n_processes < 1:
+            raise ValueError("a history needs at least one process")
+        self._n = n_processes
+        self._checkpoints: List[List[RecoveryPoint]] = [[] for _ in range(n_processes)]
+        self._checkpoint_times: List[List[float]] = [[] for _ in range(n_processes)]
+        self._interactions: List[Interaction] = []
+        self._interaction_times: List[float] = []
+        self._counters: List[int] = [0] * n_processes
+        # Every process implicitly starts with a verified initial state at t = 0.
+        for pid in range(n_processes):
+            self._insert_checkpoint(RecoveryPoint(time=0.0, process=pid, index=0,
+                                                  kind=CheckpointKind.INITIAL))
+
+    # ------------------------------------------------------------------ mutation
+    def _insert_checkpoint(self, rp: RecoveryPoint) -> RecoveryPoint:
+        times = self._checkpoint_times[rp.process]
+        pos = bisect.bisect_right(times, rp.time)
+        times.insert(pos, rp.time)
+        self._checkpoints[rp.process].insert(pos, rp)
+        self._counters[rp.process] = max(self._counters[rp.process], rp.index + 1)
+        return rp
+
+    def add_recovery_point(self, process: ProcessId, time: float,
+                           kind: CheckpointKind = CheckpointKind.REGULAR,
+                           origin: Optional[Tuple[ProcessId, int]] = None
+                           ) -> RecoveryPoint:
+        """Record a checkpoint for *process* at *time* and return it."""
+        self._check_process(process)
+        rp = RecoveryPoint(time=float(time), process=process,
+                           index=self._counters[process], kind=kind, origin=origin)
+        return self._insert_checkpoint(rp)
+
+    def add_interaction(self, source: ProcessId, target: ProcessId, time: float,
+                        receive_time: Optional[float] = None,
+                        message: object = None) -> Interaction:
+        """Record an interaction (message) from *source* to *target*."""
+        self._check_process(source)
+        self._check_process(target)
+        interaction = Interaction(time=float(time), source=source, target=target,
+                                  receive_time=float(receive_time)
+                                  if receive_time is not None else -1.0,
+                                  message=message)
+        pos = bisect.bisect_right(self._interaction_times, interaction.time)
+        self._interaction_times.insert(pos, interaction.time)
+        self._interactions.insert(pos, interaction)
+        return interaction
+
+    # ------------------------------------------------------------------ inspection
+    def _check_process(self, process: ProcessId) -> None:
+        if not (0 <= process < self._n):
+            raise ValueError(f"process {process} out of range [0, {self._n})")
+
+    @property
+    def n_processes(self) -> int:
+        return self._n
+
+    @property
+    def processes(self) -> range:
+        return range(self._n)
+
+    @property
+    def interactions(self) -> List[Interaction]:
+        return list(self._interactions)
+
+    def checkpoints(self, process: ProcessId,
+                    kinds: Optional[Iterable[CheckpointKind]] = None
+                    ) -> List[RecoveryPoint]:
+        """All checkpoints of *process* (optionally filtered by kind), time ordered."""
+        self._check_process(process)
+        points = self._checkpoints[process]
+        if kinds is None:
+            return list(points)
+        wanted = set(kinds)
+        return [rp for rp in points if rp.kind in wanted]
+
+    def recovery_points(self, process: ProcessId) -> List[RecoveryPoint]:
+        """Regular recovery points of *process* (excludes PRPs and the initial state)."""
+        return self.checkpoints(process, kinds=(CheckpointKind.REGULAR,))
+
+    def checkpoint_count(self, process: ProcessId,
+                         kind: Optional[CheckpointKind] = None) -> int:
+        if kind is None:
+            return len(self._checkpoints[process])
+        return len(self.checkpoints(process, kinds=(kind,)))
+
+    def latest_checkpoint_before(self, process: ProcessId, time: float,
+                                 *, inclusive: bool = True,
+                                 usable_only: bool = False,
+                                 failed_process: Optional[ProcessId] = None
+                                 ) -> RecoveryPoint:
+        """Most recent checkpoint of *process* at or before *time*.
+
+        With ``usable_only=True`` pseudo recovery points are skipped unless they are
+        usable for a failure of *failed_process* (see
+        :meth:`repro.core.types.RecoveryPoint.is_usable_for`).  The initial state at
+        t = 0 guarantees a result always exists.
+        """
+        self._check_process(process)
+        times = self._checkpoint_times[process]
+        pos = (bisect.bisect_right(times, time) if inclusive
+               else bisect.bisect_left(times, time))
+        for idx in range(pos - 1, -1, -1):
+            rp = self._checkpoints[process][idx]
+            if usable_only and not rp.kind.verified:
+                if failed_process is None or not rp.is_usable_for(failed_process):
+                    continue
+            return rp
+        # Unreachable: index 0 is always the initial state which is verified.
+        raise AssertionError("history invariant violated: missing initial state")
+
+    def interactions_between(self, a: ProcessId, b: ProcessId,
+                             start: float, end: float,
+                             *, closed: bool = False) -> List[Interaction]:
+        """Interactions between processes *a* and *b* with send time in the window.
+
+        The window is open ``(start, end)`` by default, matching the paper's
+        "sandwiched between" condition; pass ``closed=True`` for ``[start, end]``.
+        """
+        self._check_process(a)
+        self._check_process(b)
+        lo, hi = (min(start, end), max(start, end))
+        out = []
+        for interaction in self._interactions:
+            t = interaction.time
+            if closed:
+                inside = lo <= t <= hi
+            else:
+                inside = lo < t < hi
+            if inside and interaction.involves(a) and interaction.involves(b):
+                out.append(interaction)
+        return out
+
+    def interactions_involving(self, process: ProcessId,
+                               start: float = 0.0,
+                               end: float = float("inf")) -> List[Interaction]:
+        """Interactions touching *process* whose send or receive time lies in (start, end]."""
+        self._check_process(process)
+        out = []
+        for interaction in self._interactions:
+            if not interaction.involves(process):
+                continue
+            send, recv = interaction.window()
+            t = send if interaction.source == process else recv
+            if start < t <= end:
+                out.append(interaction)
+        return out
+
+    def last_event_kind(self, process: ProcessId, time: float) -> str:
+        """Return ``"rp"``, ``"interaction"`` or ``"none"`` for the last event ≤ *time*.
+
+        Pseudo recovery points are *not* counted as recovery points here because the
+        Markov model of Section 2 predates PRPs; only regular RPs flip the process's
+        state bit to 1.
+        """
+        self._check_process(process)
+        last_rp = None
+        for rp in reversed(self.checkpoints(process, kinds=(CheckpointKind.REGULAR,))):
+            if rp.time <= time:
+                last_rp = rp.time
+                break
+        last_int = None
+        for interaction in reversed(self._interactions):
+            if not interaction.involves(process):
+                continue
+            send, recv = interaction.window()
+            t = send if interaction.source == process else recv
+            if t <= time:
+                last_int = t
+                break
+        if last_rp is None and last_int is None:
+            return "none"
+        if last_int is None or (last_rp is not None and last_rp >= last_int):
+            return "rp"
+        return "interaction"
+
+    @property
+    def end_time(self) -> float:
+        """Latest timestamp recorded in the history."""
+        latest = 0.0
+        for points in self._checkpoints:
+            if points:
+                latest = max(latest, points[-1].time)
+        if self._interactions:
+            latest = max(latest, max(i.receive_time for i in self._interactions))
+        return latest
+
+    # ------------------------------------------------------------------ rendering
+    def render_ascii(self, width: int = 72) -> str:
+        """Render the history as an ASCII timeline (one row per process).
+
+        ``o`` marks a regular recovery point, ``p`` a pseudo recovery point, ``|``
+        the initial state and ``x`` an interaction endpoint.  Intended for debugging
+        and the examples; not a precise plot.
+        """
+        horizon = max(self.end_time, 1e-9)
+        scale = (width - 1) / horizon
+
+        def col(t: float) -> int:
+            return min(width - 1, int(round(t * scale)))
+
+        rows = []
+        for pid in range(self._n):
+            row = [" "] * width
+            row[0] = "|"
+            for interaction in self._interactions:
+                if interaction.involves(pid):
+                    send, recv = interaction.window()
+                    t = send if interaction.source == pid else recv
+                    row[col(t)] = "x"
+            for rp in self._checkpoints[pid]:
+                if rp.kind is CheckpointKind.INITIAL:
+                    continue
+                row[col(rp.time)] = "o" if rp.kind is CheckpointKind.REGULAR else "p"
+            rows.append(f"P{pid + 1} " + "".join(row))
+        header = f"t=0 {'.' * (width - 12)} t={horizon:.3f}"
+        return "\n".join(["   " + header] + rows)
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`AssertionError` on violation."""
+        for pid in range(self._n):
+            times = self._checkpoint_times[pid]
+            assert all(times[i] <= times[i + 1] for i in range(len(times) - 1)), \
+                f"checkpoints of process {pid} out of order"
+            assert self._checkpoints[pid][0].kind is CheckpointKind.INITIAL, \
+                f"process {pid} lost its initial state"
+        times = self._interaction_times
+        assert all(times[i] <= times[i + 1] for i in range(len(times) - 1)), \
+            "interactions out of order"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = ", ".join(str(len(points) - 1) for points in self._checkpoints)
+        return (f"HistoryDiagram(n={self._n}, checkpoints=[{counts}], "
+                f"interactions={len(self._interactions)})")

@@ -1,0 +1,244 @@
+"""Recovery-line detection.
+
+Two detectors are provided:
+
+* :class:`ExactRecoveryLineDetector` implements the paper's *definition* of a
+  recovery line (Section 2.2): one checkpoint per process such that for every pair
+  ``(i, j)`` no interaction between ``P_i`` and ``P_j`` is sandwiched between their
+  chosen checkpoints.
+* :class:`LatestRPRecoveryLineDetector` implements the *sufficient* condition the
+  Markov model of Section 2.2 actually tracks: a new recovery line is declared the
+  moment every process's most recent action (since the previous line) is a recovery
+  point.  This is conservative — it can only declare a line later than the exact
+  detector — and the gap between the two is quantified by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.history import HistoryDiagram
+from repro.core.types import CheckpointKind, ProcessId, RecoveryLine, RecoveryPoint
+
+__all__ = [
+    "is_consistent_line",
+    "RecoveryLineDetector",
+    "ExactRecoveryLineDetector",
+    "LatestRPRecoveryLineDetector",
+    "find_recovery_lines",
+]
+
+
+def is_consistent_line(history: HistoryDiagram,
+                       points: Dict[ProcessId, RecoveryPoint]) -> bool:
+    """Check the paper's pairwise consistency requirement for a candidate line.
+
+    For every pair of processes ``(i, j)`` in the candidate, no interaction between
+    them may have a send time strictly between ``t[RP_i]`` and ``t[RP_j]``.
+    """
+    processes = sorted(points)
+    for a_idx in range(len(processes)):
+        for b_idx in range(a_idx + 1, len(processes)):
+            a, b = processes[a_idx], processes[b_idx]
+            ta, tb = points[a].time, points[b].time
+            if ta == tb:
+                continue
+            if history.interactions_between(a, b, ta, tb):
+                return False
+    return True
+
+
+class RecoveryLineDetector(abc.ABC):
+    """Interface for recovery-line detectors operating on a history diagram."""
+
+    @abc.abstractmethod
+    def find_lines(self, history: HistoryDiagram,
+                   *, include_initial: bool = True) -> List[RecoveryLine]:
+        """Return the successive recovery lines formed in *history*, in time order."""
+
+    def intervals(self, history: HistoryDiagram) -> List[float]:
+        """Intervals ``X_r`` between successive recovery lines (formation times)."""
+        lines = self.find_lines(history, include_initial=True)
+        times = [line.formation_time for line in lines]
+        return [t1 - t0 for t0, t1 in zip(times[:-1], times[1:])]
+
+
+class ExactRecoveryLineDetector(RecoveryLineDetector):
+    """Exact detection using the pairwise no-sandwiched-message condition.
+
+    The detector sweeps events in time order.  Whenever a regular recovery point is
+    established it searches for a consistent combination of checkpoints — one per
+    process, each no newer than the current time and no older than the previous
+    line's choice for that process — that includes the fresh recovery point.  The
+    search enumerates candidates newest-first with early pruning, which is cheap for
+    the process counts the paper considers (n ≤ 10).
+
+    Parameters
+    ----------
+    include_pseudo:
+        When True, pseudo recovery points may participate in lines (used for the
+        pseudo-recovery-line analysis of Section 4); the default considers regular
+        recovery points (and the initial states) only, as in Section 2.
+    max_candidates_per_process:
+        Cap on how many of the newest candidate checkpoints per process are
+        examined, bounding worst-case search cost.
+    """
+
+    def __init__(self, include_pseudo: bool = False,
+                 max_candidates_per_process: int = 16) -> None:
+        self.include_pseudo = bool(include_pseudo)
+        self.max_candidates = int(max_candidates_per_process)
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates_per_process must be >= 1")
+
+    def _candidate_kinds(self) -> Sequence[CheckpointKind]:
+        kinds = [CheckpointKind.REGULAR, CheckpointKind.INITIAL]
+        if self.include_pseudo:
+            kinds.append(CheckpointKind.PSEUDO)
+        return tuple(kinds)
+
+    def find_lines(self, history: HistoryDiagram,
+                   *, include_initial: bool = True) -> List[RecoveryLine]:
+        kinds = self._candidate_kinds()
+        n = history.n_processes
+        # The initial states always form recovery line RL_0.
+        current = {pid: history.checkpoints(pid, kinds=(CheckpointKind.INITIAL,))[0]
+                   for pid in range(n)}
+        lines: List[RecoveryLine] = [RecoveryLine(points=current)]
+
+        # All candidate checkpoints, time ordered, that can trigger a new line.
+        triggers: List[RecoveryPoint] = []
+        for pid in range(n):
+            for rp in history.checkpoints(pid, kinds=kinds):
+                if rp.kind is not CheckpointKind.INITIAL:
+                    triggers.append(rp)
+        triggers.sort()
+
+        for trigger in triggers:
+            line = self._line_through(history, trigger, lines[-1], kinds)
+            if line is not None:
+                lines.append(line)
+        return lines if include_initial else lines[1:]
+
+    def _line_through(self, history: HistoryDiagram, trigger: RecoveryPoint,
+                      previous: RecoveryLine,
+                      kinds: Sequence[CheckpointKind]) -> Optional[RecoveryLine]:
+        """Search for a consistent line containing *trigger*, newer than *previous*."""
+        n = history.n_processes
+        horizon = trigger.time
+        candidates: Dict[ProcessId, List[RecoveryPoint]] = {}
+        for pid in range(n):
+            if pid == trigger.process:
+                candidates[pid] = [trigger]
+                continue
+            floor = previous.point_for(pid).time
+            options = [rp for rp in history.checkpoints(pid, kinds=kinds)
+                       if floor <= rp.time <= horizon]
+            if not options:
+                return None
+            # Newest first: later checkpoints are preferred (less recomputation on
+            # rollback) and prune faster.
+            options = sorted(options, key=lambda rp: rp.time, reverse=True)
+            candidates[pid] = options[: self.max_candidates]
+
+        order = sorted(range(n), key=lambda pid: len(candidates[pid]))
+        chosen: Dict[ProcessId, RecoveryPoint] = {}
+
+        def consistent_with_chosen(pid: ProcessId, rp: RecoveryPoint) -> bool:
+            for other, other_rp in chosen.items():
+                if other == pid:
+                    continue
+                lo, hi = sorted((rp.time, other_rp.time))
+                if lo != hi and history.interactions_between(pid, other, lo, hi):
+                    return False
+            return True
+
+        def backtrack(depth: int) -> bool:
+            if depth == len(order):
+                return True
+            pid = order[depth]
+            for rp in candidates[pid]:
+                if consistent_with_chosen(pid, rp):
+                    chosen[pid] = rp
+                    if backtrack(depth + 1):
+                        return True
+                    del chosen[pid]
+            return False
+
+        if not backtrack(0):
+            return None
+        line = RecoveryLine(points=dict(chosen))
+        # The new line must actually be new (strictly later formation than previous).
+        if line.formation_time <= previous.formation_time:
+            return None
+        return line
+
+
+class LatestRPRecoveryLineDetector(RecoveryLineDetector):
+    """Markov-model-faithful detection: all processes' last action is an RP.
+
+    This detector mirrors rules R1–R4 of Section 2.2 exactly.  After a recovery line
+    every process's state bit is (re)set to 1; an interaction between ``P_i`` and
+    ``P_j`` clears both bits (R2) or the bit of the RP-side participant (R3); a
+    recovery point sets the process's bit (R1).  A new line is declared when a
+    recovery point establishment results in all bits being 1 — including the direct
+    ``S_r → S_{r+1}`` transition of R4 when no interaction intervened at all.
+    """
+
+    def find_lines(self, history: HistoryDiagram,
+                   *, include_initial: bool = True) -> List[RecoveryLine]:
+        n = history.n_processes
+        latest_rp: Dict[ProcessId, RecoveryPoint] = {
+            pid: history.checkpoints(pid, kinds=(CheckpointKind.INITIAL,))[0]
+            for pid in range(n)}
+        bits = [True] * n
+        lines: List[RecoveryLine] = [RecoveryLine(points=dict(latest_rp))]
+
+        events: List = []
+        for pid in range(n):
+            for rp in history.checkpoints(pid, kinds=(CheckpointKind.REGULAR,)):
+                events.append((rp.time, 1, "rp", rp))
+        for interaction in history.interactions:
+            events.append((interaction.time, 0, "interaction", interaction))
+        # Interactions sort before RPs at equal timestamps (tie-break keeps the
+        # detector conservative, matching the CTMC where simultaneous events have
+        # probability zero anyway).
+        events.sort(key=lambda item: (item[0], item[1]))
+
+        for _time, _prio, kind, payload in events:
+            if kind == "interaction":
+                bits[payload.source] = False
+                bits[payload.target] = False
+            else:
+                rp: RecoveryPoint = payload
+                latest_rp[rp.process] = rp
+                bits[rp.process] = True
+                if all(bits):
+                    lines.append(RecoveryLine(points=dict(latest_rp)))
+                    # After a line forms every process is "clean" again (S_{r+1}
+                    # becomes the next S_r): bits stay 1.
+        return lines if include_initial else lines[1:]
+
+
+def find_recovery_lines(history: HistoryDiagram, *, exact: bool = True,
+                        include_pseudo: bool = False) -> List[RecoveryLine]:
+    """Convenience wrapper returning the recovery lines of *history*.
+
+    Parameters
+    ----------
+    exact:
+        Use the exact pairwise-consistency detector (default) or the conservative
+        latest-RP detector of the Markov model.
+    include_pseudo:
+        Allow pseudo recovery points to participate (exact detector only).
+    """
+    if exact:
+        detector: RecoveryLineDetector = ExactRecoveryLineDetector(
+            include_pseudo=include_pseudo)
+    else:
+        if include_pseudo:
+            raise ValueError("the latest-RP detector does not consider pseudo RPs")
+        detector = LatestRPRecoveryLineDetector()
+    return detector.find_lines(history)

@@ -1,0 +1,212 @@
+"""Rollback propagation and domino-effect analysis.
+
+When a process fails its acceptance test (or detects an error), it rolls back to a
+previous checkpoint.  Because of inter-process communication the rollback can force
+other processes back as well — *rollback propagation* — and in the worst case the
+avalanche (the *domino effect*) pushes every process to its beginning.  This module
+computes, for a given history and failure, the restart point of every process, the
+per-process and maximum rollback distances, and whether the domino effect occurred.
+
+The algorithm is the standard fixpoint over "orphan" interactions: if process ``i``
+restarts at time ``r_i``, every interaction it participated in after ``r_i`` is
+invalidated, and each peer ``j`` of such an interaction must restart at a checkpoint
+taken *before* that interaction; iterate until no new invalidation appears.  This is
+exactly the propagation the paper illustrates with Figure 1 (P1 fails AT₁⁴, the
+system restarts from recovery line RL₂).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.history import HistoryDiagram
+from repro.core.types import (
+    CheckpointKind,
+    Interaction,
+    ProcessId,
+    RecoveryLine,
+    RecoveryPoint,
+)
+
+__all__ = ["RollbackResult", "propagate_rollback", "rollback_distance", "is_domino"]
+
+
+@dataclass(frozen=True)
+class RollbackResult:
+    """Outcome of a rollback-propagation computation.
+
+    Attributes
+    ----------
+    failed_process:
+        The process whose error/acceptance-test failure started the rollback.
+    failure_time:
+        Time at which the failure was detected.
+    restart_points:
+        Checkpoint each process restarts from.  Processes that do not need to roll
+        back are absent.
+    affected:
+        Ids of all processes forced to roll back (always includes the failed one).
+    iterations:
+        Number of fixpoint sweeps the propagation needed.
+    """
+
+    failed_process: ProcessId
+    failure_time: float
+    restart_points: Dict[ProcessId, RecoveryPoint]
+    affected: Tuple[ProcessId, ...]
+    iterations: int
+    invalidated_interactions: Tuple[Interaction, ...] = field(default=())
+
+    @property
+    def restart_line(self) -> RecoveryLine:
+        """The (possibly partial) recovery line the system restarts from."""
+        return RecoveryLine(points=self.restart_points)
+
+    def restart_time(self, process: ProcessId) -> float:
+        """Restart time of *process* (``failure_time`` if it was not affected)."""
+        rp = self.restart_points.get(process)
+        return rp.time if rp is not None else self.failure_time
+
+    def distance(self, process: ProcessId) -> float:
+        """Rollback distance of *process*: computation discarded by its rollback."""
+        return self.failure_time - self.restart_time(process)
+
+    @property
+    def max_distance(self) -> float:
+        """The paper's rollback distance: supremum of the per-process distances."""
+        return max((self.distance(p) for p in self.affected), default=0.0)
+
+    @property
+    def total_lost_computation(self) -> float:
+        """Sum of the per-process discarded computation intervals."""
+        return sum(self.distance(p) for p in self.affected)
+
+    @property
+    def domino(self) -> bool:
+        """True when at least one affected process was pushed back to its start."""
+        return any(rp.kind is CheckpointKind.INITIAL
+                   for rp in self.restart_points.values())
+
+    def crossed_checkpoints(self, history: HistoryDiagram,
+                            process: ProcessId) -> int:
+        """Number of checkpoints of *process* discarded by the rollback."""
+        if process not in self.restart_points:
+            return 0
+        restart = self.restart_points[process].time
+        return sum(1 for rp in history.checkpoints(process)
+                   if restart < rp.time <= self.failure_time
+                   and rp.kind is not CheckpointKind.INITIAL)
+
+
+def propagate_rollback(history: HistoryDiagram, failed_process: ProcessId,
+                       failure_time: float,
+                       *,
+                       checkpoint_filter: Optional[
+                           Callable[[RecoveryPoint], bool]] = None,
+                       excluded_interactions: Optional[Set[Interaction]] = None,
+                       max_iterations: int = 10_000) -> RollbackResult:
+    """Compute the rollback propagation triggered by a failure.
+
+    Parameters
+    ----------
+    history:
+        Execution history up to (at least) the failure time.
+    failed_process, failure_time:
+        Which process failed and when.
+    checkpoint_filter:
+        Optional predicate selecting which checkpoints are *usable* as restart
+        states.  The asynchronous scheme passes regular RPs only; the PRP scheme
+        passes a predicate admitting uncontaminated pseudo recovery points.  The
+        initial state is always usable.
+    excluded_interactions:
+        Interactions that must be ignored by the propagation (typically because a
+        previous rollback already invalidated them — the messages were logically
+        un-sent and cannot orphan anybody any more).
+    max_iterations:
+        Safety bound on fixpoint sweeps.
+    """
+    if not (0 <= failed_process < history.n_processes):
+        raise ValueError(f"failed process {failed_process} out of range")
+    if failure_time < 0.0:
+        raise ValueError("failure time must be non-negative")
+
+    def usable(rp: RecoveryPoint) -> bool:
+        if rp.kind is CheckpointKind.INITIAL:
+            return True
+        if checkpoint_filter is None:
+            return rp.kind is CheckpointKind.REGULAR
+        return checkpoint_filter(rp)
+
+    def latest_usable(process: ProcessId, before: float, inclusive: bool) -> RecoveryPoint:
+        best: Optional[RecoveryPoint] = None
+        for rp in history.checkpoints(process):
+            ok_time = rp.time <= before if inclusive else rp.time < before
+            if ok_time and usable(rp):
+                if best is None or rp.time > best.time:
+                    best = rp
+        assert best is not None, "initial state must always be usable"
+        return best
+
+    # horizon[p]: time up to which process p's computation is currently valid.
+    horizon: Dict[ProcessId, float] = {p: failure_time for p in history.processes}
+    restart: Dict[ProcessId, RecoveryPoint] = {}
+
+    # The failed process must discard the state at the failure point itself, hence
+    # the inclusive latest checkpoint at or before the failure time.
+    first = latest_usable(failed_process, failure_time, inclusive=True)
+    restart[failed_process] = first
+    horizon[failed_process] = first.time
+
+    invalidated: Set[Interaction] = set()
+    excluded = excluded_interactions or set()
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError("rollback propagation did not converge")
+        changed = False
+        for interaction in history.interactions:
+            if interaction in invalidated or interaction in excluded:
+                continue
+            send, recv = interaction.window()
+            src, dst = interaction.source, interaction.target
+            # The interaction is an orphan if either endpoint falls in discarded
+            # computation of its participant.
+            src_orphan = send > horizon[src] and send <= failure_time
+            dst_orphan = recv > horizon[dst] and recv <= failure_time
+            if not (src_orphan or dst_orphan):
+                continue
+            invalidated.add(interaction)
+            # Both participants must restart before their endpoint of the
+            # interaction (the message and its effects are discarded).
+            for process, endpoint in ((src, send), (dst, recv)):
+                if horizon[process] >= endpoint:
+                    candidate = latest_usable(process, endpoint, inclusive=False)
+                    if candidate.time < horizon[process]:
+                        restart[process] = candidate
+                        horizon[process] = candidate.time
+                        changed = True
+                    elif process not in restart:
+                        restart[process] = candidate
+                        changed = True
+
+    affected = tuple(sorted(restart))
+    return RollbackResult(failed_process=failed_process, failure_time=failure_time,
+                          restart_points=dict(restart), affected=affected,
+                          iterations=iterations,
+                          invalidated_interactions=tuple(sorted(invalidated)))
+
+
+def rollback_distance(history: HistoryDiagram, failed_process: ProcessId,
+                      failure_time: float, **kwargs) -> float:
+    """Shorthand: the supremum rollback distance for the given failure."""
+    return propagate_rollback(history, failed_process, failure_time,
+                              **kwargs).max_distance
+
+
+def is_domino(history: HistoryDiagram, failed_process: ProcessId,
+              failure_time: float, **kwargs) -> bool:
+    """Whether the failure triggers the domino effect (rollback to a beginning)."""
+    return propagate_rollback(history, failed_process, failure_time, **kwargs).domino

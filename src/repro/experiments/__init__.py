@@ -1,0 +1,31 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module builds an :class:`~repro.experiments.common.ExperimentResult` whose
+``render()`` produces the rows/series the paper reports (plus our analytic and
+Monte-Carlo values side by side), so that running the benchmark suite doubles as
+regenerating the artefacts.  See DESIGN.md §3 for the experiment index.
+"""
+
+from repro.experiments.common import ExperimentResult, ExperimentRow
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.table1 import run_table1
+from repro.experiments.sync_loss import run_sync_loss
+from repro.experiments.prp_costs import run_prp_costs
+from repro.experiments.validation import run_validation
+from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
+from repro.experiments.strategy_comparison import run_strategy_comparison
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRow",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+    "run_sync_loss",
+    "run_prp_costs",
+    "run_validation",
+    "run_detector_ablation",
+    "run_solver_ablation",
+    "run_strategy_comparison",
+]

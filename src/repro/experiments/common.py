@@ -1,0 +1,69 @@
+"""Shared result containers and rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.tables import AsciiTable
+
+__all__ = ["ExperimentRow", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of an experiment table: a label plus named numeric values."""
+
+    label: str
+    values: Dict[str, float]
+
+    def get(self, key: str) -> float:
+        return float(self.values[key])
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated artefact: metadata, column order and rows.
+
+    ``paper_reference`` names the table/figure of the paper the result reproduces;
+    ``notes`` records substitutions or known deviations (mirrored in
+    EXPERIMENTS.md).
+    """
+
+    name: str
+    paper_reference: str
+    columns: Sequence[str]
+    rows: List[ExperimentRow] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, label: str, **values: float) -> ExperimentRow:
+        row = ExperimentRow(label=label, values={k: float(v) for k, v in values.items()})
+        missing = [c for c in self.columns if c not in row.values]
+        if missing:
+            raise ValueError(f"row {label!r} is missing columns {missing}")
+        self.rows.append(row)
+        return row
+
+    def column(self, key: str) -> List[float]:
+        """All values of one column, in row order."""
+        return [row.get(key) for row in self.rows]
+
+    def row(self, label: str) -> ExperimentRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row labelled {label!r}")
+
+    def render(self, float_digits: int = 4) -> str:
+        table = AsciiTable(["case", *self.columns], float_digits=float_digits)
+        for row in self.rows:
+            table.add_row([row.label, *(row.values[c] for c in self.columns)])
+        header = f"{self.name}  (reproduces {self.paper_reference})"
+        parts = [header, "=" * len(header), table.render()]
+        if self.notes:
+            parts.append("")
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

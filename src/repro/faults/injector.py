@@ -1,0 +1,74 @@
+"""Reproducible fault-timeline generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """A single transient fault: process *process* is corrupted at *time*."""
+
+    time: float
+    process: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ValueError("fault time must be non-negative")
+        if self.process < 0:
+            raise ValueError("process id must be non-negative")
+
+
+class FaultInjector:
+    """Generates Poisson fault timelines per process.
+
+    Parameters
+    ----------
+    rates:
+        Per-process fault rates (faults per unit time).  A rate of zero disables
+        faults for that process.
+    seed:
+        Seed for reproducibility.
+    """
+
+    def __init__(self, rates: Sequence[float], seed: Optional[int] = None) -> None:
+        self.rates = [check_non_negative(r, "fault rate") for r in rates]
+        if not self.rates:
+            raise ValueError("need at least one process")
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def n(self) -> int:
+        return len(self.rates)
+
+    def timeline(self, horizon: float) -> List[FaultEvent]:
+        """All fault events in ``[0, horizon)``, time ordered."""
+        check_positive(horizon, "horizon")
+        events: List[FaultEvent] = []
+        for pid, rate in enumerate(self.rates):
+            if rate <= 0.0:
+                continue
+            t = 0.0
+            while True:
+                t += float(self.rng.exponential(1.0 / rate))
+                if t >= horizon:
+                    break
+                events.append(FaultEvent(time=t, process=pid))
+        return sorted(events)
+
+    def first_fault(self, horizon: float) -> Optional[FaultEvent]:
+        """Earliest fault in ``[0, horizon)``, or None when there is none."""
+        events = self.timeline(horizon)
+        return events[0] if events else None
+
+    def expected_fault_count(self, horizon: float) -> float:
+        """Analytic expectation of the number of faults in ``[0, horizon)``."""
+        check_positive(horizon, "horizon")
+        return float(sum(self.rates) * horizon)

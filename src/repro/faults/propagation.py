@@ -1,0 +1,103 @@
+"""Offline contamination analysis over a recorded history.
+
+Given an error that appears in one process at a known time, messages sent by a
+contaminated process contaminate their receivers.  This module answers two
+questions the paper's Section 4 discussion hinges on:
+
+* which processes are contaminated at a given instant
+  (:func:`contamination_at`), and
+* which checkpoints — in particular which pseudo recovery points — captured a
+  contaminated state (:func:`contaminated_checkpoints`), i.e. which PRPs cannot be
+  trusted for recovery and force the rollback to continue past them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.history import HistoryDiagram
+from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
+
+__all__ = ["ContaminationAnalysis", "contamination_at", "contaminated_checkpoints"]
+
+
+@dataclass(frozen=True)
+class ContaminationAnalysis:
+    """Result of propagating one error through a history.
+
+    ``infection_times[p]`` is the time at which process ``p`` became contaminated
+    (absent if it never did); the error's origin has its original fault time.
+    """
+
+    origin: ProcessId
+    fault_time: float
+    infection_times: Dict[ProcessId, float]
+
+    def is_contaminated(self, process: ProcessId, time: float) -> bool:
+        """Whether *process* is contaminated at *time* (no recovery considered)."""
+        infected_at = self.infection_times.get(process)
+        return infected_at is not None and time >= infected_at
+
+    @property
+    def reach(self) -> int:
+        """Number of processes the error reached (including the origin)."""
+        return len(self.infection_times)
+
+
+def _propagate(history: HistoryDiagram, origin: ProcessId,
+               fault_time: float) -> ContaminationAnalysis:
+    if not (0 <= origin < history.n_processes):
+        raise ValueError(f"origin process {origin} out of range")
+    if fault_time < 0.0:
+        raise ValueError("fault time must be non-negative")
+    infection: Dict[ProcessId, float] = {origin: fault_time}
+    # Messages are processed in time order; a message contaminates its receiver
+    # when its *send* happens at or after the sender's infection time.
+    changed = True
+    while changed:
+        changed = False
+        for interaction in history.interactions:
+            sender_infected = infection.get(interaction.source)
+            if sender_infected is None or interaction.time < sender_infected:
+                continue
+            receive = interaction.receive_time
+            current = infection.get(interaction.target)
+            if current is None or receive < current:
+                infection[interaction.target] = receive
+                changed = True
+    return ContaminationAnalysis(origin=origin, fault_time=fault_time,
+                                 infection_times=infection)
+
+
+def contamination_at(history: HistoryDiagram, origin: ProcessId, fault_time: float,
+                     time: float) -> Set[ProcessId]:
+    """Processes contaminated at *time* by a fault in *origin* at *fault_time*."""
+    analysis = _propagate(history, origin, fault_time)
+    return {pid for pid, infected_at in analysis.infection_times.items()
+            if infected_at <= time}
+
+
+def contaminated_checkpoints(history: HistoryDiagram, origin: ProcessId,
+                             fault_time: float,
+                             *, kinds: Tuple[CheckpointKind, ...] = (
+                                 CheckpointKind.REGULAR, CheckpointKind.PSEUDO)
+                             ) -> List[RecoveryPoint]:
+    """Checkpoints whose saved state includes the (propagated) error.
+
+    A checkpoint is contaminated when its owner was already infected at the moment
+    the state was saved.  With the paper's perfect-acceptance-test assumption only
+    *pseudo* recovery points can end up contaminated — regular RPs of the origin
+    process would have failed their acceptance test — but the function checks every
+    requested kind so imperfect-test scenarios can be analysed too.
+    """
+    analysis = _propagate(history, origin, fault_time)
+    out: List[RecoveryPoint] = []
+    for pid in history.processes:
+        infected_at = analysis.infection_times.get(pid)
+        if infected_at is None:
+            continue
+        for rp in history.checkpoints(pid, kinds=kinds):
+            if rp.time >= infected_at:
+                out.append(rp)
+    return sorted(out)

@@ -1,0 +1,57 @@
+"""Markov models for asynchronous recovery blocks (Section 2 of the paper).
+
+The paper models the interval ``X`` between two successive recovery lines of a set
+of asynchronously checkpointing processes as the absorption time of a
+continuous-time Markov chain whose states record, per process, whether the last
+action was a recovery point (1) or an interaction (0).
+
+Sub-modules
+-----------
+``state_space``
+    Encoding of the chain's states (entry state ``S_r``, the intermediate
+    ``(x_1,…,x_n)`` states, and the absorbing state ``S_{r+1}``).
+``generator``
+    Assembly of the transition-rate matrix according to rules R1–R4.
+``simplified``
+    The lumped symmetric chain of Figure 3 (rules R1'–R4').
+``ctmc`` / ``dtmc``
+    Generic phase-type / absorbing-chain mathematics.
+``split_chain``
+    The discrete chain ``Y_d`` with split states (Figure 4) used to obtain the mean
+    number of recovery points ``E[L_i]`` recorded during ``X``.
+``density``
+    Evaluation of the density ``f_X(t)`` on a grid (Figure 6).
+``montecarlo``
+    Model-level Monte-Carlo sampling of ``X`` and ``L_i`` (the paper's own numbers in
+    Table 1 were obtained this way).
+``recovery_line_interval``
+    High-level façade tying everything together.
+"""
+
+from repro.markov.state_space import AsyncStateSpace
+from repro.markov.generator import build_generator, build_phase_type
+from repro.markov.simplified import SimplifiedChain, simplified_mean_interval
+from repro.markov.ctmc import PhaseType, transient_distribution
+from repro.markov.dtmc import AbsorbingDTMC
+from repro.markov.split_chain import SplitChainYd, expected_rp_counts
+from repro.markov.density import interval_density, interval_cdf
+from repro.markov.montecarlo import ModelSimulator, SimulatedIntervals
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+
+__all__ = [
+    "AsyncStateSpace",
+    "build_generator",
+    "build_phase_type",
+    "SimplifiedChain",
+    "simplified_mean_interval",
+    "PhaseType",
+    "transient_distribution",
+    "AbsorbingDTMC",
+    "SplitChainYd",
+    "expected_rp_counts",
+    "interval_density",
+    "interval_cdf",
+    "ModelSimulator",
+    "SimulatedIntervals",
+    "RecoveryLineIntervalModel",
+]

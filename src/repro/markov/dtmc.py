@@ -1,0 +1,124 @@
+"""Absorbing discrete-time Markov-chain analysis.
+
+Used by :mod:`repro.markov.split_chain` (the paper's chain ``Y_d``) to compute the
+expected number of visits to each transient state before absorption, from which the
+mean recovery-point counts ``E[L_i]`` follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.linalg import (
+    absorption_probabilities,
+    expected_visits_absorbing,
+    fundamental_matrix,
+)
+
+__all__ = ["AbsorbingDTMC"]
+
+
+@dataclass(frozen=True)
+class AbsorbingDTMC:
+    """A DTMC partitioned into transient and absorbing states.
+
+    Parameters
+    ----------
+    P:
+        Full row-stochastic transition matrix.
+    absorbing:
+        Indices (into ``P``) of the absorbing states.  Their rows must be unit rows
+        (probability 1 of staying put).
+    """
+
+    P: np.ndarray
+    absorbing: tuple
+
+    def __post_init__(self) -> None:
+        P = np.asarray(self.P, dtype=float).copy()
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise ValueError("P must be square")
+        if np.any(P < -1e-12):
+            raise ValueError("transition probabilities must be non-negative")
+        if not np.allclose(P.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("rows of P must sum to 1")
+        absorbing = tuple(sorted(int(a) for a in self.absorbing))
+        for a in absorbing:
+            if not (0 <= a < P.shape[0]):
+                raise ValueError(f"absorbing index {a} out of range")
+            if abs(P[a, a] - 1.0) > 1e-9:
+                raise ValueError(f"state {a} declared absorbing but P[{a},{a}] != 1")
+        P.setflags(write=False)
+        object.__setattr__(self, "P", P)
+        object.__setattr__(self, "absorbing", absorbing)
+
+    # ------------------------------------------------------------------ structure
+    @property
+    def n_states(self) -> int:
+        return int(self.P.shape[0])
+
+    @property
+    def transient(self) -> tuple:
+        absorbing = set(self.absorbing)
+        return tuple(s for s in range(self.n_states) if s not in absorbing)
+
+    def _transient_position(self, state: int) -> int:
+        try:
+            return self.transient.index(state)
+        except ValueError as exc:
+            raise ValueError(f"state {state} is not transient") from exc
+
+    @property
+    def transient_block(self) -> np.ndarray:
+        idx = list(self.transient)
+        return self.P[np.ix_(idx, idx)]
+
+    @property
+    def absorbing_block(self) -> np.ndarray:
+        t_idx = list(self.transient)
+        a_idx = list(self.absorbing)
+        return self.P[np.ix_(t_idx, a_idx)]
+
+    # ------------------------------------------------------------------ analysis
+    def fundamental(self) -> np.ndarray:
+        """Fundamental matrix ``N = (I − T)^{-1}`` over the transient states."""
+        return fundamental_matrix(self.transient_block)
+
+    def expected_visits(self, start: int) -> np.ndarray:
+        """Expected visit counts to each *transient* state before absorption.
+
+        The returned array is indexed like :attr:`transient` (not like ``P``); the
+        initial occupancy of the start state counts as one visit.
+        """
+        return expected_visits_absorbing(self.transient_block,
+                                         self._transient_position(start))
+
+    def expected_visits_by_state(self, start: int) -> dict:
+        """Mapping ``state index -> expected visits`` for transient states."""
+        visits = self.expected_visits(start)
+        return {state: float(visits[pos]) for pos, state in enumerate(self.transient)}
+
+    def absorption_distribution(self, start: int) -> np.ndarray:
+        """Probability of ending in each absorbing state (ordered as ``absorbing``)."""
+        return absorption_probabilities(self.transient_block, self.absorbing_block,
+                                        self._transient_position(start))
+
+    def expected_steps_to_absorption(self, start: int) -> float:
+        """Mean number of steps before absorption, starting from *start*."""
+        return float(self.expected_visits(start).sum())
+
+    def simulate_to_absorption(self, start: int, rng: np.random.Generator,
+                               max_steps: int = 10_000_000) -> Sequence[int]:
+        """Sample one trajectory (sequence of visited states, ending absorbed)."""
+        state = int(start)
+        path = [state]
+        absorbing = set(self.absorbing)
+        for _ in range(max_steps):
+            if state in absorbing:
+                return path
+            state = int(rng.choice(self.n_states, p=self.P[state]))
+            path.append(state)
+        raise RuntimeError("simulation did not reach an absorbing state")

@@ -1,0 +1,127 @@
+"""Assembly of the CTMC transition-rate matrix (rules R1–R4 of Section 2.2).
+
+Given :class:`~repro.core.parameters.SystemParameters`, :func:`build_generator`
+produces the full ``(2^n + 1) × (2^n + 1)`` generator matrix ``H`` (the paper's
+notation) whose ``(u, v)`` entry is the transition rate from state ``u`` to state
+``v``.  :func:`build_phase_type` extracts the transient sub-generator and packages
+the absorption-time distribution — the interval ``X`` between successive recovery
+lines — as a :class:`~repro.markov.ctmc.PhaseType` object.
+
+Transition rules (paper numbering, processes 1-based there / 0-based here):
+
+R1  A process with ``x_i = 0`` establishes a recovery point: ``x_i`` becomes 1, at
+    rate ``μ_i``.  If that makes every bit 1, the next recovery line has formed and
+    the transition targets the absorbing state.
+R2  Two processes with ``x_i = x_j = 1`` interact: both bits drop to 0, at rate
+    ``λ_ij``.
+R3  A process with ``x_i = 1`` interacts with some process with ``x_j = 0``: bit
+    ``i`` drops to 0 (bit ``j`` is already 0), at total rate ``Σ_{j∈B_i} λ_ij``.
+R4  From the entry state ``S_r`` (all bits conceptually 1), any recovery point
+    immediately yields the next recovery line: direct transition to ``S_{r+1}`` at
+    rate ``Σ_k μ_k``.
+
+Events that change no bits (an RP by a process whose bit is already 1, or an
+interaction between two 0-bit processes) are not transitions of the chain; they are
+accounted for by the uniformised chain ``Y_d`` when counting recovery points
+(:mod:`repro.markov.split_chain`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.markov.ctmc import PhaseType
+from repro.markov.state_space import AsyncStateSpace
+
+__all__ = ["build_generator", "build_phase_type", "transition_rate"]
+
+
+def build_generator(params: SystemParameters) -> Tuple[np.ndarray, AsyncStateSpace]:
+    """Build the full generator matrix ``H`` and its state space.
+
+    Returns
+    -------
+    (H, space):
+        ``H`` is a dense ``(2^n + 1)²`` array; ``space`` the index arithmetic
+        helper.  Row sums are zero; the absorbing row is identically zero.
+    """
+    space = AsyncStateSpace(params.n)
+    m = space.n_states
+    H = np.zeros((m, m), dtype=float)
+    n = params.n
+    full = space.full_mask
+
+    # --- entry state S_r -----------------------------------------------------
+    entry = space.entry_index
+    # R4: any recovery point completes a new line immediately.
+    H[entry, space.absorbing_index] += params.total_rp_rate
+    # R2: an interaction between any pair clears both bits.
+    for i in range(n):
+        for j in range(i + 1, n):
+            rate = params.pair_rate(i, j)
+            if rate <= 0.0:
+                continue
+            dest_mask = space.clear_bit(space.clear_bit(full, i), j)
+            H[entry, space.index_of_mask(dest_mask)] += rate
+
+    # --- intermediate states --------------------------------------------------
+    for index in space.intermediate_indices():
+        mask = space.mask_of_index(index)
+        ones = space.ones(mask)
+        zeros = space.zeros(mask)
+        # R1: a 0-bit process establishes a recovery point.
+        for i in zeros:
+            dest_mask = space.set_bit(mask, i)
+            dest = (space.absorbing_index if dest_mask == full
+                    else space.index_of_mask(dest_mask))
+            H[index, dest] += params.mu[i]
+        # R2: two 1-bit processes interact.
+        for a_pos in range(len(ones)):
+            for b_pos in range(a_pos + 1, len(ones)):
+                i, j = ones[a_pos], ones[b_pos]
+                rate = params.pair_rate(i, j)
+                if rate <= 0.0:
+                    continue
+                dest_mask = space.clear_bit(space.clear_bit(mask, i), j)
+                H[index, space.index_of_mask(dest_mask)] += rate
+        # R3: a 1-bit process interacts with a 0-bit process.
+        for i in ones:
+            rate = sum(params.pair_rate(i, j) for j in zeros)
+            if rate <= 0.0:
+                continue
+            dest_mask = space.clear_bit(mask, i)
+            H[index, space.index_of_mask(dest_mask)] += rate
+
+    # --- diagonal --------------------------------------------------------------
+    np.fill_diagonal(H, 0.0)
+    H[np.arange(m), np.arange(m)] = -H.sum(axis=1)
+    # Absorbing state: no departures.
+    H[space.absorbing_index, :] = 0.0
+    return H, space
+
+
+def transition_rate(params: SystemParameters, source: int, dest: int) -> float:
+    """Rate of the ``source → dest`` transition (state indices); 0 if none.
+
+    Convenience accessor used by tests that check individual rules without building
+    the whole matrix.
+    """
+    H, _space = build_generator(params)
+    return float(H[source, dest])
+
+
+def build_phase_type(params: SystemParameters) -> PhaseType:
+    """Phase-type representation of the inter-recovery-line interval ``X``.
+
+    The chain starts in the entry state ``S_r`` with probability 1; the transient
+    sub-generator is the restriction of ``H`` to the ``2^n`` transient states.
+    """
+    H, space = build_generator(params)
+    transient = list(space.transient_indices())
+    T = H[np.ix_(transient, transient)]
+    alpha = np.zeros(len(transient))
+    alpha[space.entry_index] = 1.0
+    return PhaseType(alpha=alpha, T=T)

@@ -1,0 +1,193 @@
+"""Model-level Monte-Carlo simulation of the asynchronous recovery-block model.
+
+The paper's Table 1 values were produced by "computer simulation" of the Section 2
+model.  :class:`ModelSimulator` reproduces that experiment: it samples the competing
+Poisson processes (recovery points at rates ``μ_i``, pairwise interactions at rates
+``λ_ij``) directly, tracks the ``(x_1,…,x_n)`` state, and records
+
+* the interval ``X`` between successive recovery lines, and
+* the number of recovery points each process establishes during the interval.
+
+Because it simulates exactly the stochastic model underlying the CTMC, its
+estimates converge to the analytic phase-type results — this is the basis of the
+validation experiment (E10 in DESIGN.md).  The simulator can also emit a full
+:class:`~repro.core.history.HistoryDiagram` for cross-checking the history-level
+recovery-line detectors against the bit-level bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.history import HistoryDiagram
+from repro.core.parameters import SystemParameters
+
+__all__ = ["SimulatedIntervals", "ModelSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatedIntervals:
+    """Sampled inter-recovery-line intervals and recovery-point counts.
+
+    ``rp_counts`` uses the *all* counting convention (the recovery point that
+    completes the next line is included); ``completing_process[r]`` identifies which
+    process's RP completed interval ``r``, so the *interior* convention is simply
+    ``rp_counts`` with one subtracted from that process's column.
+    """
+
+    lengths: np.ndarray
+    rp_counts: np.ndarray
+    completing_process: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.lengths.ndim != 1 or self.rp_counts.ndim != 2:
+            raise ValueError("malformed simulation output")
+        if self.lengths.shape[0] != self.rp_counts.shape[0]:
+            raise ValueError("lengths and rp_counts disagree on sample count")
+        if self.completing_process.shape != self.lengths.shape:
+            raise ValueError("completing_process must align with lengths")
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.lengths.shape[0])
+
+    @property
+    def n_processes(self) -> int:
+        return int(self.rp_counts.shape[1])
+
+    def mean_interval(self) -> float:
+        """Estimate of ``E[X]``."""
+        return float(self.lengths.mean())
+
+    def interval_stderr(self) -> float:
+        if self.n_samples < 2:
+            return 0.0
+        return float(self.lengths.std(ddof=1) / np.sqrt(self.n_samples))
+
+    def mean_rp_counts(self, counting: str = "interior") -> np.ndarray:
+        """Estimate of ``E[L_i]`` under the requested counting convention."""
+        if counting not in ("interior", "all"):
+            raise ValueError("counting must be 'interior' or 'all'")
+        counts = self.rp_counts.astype(float)
+        if counting == "interior":
+            counts = counts.copy()
+            rows = np.arange(self.n_samples)
+            counts[rows, self.completing_process] -= 1.0
+        return counts.mean(axis=0)
+
+    def completion_frequencies(self) -> np.ndarray:
+        """Empirical estimate of ``q_i`` (who completes the recovery line)."""
+        freq = np.bincount(self.completing_process, minlength=self.n_processes)
+        return freq / max(self.n_samples, 1)
+
+
+class ModelSimulator:
+    """Monte-Carlo sampler of the Section 2 model.
+
+    Parameters
+    ----------
+    params:
+        System parameters (``μ``, ``λ``).
+    seed:
+        Seed for the dedicated :class:`numpy.random.Generator`; runs with the same
+        seed are bit-for-bit reproducible.
+    """
+
+    def __init__(self, params: SystemParameters, seed: Optional[int] = None) -> None:
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        # Pre-compute the event alphabet: ("rp", i) and ("interaction", (i, j)).
+        self._event_rates: List[float] = []
+        self._events: List[Tuple[str, Tuple[int, ...]]] = []
+        for i in range(params.n):
+            self._events.append(("rp", (i,)))
+            self._event_rates.append(float(params.mu[i]))
+        for i in range(params.n):
+            for j in range(i + 1, params.n):
+                rate = params.pair_rate(i, j)
+                if rate > 0.0:
+                    self._events.append(("interaction", (i, j)))
+                    self._event_rates.append(rate)
+        self._rates = np.asarray(self._event_rates, dtype=float)
+        self._total_rate = float(self._rates.sum())
+        if self._total_rate <= 0.0:
+            raise ValueError("the system has no events (all rates zero)")
+        self._probs = self._rates / self._total_rate
+
+    # ------------------------------------------------------------------ sampling
+    def _next_event(self) -> Tuple[float, str, Tuple[int, ...]]:
+        """Sample the next event: (holding time, kind, participants)."""
+        dt = self.rng.exponential(1.0 / self._total_rate)
+        idx = int(self.rng.choice(len(self._events), p=self._probs))
+        kind, who = self._events[idx]
+        return dt, kind, who
+
+    def sample_intervals(self, n_intervals: int,
+                         max_events_per_interval: int = 10_000_000
+                         ) -> SimulatedIntervals:
+        """Sample *n_intervals* successive inter-recovery-line intervals."""
+        if n_intervals < 1:
+            raise ValueError("need at least one interval")
+        n = self.params.n
+        lengths = np.empty(n_intervals)
+        counts = np.zeros((n_intervals, n), dtype=np.int64)
+        completing = np.empty(n_intervals, dtype=np.int64)
+
+        for r in range(n_intervals):
+            bits = [True] * n           # entry state: all last actions are RPs
+            elapsed = 0.0
+            events = 0
+            while True:
+                events += 1
+                if events > max_events_per_interval:
+                    raise RuntimeError("interval did not close; check the rates")
+                dt, kind, who = self._next_event()
+                elapsed += dt
+                if kind == "rp":
+                    (i,) = who
+                    counts[r, i] += 1
+                    bits[i] = True
+                    if all(bits):
+                        lengths[r] = elapsed
+                        completing[r] = i
+                        break
+                else:
+                    i, j = who
+                    bits[i] = False
+                    bits[j] = False
+        return SimulatedIntervals(lengths=lengths, rp_counts=counts,
+                                  completing_process=completing)
+
+    # ------------------------------------------------------------------ histories
+    def generate_history(self, duration: float) -> HistoryDiagram:
+        """Generate a full history diagram of length *duration*.
+
+        Recovery points and interactions are drawn from the same competing Poisson
+        processes; the result feeds the history-level recovery-line detectors and
+        the rollback-propagation analysis.
+        """
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        history = HistoryDiagram(self.params.n)
+        t = 0.0
+        while True:
+            dt, kind, who = self._next_event()
+            t += dt
+            if t > duration:
+                break
+            if kind == "rp":
+                history.add_recovery_point(who[0], t)
+            else:
+                i, j = who
+                # Interactions of the analytic model are symmetric and
+                # instantaneous; direction is irrelevant, pick the lower id as the
+                # sender for determinism.
+                history.add_interaction(i, j, t, receive_time=t)
+        return history
+
+    def estimate_mean_interval(self, n_intervals: int) -> float:
+        """Convenience shortcut for ``E[X]`` estimation."""
+        return self.sample_intervals(n_intervals).mean_interval()

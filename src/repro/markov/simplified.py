@@ -1,0 +1,142 @@
+"""The simplified (lumped) chain for homogeneous systems — Figure 3, rules R1'–R4'.
+
+When every process has the same recovery-point rate ``μ`` and every pair the same
+interaction rate ``λ``, the ``2^n + 1``-state chain of Figure 2 collapses: all
+intermediate states with exactly ``u`` ones are interchangeable and can be merged
+into a single state ``S̄_u``.  The lumped chain has only ``n + 2`` states (entry,
+``S̄_0 … S̄_{n-1}``, absorbing) which makes the large-``n`` sweeps of Figure 5 cheap.
+
+Transition rules (paper numbering):
+
+R1'  ``S̄_u → S̄_{u+1}`` at rate ``(n − u)·μ`` (a 0-bit process checkpoints); for
+     ``u = n − 1`` the destination is the absorbing state.
+R2'  ``S̄_u → S̄_{u−2}`` at rate ``u(u−1)/2 · λ`` (two 1-bit processes interact),
+     for ``u ≥ 2``.
+R3'  ``S̄_u → S̄_{u−1}`` at rate ``u(n−u)·λ`` (a 1-bit process interacts with a
+     0-bit process), for ``u ≥ 1``.
+R4'  entry ``S_r`` → absorbing ``S_{r+1}`` at rate ``n·μ``; interactions from the
+     entry state behave like ``u = n`` under R2' (to ``S̄_{n−2}``).
+
+Lumpability of the full chain onto this one is verified by a dedicated test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.markov.ctmc import PhaseType
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["SimplifiedChain", "simplified_mean_interval"]
+
+
+@dataclass(frozen=True)
+class SimplifiedChain:
+    """Lumped symmetric chain for ``n`` processes with rates ``μ`` and ``λ``.
+
+    State indexing: ``0`` = entry ``S_r``; ``1 + u`` = intermediate ``S̄_u`` for
+    ``u = 0 … n−1``; ``n + 1`` = absorbing ``S_{r+1}``.
+    """
+
+    n: int
+    mu: float
+    lam: float
+
+    def __post_init__(self) -> None:
+        if int(self.n) < 1:
+            raise ValueError("need at least one process")
+        object.__setattr__(self, "n", int(self.n))
+        object.__setattr__(self, "mu", check_positive(self.mu, "mu"))
+        object.__setattr__(self, "lam", check_non_negative(self.lam, "lam"))
+
+    # ------------------------------------------------------------------ indices
+    @property
+    def entry_index(self) -> int:
+        return 0
+
+    @property
+    def absorbing_index(self) -> int:
+        return self.n + 1
+
+    @property
+    def n_states(self) -> int:
+        return self.n + 2
+
+    def index_of_u(self, u: int) -> int:
+        """State index of the intermediate state with ``u`` one-bits."""
+        if not (0 <= u <= self.n - 1):
+            raise ValueError(f"u must be in [0, {self.n - 1}]")
+        return 1 + u
+
+    # ------------------------------------------------------------------ generator
+    def generator(self) -> np.ndarray:
+        """Full ``(n+2) × (n+2)`` generator matrix."""
+        n, mu, lam = self.n, self.mu, self.lam
+        m = self.n_states
+        H = np.zeros((m, m))
+
+        # Entry state (behaves like u = n).
+        H[self.entry_index, self.absorbing_index] += n * mu          # R4'
+        if n >= 2 and lam > 0.0:
+            H[self.entry_index, self.index_of_u(n - 2)] += n * (n - 1) / 2.0 * lam
+
+        for u in range(0, n):
+            src = self.index_of_u(u)
+            # R1'
+            dest = self.absorbing_index if u + 1 == n else self.index_of_u(u + 1)
+            H[src, dest] += (n - u) * mu
+            # R2'
+            if u >= 2 and lam > 0.0:
+                H[src, self.index_of_u(u - 2)] += u * (u - 1) / 2.0 * lam
+            # R3'
+            if u >= 1 and lam > 0.0 and (n - u) >= 1:
+                H[src, self.index_of_u(u - 1)] += u * (n - u) * lam
+
+        np.fill_diagonal(H, 0.0)
+        H[np.arange(m), np.arange(m)] = -H.sum(axis=1)
+        H[self.absorbing_index, :] = 0.0
+        return H
+
+    def phase_type(self) -> PhaseType:
+        """Phase-type distribution of the inter-recovery-line interval ``X``."""
+        H = self.generator()
+        transient = list(range(self.absorbing_index))
+        T = H[np.ix_(transient, transient)]
+        alpha = np.zeros(len(transient))
+        alpha[self.entry_index] = 1.0
+        return PhaseType(alpha=alpha, T=T)
+
+    # ------------------------------------------------------------------ shortcuts
+    def mean_interval(self) -> float:
+        """``E[X]`` for the homogeneous system."""
+        return self.phase_type().mean()
+
+    def interval_std(self) -> float:
+        return self.phase_type().std()
+
+    def lumping_map(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (full-state → lumped-state map, lumped sizes) for verification.
+
+        The map covers the full chain of :class:`~repro.markov.state_space.AsyncStateSpace`
+        with the same ``n``: entry → entry, absorbing → absorbing, intermediate mask
+        with ``u`` ones → ``S̄_u``.
+        """
+        from repro.markov.state_space import AsyncStateSpace
+
+        space = AsyncStateSpace(self.n)
+        mapping = np.empty(space.n_states, dtype=int)
+        mapping[space.entry_index] = self.entry_index
+        mapping[space.absorbing_index] = self.absorbing_index
+        for index in space.intermediate_indices():
+            u = space.count_ones(space.mask_of_index(index))
+            mapping[index] = self.index_of_u(u)
+        sizes = np.bincount(mapping, minlength=self.n_states)
+        return mapping, sizes
+
+
+def simplified_mean_interval(n: int, mu: float, lam: float) -> float:
+    """Convenience wrapper: ``E[X]`` of the homogeneous ``n``-process system."""
+    return SimplifiedChain(n=n, mu=mu, lam=lam).mean_interval()

@@ -1,0 +1,267 @@
+"""The discrete chain ``Y_d`` with split states (Section 2.3, Figure 4).
+
+The paper obtains the mean number of recovery points ``E[L_i]`` that process
+``P_i`` establishes during an inter-recovery-line interval ``X`` by
+
+1. uniformising the CTMC with the normalisation factor
+   ``G = Σ_{i<j} λ_ij + Σ_k μ_k`` (every event — recovery point or interaction —
+   becomes one step of a discrete chain, whether or not it changes the state), and
+2. splitting every state with ``x_i = 1`` into ``S_u'`` (entered because ``P_i``
+   just established a recovery point) and ``S_u''`` (entered for any other reason),
+   so that the expected number of visits to the primed copies equals the expected
+   number of recovery points ``P_i`` records while the chain is still transient.
+
+Two implementations are provided and cross-checked by tests:
+
+* :class:`SplitChainYd` — the explicit split construction, faithful to Figure 4;
+* :func:`expected_rp_counts` — a direct occupancy-time computation
+  (``E[L_i] = Σ_u τ_u · μ_i`` over the transient states ``u`` from which an RP by
+  ``P_i`` does **not** complete the recovery line), which is much cheaper and also
+  yields the complementary quantity ``q_i`` — the probability that the line is
+  completed by an RP of ``P_i`` (:func:`absorption_by_process`).
+
+Counting conventions
+--------------------
+``counting="interior"`` (the split-chain/paper construction) excludes the recovery
+point that *completes* the next recovery line; ``counting="all"`` includes it, in
+which case Wald's identity gives the closed form ``E[L_i] = μ_i · E[X]``.  The two
+are related by ``E[L_i]^all − E[L_i]^interior = q_i`` with ``Σ_i q_i = 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.markov.dtmc import AbsorbingDTMC
+from repro.markov.generator import build_phase_type
+from repro.markov.state_space import AsyncStateSpace
+from repro.util.linalg import solve_linear
+
+__all__ = ["SplitTag", "SplitChainYd", "expected_rp_counts", "absorption_by_process"]
+
+
+class SplitTag(enum.Enum):
+    """Arrival class of a split state."""
+
+    PRIME = "prime"      # entered because the target process established an RP
+    OTHER = "other"      # entered for any other reason (x_i = 1 nonetheless)
+    NONE = "none"        # states with x_i = 0 are not split
+
+
+@dataclass(frozen=True)
+class _SplitState:
+    kind: str            # "entry", "mask", "absorbing"
+    mask: int = -1
+    tag: SplitTag = SplitTag.NONE
+
+    def label(self, n: int) -> str:
+        if self.kind == "entry":
+            return "S_r"
+        if self.kind == "absorbing":
+            return "S_{r+1}"
+        bits = "".join(str((self.mask >> p) & 1) for p in range(n))
+        suffix = {"prime": "'", "other": "''", "none": ""}[self.tag.value]
+        return f"({bits}){suffix}"
+
+
+class SplitChainYd:
+    """Explicit construction of the split discrete chain for one target process.
+
+    Parameters
+    ----------
+    params:
+        The system parameters (rates ``μ``, ``λ``).
+    target:
+        The process ``P_i`` whose recovery points are being counted.
+    """
+
+    def __init__(self, params: SystemParameters, target: int) -> None:
+        if not (0 <= target < params.n):
+            raise ValueError(f"target process {target} out of range")
+        self.params = params
+        self.target = int(target)
+        self.space = AsyncStateSpace(params.n)
+        self.G = params.uniformization_constant()
+        self._states: List[_SplitState] = []
+        self._index: Dict[Tuple[str, int, SplitTag], int] = {}
+        self._build_states()
+        self._P = self._build_matrix()
+        self._dtmc = AbsorbingDTMC(P=self._P, absorbing=(self.absorbing_index,))
+
+    # ------------------------------------------------------------------ states
+    def _add_state(self, state: _SplitState) -> int:
+        idx = len(self._states)
+        self._states.append(state)
+        self._index[(state.kind, state.mask, state.tag)] = idx
+        return idx
+
+    def _build_states(self) -> None:
+        self._add_state(_SplitState(kind="entry"))
+        for index in self.space.intermediate_indices():
+            mask = self.space.mask_of_index(index)
+            if self.space.bit(mask, self.target):
+                self._add_state(_SplitState(kind="mask", mask=mask, tag=SplitTag.PRIME))
+                self._add_state(_SplitState(kind="mask", mask=mask, tag=SplitTag.OTHER))
+            else:
+                self._add_state(_SplitState(kind="mask", mask=mask, tag=SplitTag.NONE))
+        self._add_state(_SplitState(kind="absorbing"))
+
+    @property
+    def states(self) -> List[_SplitState]:
+        return list(self._states)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def entry_index(self) -> int:
+        return 0
+
+    @property
+    def absorbing_index(self) -> int:
+        return len(self._states) - 1
+
+    @property
+    def dtmc(self) -> AbsorbingDTMC:
+        return self._dtmc
+
+    def state_index(self, mask: int, tag: SplitTag) -> int:
+        return self._index[("mask", mask, tag)]
+
+    # ------------------------------------------------------------------ matrix
+    def _destination(self, dest_mask: int, *, rp_by: int | None) -> int:
+        """Index of the state reached when the new bit pattern is *dest_mask*.
+
+        ``rp_by`` is the process that just established a recovery point, or None
+        when the event was an interaction.
+        """
+        if dest_mask == self.space.full_mask:
+            return self.absorbing_index
+        if self.space.bit(dest_mask, self.target):
+            tag = SplitTag.PRIME if rp_by == self.target else SplitTag.OTHER
+        else:
+            tag = SplitTag.NONE
+        return self.state_index(dest_mask, tag)
+
+    def _events_from(self, mask: int, *, entry: bool) -> List[Tuple[float, int]]:
+        """All uniformised events from a state with bit pattern *mask*.
+
+        Returns ``(rate, destination index)`` pairs; rates sum to ``G`` exactly, so
+        no residual self-loop probability is needed.
+        """
+        params, space = self.params, self.space
+        events: List[Tuple[float, int]] = []
+        # Recovery points by each process.
+        for k in range(params.n):
+            rate = float(params.mu[k])
+            if rate <= 0.0:
+                continue
+            if entry:
+                # Rule R4: any recovery point from S_r completes the next line.
+                events.append((rate, self.absorbing_index))
+                continue
+            dest_mask = space.set_bit(mask, k)
+            events.append((rate, self._destination(dest_mask, rp_by=k)))
+        # Interactions for each pair.
+        for a in range(params.n):
+            for b in range(a + 1, params.n):
+                rate = params.pair_rate(a, b)
+                if rate <= 0.0:
+                    continue
+                dest_mask = space.clear_bit(space.clear_bit(mask, a), b)
+                events.append((rate, self._destination(dest_mask, rp_by=None)))
+        return events
+
+    def _build_matrix(self) -> np.ndarray:
+        m = self.n_states
+        P = np.zeros((m, m))
+        for idx, state in enumerate(self._states):
+            if state.kind == "absorbing":
+                P[idx, idx] = 1.0
+                continue
+            mask = self.space.full_mask if state.kind == "entry" else state.mask
+            for rate, dest in self._events_from(mask, entry=(state.kind == "entry")):
+                P[idx, dest] += rate / self.G
+            residual = 1.0 - P[idx].sum()
+            if residual > 1e-12:
+                # Only possible if some rates are zero-valued pairs; keep the chain
+                # stochastic by an explicit self-loop on the same arrival class.
+                P[idx, idx] += residual
+        return P
+
+    # ------------------------------------------------------------------ results
+    def expected_rp_count(self) -> float:
+        """``E[L_i]`` for the target process (interior counting convention)."""
+        visits = self._dtmc.expected_visits_by_state(self.entry_index)
+        total = 0.0
+        for (kind, _mask, tag), idx in self._index.items():
+            if kind == "mask" and tag is SplitTag.PRIME:
+                total += visits.get(idx, 0.0)
+        return total
+
+    def expected_visits(self) -> Dict[str, float]:
+        """Readable mapping of state label → expected visits (for inspection)."""
+        visits = self._dtmc.expected_visits_by_state(self.entry_index)
+        return {self._states[idx].label(self.params.n): count
+                for idx, count in visits.items()}
+
+
+# --------------------------------------------------------------------- shortcuts
+
+def _occupancy_times(params: SystemParameters) -> Tuple[np.ndarray, AsyncStateSpace]:
+    """Expected total time spent in each transient CTMC state before absorption."""
+    ph = build_phase_type(params)
+    # τ = α (−T)^{-1}  (row vector of expected sojourn times per transient state)
+    tau = solve_linear(-ph.T.T, ph.alpha)
+    return tau, AsyncStateSpace(params.n)
+
+
+def _rp_completes_line(space: AsyncStateSpace, state_index: int, process: int) -> bool:
+    """Whether an RP by *process* from transient state *state_index* forms the line."""
+    if space.is_entry(state_index):
+        return True
+    mask = space.mask_of_index(state_index)
+    return space.set_bit(mask, process) == space.full_mask and \
+        not space.bit(mask, process)
+
+
+def expected_rp_counts(params: SystemParameters,
+                       counting: str = "interior") -> np.ndarray:
+    """Mean recovery-point counts ``E[L_i]`` for every process.
+
+    Parameters
+    ----------
+    counting:
+        ``"interior"`` — exclude the recovery point completing the next line (the
+        paper's split-chain convention); ``"all"`` — include it
+        (``E[L_i] = μ_i · E[X]`` by Wald's identity).
+    """
+    if counting not in ("interior", "all"):
+        raise ValueError("counting must be 'interior' or 'all'")
+    tau, space = _occupancy_times(params)
+    mean_x = float(tau.sum())
+    counts = params.mu * mean_x
+    if counting == "all":
+        return counts
+    return counts - absorption_by_process(params)
+
+
+def absorption_by_process(params: SystemParameters) -> np.ndarray:
+    """``q_i`` — probability that the next recovery line is completed by ``P_i``.
+
+    Every absorption of the chain is caused by some process's recovery point, so
+    the returned vector sums to 1.
+    """
+    tau, space = _occupancy_times(params)
+    q = np.zeros(params.n)
+    for pos, state_index in enumerate(space.transient_indices()):
+        for i in range(params.n):
+            if _rp_completes_line(space, state_index, i):
+                q[i] += tau[pos] * params.mu[i]
+    return q

@@ -1,0 +1,152 @@
+"""State space of the asynchronous recovery-block Markov chain.
+
+Following Section 2.3 of the paper, the chain over ``n`` processes has ``2^n + 1``
+states:
+
+* state ``0`` — the entry state ``S_r`` (the r-th recovery line has just formed);
+* states ``1 … 2^n − 1`` — the intermediate states ``(x_1,…,x_n)`` with at least one
+  ``x_i = 0``; we use the paper's numbering ``index = Σ x_i 2^{i-1} + 1`` which maps
+  the bit mask ``m`` to index ``m + 1``;
+* state ``2^n`` — the absorbing state ``S_{r+1}`` (the next recovery line formed).
+  The all-ones bit pattern maps to this index, reflecting that reaching
+  "every process's last action was a recovery point" *is* the formation of the next
+  recovery line.
+
+The entry state behaves dynamically like the all-ones pattern but is kept separate
+so that the direct ``S_r → S_{r+1}`` transition of rule R4 (and the spike of
+``f_X(t)`` near zero it produces, visible in Figure 6) is represented faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["AsyncStateSpace"]
+
+
+@dataclass(frozen=True)
+class AsyncStateSpace:
+    """Index arithmetic for the asynchronous-RB chain over ``n`` processes."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one process")
+        if self.n > 20:
+            raise ValueError("state space of 2^n + 1 states is impractical for n > 20")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def full_mask(self) -> int:
+        """Bit mask with every process's bit set (the all-ones pattern)."""
+        return (1 << self.n) - 1
+
+    @property
+    def n_states(self) -> int:
+        """Total number of states: entry + intermediates + absorbing = 2^n + 1."""
+        return (1 << self.n) + 1
+
+    @property
+    def n_transient(self) -> int:
+        """Number of transient states (everything except the absorbing state)."""
+        return 1 << self.n
+
+    @property
+    def entry_index(self) -> int:
+        """Index of the entry state ``S_r``."""
+        return 0
+
+    @property
+    def absorbing_index(self) -> int:
+        """Index of the absorbing state ``S_{r+1}``."""
+        return 1 << self.n
+
+    # ------------------------------------------------------------------ encoding
+    def index_of_mask(self, mask: int) -> int:
+        """Map a bit mask to its state index (paper numbering ``mask + 1``).
+
+        The all-ones mask maps to the absorbing state.
+        """
+        self._check_mask(mask)
+        return mask + 1
+
+    def mask_of_index(self, index: int) -> int:
+        """Inverse of :meth:`index_of_mask` for intermediate/absorbing states.
+
+        The entry state also corresponds to the all-ones pattern dynamically; this
+        method returns ``full_mask`` for both the entry and the absorbing index.
+        """
+        if index == self.entry_index:
+            return self.full_mask
+        if index == self.absorbing_index:
+            return self.full_mask
+        if not (1 <= index < self.absorbing_index):
+            raise ValueError(f"state index {index} out of range")
+        return index - 1
+
+    def _check_mask(self, mask: int) -> None:
+        if not (0 <= mask <= self.full_mask):
+            raise ValueError(f"mask {mask} out of range for n={self.n}")
+
+    def is_absorbing(self, index: int) -> bool:
+        return index == self.absorbing_index
+
+    def is_entry(self, index: int) -> bool:
+        return index == self.entry_index
+
+    def is_intermediate(self, index: int) -> bool:
+        return 0 < index < self.absorbing_index
+
+    # ------------------------------------------------------------------ bit helpers
+    def bit(self, mask: int, process: int) -> int:
+        """The ``x_i`` value of *process* in *mask*."""
+        self._check_process(process)
+        return (mask >> process) & 1
+
+    def set_bit(self, mask: int, process: int) -> int:
+        self._check_process(process)
+        return mask | (1 << process)
+
+    def clear_bit(self, mask: int, process: int) -> int:
+        self._check_process(process)
+        return mask & ~(1 << process)
+
+    def ones(self, mask: int) -> List[int]:
+        """Processes whose last action was a recovery point (``x_i = 1``)."""
+        return [p for p in range(self.n) if (mask >> p) & 1]
+
+    def zeros(self, mask: int) -> List[int]:
+        """Processes whose last action was an interaction (``x_i = 0``)."""
+        return [p for p in range(self.n) if not (mask >> p) & 1]
+
+    def count_ones(self, mask: int) -> int:
+        return bin(mask & self.full_mask).count("1")
+
+    def _check_process(self, process: int) -> None:
+        if not (0 <= process < self.n):
+            raise ValueError(f"process {process} out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------ iteration
+    def intermediate_indices(self) -> Iterator[int]:
+        """Indices of all intermediate states, ascending."""
+        return iter(range(1, self.absorbing_index))
+
+    def transient_indices(self) -> Iterator[int]:
+        """Indices of all transient states (entry + intermediates)."""
+        return iter(range(self.absorbing_index))
+
+    def tuple_of_index(self, index: int) -> Tuple[int, ...]:
+        """The ``(x_1,…,x_n)`` tuple of a state (entry/absorbing give all ones)."""
+        mask = self.mask_of_index(index)
+        return tuple((mask >> p) & 1 for p in range(self.n))
+
+    def label(self, index: int) -> str:
+        """Readable label: ``S_r``, ``S_{r+1}``, or the bit tuple."""
+        if self.is_entry(index):
+            return "S_r"
+        if self.is_absorbing(index):
+            return "S_{r+1}"
+        bits = "".join(str(b) for b in self.tuple_of_index(index))
+        return f"({bits})"

@@ -1,0 +1,37 @@
+"""Process behaviour models.
+
+The recovery block is "a sequential program structure that consists of an
+acceptance test, a recovery point and alternative algorithms" (Section 1).  This
+package models that structure:
+
+* :mod:`~repro.processes.program` — recovery-block specifications (primary +
+  alternates) and their simulated execution;
+* :mod:`~repro.processes.acceptance` — acceptance-test models (perfect, as assumed
+  in Section 2.1, and imperfect variants with bounded coverage);
+* :mod:`~repro.processes.communication` — interaction-pattern builders (all-pairs,
+  ring, producer/consumer, star) that produce the pairwise rate matrices consumed
+  by :class:`~repro.core.parameters.SystemParameters`.
+"""
+
+from repro.processes.program import Alternate, RecoveryBlockSpec, RecoveryBlockExecutor, BlockOutcome
+from repro.processes.acceptance import AcceptanceTestModel, PerfectAcceptanceTest, CoverageAcceptanceTest
+from repro.processes.communication import (
+    all_pairs_rates,
+    ring_rates,
+    producer_consumer_rates,
+    star_rates,
+)
+
+__all__ = [
+    "Alternate",
+    "RecoveryBlockSpec",
+    "RecoveryBlockExecutor",
+    "BlockOutcome",
+    "AcceptanceTestModel",
+    "PerfectAcceptanceTest",
+    "CoverageAcceptanceTest",
+    "all_pairs_rates",
+    "ring_rates",
+    "producer_consumer_rates",
+    "star_rates",
+]

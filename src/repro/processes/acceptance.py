@@ -1,0 +1,84 @@
+"""Acceptance-test models.
+
+Assumption 2 of Section 2.1: acceptance tests detect *all* errors local to the
+process ("perfect acceptance test") but "may or may not detect external errors or
+erroneous messages".  The models here encode exactly that split: a detection
+probability for locally originated errors and another for contamination received
+from other processes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+__all__ = ["AcceptanceTestModel", "PerfectAcceptanceTest", "CoverageAcceptanceTest"]
+
+
+class AcceptanceTestModel(abc.ABC):
+    """Decides whether an acceptance test flags the current process state."""
+
+    @abc.abstractmethod
+    def detects(self, *, has_local_error: bool, has_external_error: bool,
+                rng: np.random.Generator) -> bool:
+        """Return True when the test rejects the state (an error is flagged)."""
+
+    def false_alarm(self, rng: np.random.Generator) -> bool:
+        """Whether the test rejects a perfectly good state (default: never)."""
+        return False
+
+
+@dataclass(frozen=True)
+class PerfectAcceptanceTest(AcceptanceTestModel):
+    """The paper's baseline: every local error is caught, external ones too.
+
+    ``external_detection`` tunes the "may or may not" clause for errors that were
+    propagated from another process; 1.0 (the default) is the most favourable case.
+    """
+
+    external_detection: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.external_detection, "external_detection")
+
+    def detects(self, *, has_local_error: bool, has_external_error: bool,
+                rng: np.random.Generator) -> bool:
+        if has_local_error:
+            return True
+        if has_external_error:
+            return bool(rng.random() < self.external_detection)
+        return False
+
+
+@dataclass(frozen=True)
+class CoverageAcceptanceTest(AcceptanceTestModel):
+    """Imperfect acceptance test with independent detection coverages.
+
+    Used by the sensitivity experiments: lowering ``local_coverage`` below 1 lets
+    contaminated recovery points be saved, which lengthens rollbacks — the effect
+    the paper's "perfect acceptance test" assumption deliberately excludes.
+    """
+
+    local_coverage: float = 1.0
+    external_coverage: float = 0.5
+    false_alarm_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.local_coverage, "local_coverage")
+        check_probability(self.external_coverage, "external_coverage")
+        check_probability(self.false_alarm_probability, "false_alarm_probability")
+
+    def detects(self, *, has_local_error: bool, has_external_error: bool,
+                rng: np.random.Generator) -> bool:
+        if has_local_error and rng.random() < self.local_coverage:
+            return True
+        if has_external_error and rng.random() < self.external_coverage:
+            return True
+        return False
+
+    def false_alarm(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.false_alarm_probability)

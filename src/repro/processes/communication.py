@@ -1,0 +1,67 @@
+"""Interaction-pattern builders.
+
+The analytic model only needs the pairwise rate matrix ``λ_ij``; real workloads
+rarely interact all-to-all, so these helpers build the rate matrices of common
+topologies.  Every function returns an ``n × n`` symmetric matrix with zero
+diagonal, directly usable as ``SystemParameters.lam``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["all_pairs_rates", "ring_rates", "producer_consumer_rates", "star_rates"]
+
+
+def _empty(n: int) -> np.ndarray:
+    if n < 1:
+        raise ValueError("need at least one process")
+    return np.zeros((int(n), int(n)))
+
+
+def all_pairs_rates(n: int, rate: float) -> np.ndarray:
+    """Every pair of processes interacts at the same rate (the paper's default)."""
+    check_non_negative(rate, "rate")
+    matrix = np.full((int(n), int(n)), float(rate))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def ring_rates(n: int, rate: float) -> np.ndarray:
+    """Each process interacts only with its two ring neighbours."""
+    check_non_negative(rate, "rate")
+    matrix = _empty(n)
+    if n < 2:
+        return matrix
+    for i in range(n):
+        j = (i + 1) % n
+        if i != j:
+            matrix[i, j] = matrix[j, i] = float(rate)
+    return matrix
+
+
+def producer_consumer_rates(n: int, rate: float) -> np.ndarray:
+    """A pipeline: process ``i`` exchanges data with ``i+1`` only (open chain).
+
+    Russell's producer/consumer systems (reference [13] of the paper) have this
+    topology; rollback propagation along a chain is the classic domino example.
+    """
+    check_non_negative(rate, "rate")
+    matrix = _empty(n)
+    for i in range(int(n) - 1):
+        matrix[i, i + 1] = matrix[i + 1, i] = float(rate)
+    return matrix
+
+
+def star_rates(n: int, rate: float, hub: int = 0) -> np.ndarray:
+    """A coordinator (``hub``) interacts with every worker; workers never directly."""
+    check_non_negative(rate, "rate")
+    matrix = _empty(n)
+    if not (0 <= hub < n):
+        raise ValueError("hub out of range")
+    for i in range(int(n)):
+        if i != hub:
+            matrix[hub, i] = matrix[i, hub] = float(rate)
+    return matrix

@@ -1,0 +1,213 @@
+"""Recovery-block program structure: primary, alternates, acceptance test.
+
+Horning/Randell's recovery block is::
+
+    ensure <acceptance test>
+    by     <primary alternate>
+    else by <alternate 2>
+    ...
+    else error
+
+A :class:`RecoveryBlockSpec` captures this structure symbolically (each alternate is
+characterised by its execution-time factor and its probability of producing an
+acceptable result); :class:`RecoveryBlockExecutor` simulates one execution of the
+block — including local retries with the alternates — and reports the outcome and
+the total time consumed.  The concurrent-process runtimes use the executor at every
+recovery-block boundary; the *inter-process* consequences of a failed block
+(rollback propagation) are handled by :mod:`repro.recovery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["Alternate", "RecoveryBlockSpec", "BlockOutcome", "RecoveryBlockExecutor"]
+
+
+@dataclass(frozen=True)
+class Alternate:
+    """One alternate algorithm of a recovery block.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    duration_factor:
+        Execution time of this alternate relative to the primary's nominal
+        duration (the primary usually has factor 1.0; degraded alternates are often
+        faster but less capable).
+    success_probability:
+        Probability that this alternate's result passes the acceptance test when
+        the process state it starts from is not contaminated.
+    """
+
+    name: str
+    duration_factor: float = 1.0
+    success_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.duration_factor, "duration_factor")
+        check_probability(self.success_probability, "success_probability")
+
+
+@dataclass(frozen=True)
+class RecoveryBlockSpec:
+    """A recovery block: an ordered list of alternates plus acceptance-test data.
+
+    The default spec has a single always-successful primary, which matches the
+    Section 2.1 assumptions (the analytic models do not charge for alternate
+    retries); richer specs are used by the runtime experiments and examples.
+    """
+
+    alternates: Tuple[Alternate, ...] = (Alternate(name="primary"),)
+    local_retry_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.alternates:
+            raise ValueError("a recovery block needs at least one alternate")
+        if self.local_retry_cost < 0.0:
+            raise ValueError("local_retry_cost must be non-negative")
+        object.__setattr__(self, "alternates", tuple(self.alternates))
+
+    @classmethod
+    def with_alternates(cls, n_alternates: int, *, primary_success: float = 0.98,
+                        alternate_success: float = 0.9,
+                        alternate_slowdown: float = 0.7,
+                        local_retry_cost: float = 0.0) -> "RecoveryBlockSpec":
+        """Convenience builder for a primary plus ``n_alternates - 1`` degraded ones."""
+        if n_alternates < 1:
+            raise ValueError("need at least one alternate")
+        alternates: List[Alternate] = [Alternate(name="primary",
+                                                 success_probability=primary_success)]
+        for k in range(1, n_alternates):
+            alternates.append(Alternate(name=f"alternate-{k}",
+                                        duration_factor=alternate_slowdown,
+                                        success_probability=alternate_success))
+        return cls(alternates=tuple(alternates), local_retry_cost=local_retry_cost)
+
+    @property
+    def depth(self) -> int:
+        return len(self.alternates)
+
+
+@dataclass(frozen=True)
+class BlockOutcome:
+    """Result of executing one recovery block."""
+
+    passed: bool
+    alternate_used: int            # index into the spec's alternates, -1 if exhausted
+    elapsed: float                 # total simulated time consumed by the block
+    attempts: int                  # number of alternates tried
+    detected_contamination: bool   # acceptance test flagged an (external) error
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every alternate failed — the block raises an error upwards."""
+        return not self.passed
+
+
+class RecoveryBlockExecutor:
+    """Simulates executions of a :class:`RecoveryBlockSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The block structure.
+    rng:
+        Random generator used for alternate success draws.
+    """
+
+    def __init__(self, spec: RecoveryBlockSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._executions = 0
+        self._alternate_uses = [0] * spec.depth
+        self._failures = 0
+
+    # ------------------------------------------------------------------ execution
+    def execute(self, nominal_duration: float, *,
+                state_contaminated: bool = False,
+                detect_contamination_probability: float = 1.0) -> BlockOutcome:
+        """Execute the block once.
+
+        Parameters
+        ----------
+        nominal_duration:
+            Nominal (primary) execution time of the block body.
+        state_contaminated:
+            Whether the process state entering the block carries an undetected
+            error (local fault or contamination received through a message).  A
+            contaminated state cannot produce an acceptable result: the best the
+            block can do is *detect* the problem at its acceptance test.
+        detect_contamination_probability:
+            Probability that the acceptance test flags the contaminated result
+            (assumption 2 of Section 2.1 makes this 1.0 for local errors; external
+            errors "may or may not" be detected).
+        """
+        check_positive(nominal_duration, "nominal_duration")
+        check_probability(detect_contamination_probability,
+                          "detect_contamination_probability")
+        self._executions += 1
+        elapsed = 0.0
+        attempts = 0
+
+        if state_contaminated:
+            # The primary runs, the acceptance test then either flags the bad state
+            # or erroneously accepts it; alternates cannot help because the *input*
+            # state is bad, not the algorithm.
+            elapsed += nominal_duration * self.spec.alternates[0].duration_factor
+            attempts = 1
+            detected = bool(self.rng.random() < detect_contamination_probability)
+            if detected:
+                self._failures += 1
+            return BlockOutcome(passed=not detected, alternate_used=0,
+                                elapsed=elapsed, attempts=attempts,
+                                detected_contamination=detected)
+
+        for idx, alternate in enumerate(self.spec.alternates):
+            attempts += 1
+            elapsed += nominal_duration * alternate.duration_factor
+            if idx > 0:
+                elapsed += self.spec.local_retry_cost
+            if self.rng.random() < alternate.success_probability:
+                self._alternate_uses[idx] += 1
+                return BlockOutcome(passed=True, alternate_used=idx, elapsed=elapsed,
+                                    attempts=attempts, detected_contamination=False)
+        self._failures += 1
+        return BlockOutcome(passed=False, alternate_used=-1, elapsed=elapsed,
+                            attempts=attempts, detected_contamination=False)
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def executions(self) -> int:
+        return self._executions
+
+    @property
+    def failures(self) -> int:
+        """Executions in which every alternate failed or contamination was flagged."""
+        return self._failures
+
+    def alternate_usage(self) -> List[int]:
+        """How many successful executions each alternate provided."""
+        return list(self._alternate_uses)
+
+    def expected_elapsed(self, nominal_duration: float) -> float:
+        """Analytic mean time of a clean execution of the block.
+
+        Derived from the geometric structure of alternate retries; used by tests to
+        cross-check the sampled behaviour.
+        """
+        expected = 0.0
+        prob_reach = 1.0
+        for idx, alternate in enumerate(self.spec.alternates):
+            step = nominal_duration * alternate.duration_factor
+            if idx > 0:
+                step += self.spec.local_retry_cost
+            expected += prob_reach * step
+            prob_reach *= (1.0 - alternate.success_probability)
+        return expected

@@ -1,0 +1,102 @@
+"""Asynchronous recovery blocks (Section 2) as a running system.
+
+Every process establishes recovery points on its own schedule: at each
+recovery-block boundary the acceptance test runs (with alternate retries, per the
+block spec) and, if it passes, the state is saved as a regular recovery point.
+When an acceptance test fails, rollback propagation is computed over the recorded
+history — exactly the mechanism behind the domino effect — and every affected
+process is pushed back to the most recent *consistent* set of checkpoints.
+
+The paper's warning materialises here: nothing bounds how far the propagation can
+reach, so the rollback distance observed by this runtime is the empirical
+counterpart of the interval ``X`` analysed in Section 2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.recovery_line import ExactRecoveryLineDetector
+from repro.processes.program import RecoveryBlockExecutor
+from repro.recovery.base import RecoverySchemeRuntime
+from repro.recovery.coordinator import RollbackCoordinator
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["AsynchronousRuntime"]
+
+
+class AsynchronousRuntime(RecoverySchemeRuntime):
+    """The asynchronous recovery-block scheme.
+
+    Parameters
+    ----------
+    workload:
+        The workload specification.
+    seed:
+        Random seed for reproducibility.
+    purge_behind_recovery_lines:
+        When True the runtime periodically detects committed recovery lines (using
+        the exact detector) and purges saved states older than the line — an
+        optimisation real systems use; disabled by default to expose the storage
+        growth the paper warns about ("a great number of largely useless recovery
+        points occupying large amounts of memory space").
+    """
+
+    scheme_name = "asynchronous"
+
+    def __init__(self, workload: WorkloadSpec, seed: Optional[int] = None, *,
+                 purge_behind_recovery_lines: bool = False) -> None:
+        super().__init__(workload, seed)
+        self.coordinator = RollbackCoordinator(self)
+        self.purge_behind_recovery_lines = bool(purge_behind_recovery_lines)
+        self._executors = [RecoveryBlockExecutor(workload.block_spec,
+                                                 self._rng(f"alternates.{pid}"))
+                           for pid in range(self.n)]
+        self._line_detector = ExactRecoveryLineDetector()
+
+    # ------------------------------------------------------------------ hooks
+    def on_block_boundary(self, pid: int) -> None:
+        proc = self.proc(pid)
+        # Acceptance test (with the external-detection nuance of Section 2.1).
+        detected = self.run_acceptance_test(pid)
+        if detected:
+            self.on_error_detected(pid)
+            return
+        # The block may still need alternate retries for algorithmic (not
+        # state-contamination) failures; the extra time is charged as a pause.
+        nominal = 1.0 / float(self.params.mu[pid])
+        outcome = self._executors[pid].execute(nominal, state_contaminated=False)
+        extra = max(0.0, outcome.elapsed - nominal)
+        if not outcome.passed:
+            # All alternates failed: treat as a detected local error.
+            self.monitor.counter("alternates_exhausted").increment()
+            self.on_error_detected(pid)
+            return
+        if extra > 0.0:
+            self.pause_for(pid, extra, reason="restart")
+        self.take_checkpoint(pid)
+        if self.purge_behind_recovery_lines:
+            self._maybe_purge()
+
+    def on_error_detected(self, pid: int) -> None:
+        result = self.coordinator.plan_asynchronous(pid, self.now)
+        self.coordinator.apply(pid, result.restart_points,
+                               result.invalidated_interactions)
+
+    # ------------------------------------------------------------------ extras
+    def _maybe_purge(self) -> None:
+        lines = self._line_detector.find_lines(self.tracer.history)
+        if len(lines) < 2:
+            return
+        latest = lines[-1]
+        for pid in range(self.n):
+            self.store.purge_before(pid, latest.point_for(pid).time)
+        self._storage_level.update(self.now, self.store.count())
+
+    def extra_metrics(self) -> Dict[str, float]:
+        report = self.monitor.report(self.now)
+        return {
+            "avg_saved_states": report.get("avg.saved_states", 0.0),
+            "acceptance_tests": report.get("count.acceptance_tests", 0.0),
+            "errors_injected": report.get("count.errors_injected", 0.0),
+        }

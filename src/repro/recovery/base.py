@@ -1,0 +1,384 @@
+"""Common machinery of the recovery-scheme runtimes.
+
+:class:`ProcessRuntime` tracks one simulated process: how much useful work it has
+completed, whether it is currently running or paused (checkpointing, restarting,
+waiting for a synchronisation commit), and whether its state is contaminated by an
+undetected error.  :class:`RecoverySchemeRuntime` owns the simulation engine, the
+random streams, the tracer/history, the checkpoint store, and the three recurring
+event families every scheme needs — recovery-block boundaries, pairwise
+interactions and fault arrivals — and leaves the scheme-specific reactions to
+subclasses via three hooks:
+
+* :meth:`RecoverySchemeRuntime.on_block_boundary`
+* :meth:`RecoverySchemeRuntime.on_interaction`
+* :meth:`RecoverySchemeRuntime.on_error_detected`
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.types import CheckpointKind, Interaction, ProcessId, RecoveryPoint
+from repro.recovery.checkpoint import CheckpointStore, SavedState
+from repro.recovery.report import ProcessReport, RunReport
+from repro.sim.engine import SimulationEngine
+from repro.sim.monitor import Monitor
+from repro.sim.random_streams import RandomStreams
+from repro.sim.tracer import Tracer
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["ProcessRuntime", "RecoverySchemeRuntime"]
+
+
+class ProcessRuntime:
+    """Mutable state of one simulated process."""
+
+    __slots__ = ("pid", "work_goal", "work_done", "running", "run_start", "done",
+                 "finish_time", "contaminated", "error_origin", "error_since",
+                 "checkpoint_overhead", "restart_overhead", "waiting_time",
+                 "lost_work", "rollbacks", "checkpoints", "pseudo_checkpoints",
+                 "ready_flag")
+
+    def __init__(self, pid: int, work_goal: float) -> None:
+        self.pid = pid
+        self.work_goal = float(work_goal)
+        self.work_done = 0.0
+        self.running = False
+        self.run_start = 0.0
+        self.done = False
+        self.finish_time: Optional[float] = None
+        self.contaminated = False
+        self.error_origin: Optional[int] = None
+        self.error_since: Optional[float] = None
+        self.checkpoint_overhead = 0.0
+        self.restart_overhead = 0.0
+        self.waiting_time = 0.0
+        self.lost_work = 0.0
+        self.rollbacks = 0
+        self.checkpoints = 0
+        self.pseudo_checkpoints = 0
+        self.ready_flag = False  # used by the synchronized scheme
+
+    # ------------------------------------------------------------------ work
+    def advance(self, now: float) -> None:
+        """Accrue useful work up to *now* (no-op unless running)."""
+        if self.running and not self.done:
+            self.work_done += max(0.0, now - self.run_start)
+            self.run_start = now
+
+    def start_running(self, now: float) -> None:
+        if not self.done:
+            self.running = True
+            self.run_start = now
+
+    def stop_running(self, now: float) -> None:
+        self.advance(now)
+        self.running = False
+
+    def check_completion(self, now: float) -> bool:
+        """Clamp work at the goal; mark the process done when it is reached."""
+        self.advance(now)
+        if not self.done and self.work_done >= self.work_goal - 1e-12:
+            excess = self.work_done - self.work_goal
+            self.work_done = self.work_goal
+            self.done = True
+            self.running = False
+            self.finish_time = now - excess
+            return True
+        return False
+
+    # ------------------------------------------------------------------ errors
+    def contaminate(self, now: float, origin: int) -> None:
+        if not self.contaminated:
+            self.contaminated = True
+            self.error_origin = origin
+            self.error_since = now
+
+    def clear_error(self) -> None:
+        self.contaminated = False
+        self.error_origin = None
+        self.error_since = None
+
+    @property
+    def has_local_error(self) -> bool:
+        return self.contaminated and self.error_origin == self.pid
+
+    @property
+    def has_external_error(self) -> bool:
+        return self.contaminated and self.error_origin != self.pid
+
+    def report(self) -> ProcessReport:
+        return ProcessReport(process=self.pid, finish_time=self.finish_time,
+                             useful_work=self.work_done, lost_work=self.lost_work,
+                             checkpoint_overhead=self.checkpoint_overhead,
+                             restart_overhead=self.restart_overhead,
+                             waiting_time=self.waiting_time,
+                             checkpoints_taken=self.checkpoints,
+                             pseudo_checkpoints_taken=self.pseudo_checkpoints,
+                             rollbacks=self.rollbacks)
+
+
+class RecoverySchemeRuntime(abc.ABC):
+    """Base class of the asynchronous, synchronized and PRP runtimes."""
+
+    #: Name reported in :class:`RunReport.scheme`; subclasses override.
+    scheme_name = "abstract"
+
+    def __init__(self, workload: WorkloadSpec, seed: Optional[int] = None) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.params = workload.params
+        self.n = workload.params.n
+        self.engine = SimulationEngine()
+        self.streams = RandomStreams(seed)
+        self.tracer = Tracer(self.n)
+        self.monitor = Monitor()
+        self.store = CheckpointStore(self.n)
+        self.procs: List[ProcessRuntime] = [
+            ProcessRuntime(pid, workload.work_per_process) for pid in range(self.n)]
+        self.excluded_interactions: Set[Interaction] = set()
+        self.rollback_distances: List[float] = []
+        self.domino_count = 0
+        self.recovery_lines_committed = 0
+        self._started = False
+        self._storage_level = self.monitor.level("saved_states", initial=self.n)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def proc(self, pid: int) -> ProcessRuntime:
+        return self.procs[pid]
+
+    def all_done(self) -> bool:
+        return all(p.done for p in self.procs)
+
+    def _rng(self, name: str) -> np.random.Generator:
+        return self.streams.stream(name)
+
+    # ------------------------------------------------------------------ schedulers
+    def _schedule_block_boundary(self, pid: int) -> None:
+        rate = float(self.params.mu[pid])
+        delay = self.streams.exponential(f"block.{pid}", rate)
+        self.engine.schedule(delay, self._fire_block_boundary, pid)
+
+    def _fire_block_boundary(self, pid: int) -> None:
+        if self.all_done() or self.now >= self.workload.max_sim_time:
+            return
+        proc = self.proc(pid)
+        if proc.done:
+            # Keep the timer chain alive: a finished process can be dragged back
+            # into the computation by a later rollback and must then resume
+            # reaching recovery-block boundaries.
+            self._schedule_block_boundary(pid)
+            return
+        if proc.running:
+            proc.advance(self.now)
+            if proc.check_completion(self.now):
+                self.on_process_completed(pid)
+                self._schedule_block_boundary(pid)
+                return
+            self.on_block_boundary(pid)
+        # Whether or not the boundary was actionable, keep the stream alive
+        # (exponential inter-boundary times are memoryless).
+        self._schedule_block_boundary(pid)
+
+    def _schedule_interaction(self, i: int, j: int) -> None:
+        rate = self.params.pair_rate(i, j)
+        if rate <= 0.0:
+            return
+        delay = self.streams.exponential(f"interaction.{i}.{j}", rate)
+        self.engine.schedule(delay, self._fire_interaction, i, j)
+
+    def _fire_interaction(self, i: int, j: int) -> None:
+        if self.all_done() or self.now >= self.workload.max_sim_time:
+            return
+        pi, pj = self.proc(i), self.proc(j)
+        if not (pi.done or pj.done) and pi.running and pj.running:
+            # Pick the message direction at random; the analytic model treats the
+            # interaction symmetrically, the taint model cares about direction.
+            if self.streams.bernoulli(f"direction.{i}.{j}", 0.5):
+                source, target = i, j
+            else:
+                source, target = j, i
+            self.tracer.record_interaction(source, target, self.now,
+                                           receive_time=self.now
+                                           + self.workload.message_latency,
+                                           tainted=self.proc(source).contaminated)
+            self.monitor.counter("interactions").increment()
+            if self.workload.faults.propagate_via_messages and \
+                    self.proc(source).contaminated:
+                origin = self.proc(source).error_origin
+                self.proc(target).contaminate(self.now,
+                                              origin if origin is not None else source)
+            self.on_interaction(source, target)
+        self._schedule_interaction(i, j)
+
+    def _schedule_fault(self, pid: int) -> None:
+        rate = self.workload.faults.error_rate
+        if rate <= 0.0:
+            return
+        delay = self.streams.exponential(f"fault.{pid}", rate)
+        self.engine.schedule(delay, self._fire_fault, pid)
+
+    def _fire_fault(self, pid: int) -> None:
+        if self.all_done() or self.now >= self.workload.max_sim_time:
+            return
+        proc = self.proc(pid)
+        if not proc.done and proc.running:
+            proc.contaminate(self.now, pid)
+            self.tracer.record_error(pid, self.now, local=True, origin=pid)
+            self.monitor.counter("errors_injected").increment()
+        # Always reschedule (even for finished processes) so a process revived by
+        # a rollback keeps experiencing faults.
+        self._schedule_fault(pid)
+
+    # ------------------------------------------------------------------ pauses
+    def pause_for(self, pid: int, duration: float, *, reason: str) -> None:
+        """Suspend *pid* for *duration*; work does not accrue meanwhile.
+
+        ``reason`` is one of ``"checkpoint"``, ``"restart"`` or ``"waiting"`` and
+        decides which overhead bucket the time lands in.
+        """
+        proc = self.proc(pid)
+        proc.stop_running(self.now)
+        if reason == "checkpoint":
+            proc.checkpoint_overhead += duration
+        elif reason == "restart":
+            proc.restart_overhead += duration
+        elif reason == "waiting":
+            proc.waiting_time += duration
+        else:
+            raise ValueError(f"unknown pause reason {reason!r}")
+        if duration <= 0.0:
+            proc.start_running(self.now)
+            return
+        self.engine.schedule(duration, self._resume, pid)
+
+    def _resume(self, pid: int) -> None:
+        proc = self.proc(pid)
+        if not proc.done and not proc.running:
+            proc.start_running(self.now)
+
+    # ------------------------------------------------------------------ checkpoints
+    def take_checkpoint(self, pid: int, *, kind: CheckpointKind = CheckpointKind.REGULAR,
+                        origin: Optional[Tuple[int, int]] = None,
+                        charge_time: bool = True) -> Tuple[RecoveryPoint, SavedState]:
+        """Record a checkpoint for *pid* at the current time.
+
+        The process is paused for ``checkpoint_cost`` when *charge_time* is set;
+        the saved state captures the current work level and contamination flag.
+        """
+        proc = self.proc(pid)
+        proc.advance(self.now)
+        if kind is CheckpointKind.REGULAR:
+            rp = self.tracer.record_recovery_point(pid, self.now)
+            proc.checkpoints += 1
+        elif kind is CheckpointKind.PSEUDO:
+            if origin is None:
+                raise ValueError("pseudo checkpoints need an origin")
+            rp = self.tracer.record_pseudo_recovery_point(pid, self.now, origin)
+            proc.pseudo_checkpoints += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError("cannot take an INITIAL checkpoint explicitly")
+        state = self.store.save(rp, work_done=proc.work_done,
+                                contaminated=proc.contaminated,
+                                error_origin=proc.error_origin)
+        if charge_time and self.workload.checkpoint_cost > 0.0:
+            self.pause_for(pid, self.workload.checkpoint_cost, reason="checkpoint")
+        self._storage_level.update(self.now, self.store.count())
+        return rp, state
+
+    # ------------------------------------------------------------------ hooks
+    @abc.abstractmethod
+    def on_block_boundary(self, pid: int) -> None:
+        """A recovery-block boundary was reached by a running process."""
+
+    def on_interaction(self, source: int, target: int) -> None:
+        """A message was exchanged (default: nothing extra)."""
+
+    def on_process_completed(self, pid: int) -> None:
+        """Process *pid* finished its work budget (default: nothing extra)."""
+
+    @abc.abstractmethod
+    def on_error_detected(self, pid: int) -> None:
+        """An acceptance test flagged an error in *pid*; perform the rollback."""
+
+    def on_run_start(self) -> None:
+        """Scheme-specific setup before the event loop starts (optional)."""
+
+    # ------------------------------------------------------------------ detection
+    def run_acceptance_test(self, pid: int) -> bool:
+        """Run the acceptance test of *pid*; returns True when an error is flagged."""
+        proc = self.proc(pid)
+        rng = self._rng(f"acceptance.{pid}")
+        detected = self.workload.acceptance.detects(
+            has_local_error=proc.has_local_error,
+            has_external_error=proc.has_external_error, rng=rng)
+        if not detected and not proc.contaminated:
+            detected = self.workload.acceptance.false_alarm(rng)
+        self.tracer.record_acceptance_test(pid, self.now, passed=not detected)
+        self.monitor.counter("acceptance_tests").increment()
+        if detected:
+            self.monitor.counter("acceptance_failures").increment()
+        return detected
+
+    # ------------------------------------------------------------------ run loop
+    def run(self) -> RunReport:
+        """Execute the workload under this scheme and return the report."""
+        if self._started:
+            raise RuntimeError("a runtime instance can only be run once")
+        self._started = True
+        for proc in self.procs:
+            proc.start_running(0.0)
+        self.on_run_start()
+        for pid in range(self.n):
+            self._schedule_block_boundary(pid)
+            self._schedule_fault(pid)
+        for i in range(self.n):
+            for j in range(i + 1, self.n):
+                self._schedule_interaction(i, j)
+
+        while not self.all_done() and self.now < self.workload.max_sim_time:
+            if not self.engine.step():
+                break
+        # Final bookkeeping.
+        for proc in self.procs:
+            proc.check_completion(self.now)
+        return self._build_report()
+
+    # ------------------------------------------------------------------ reporting
+    def _build_report(self) -> RunReport:
+        completed = self.all_done()
+        makespan = max((p.finish_time for p in self.procs
+                        if p.finish_time is not None), default=self.now)
+        if not completed:
+            makespan = self.now
+        return RunReport(
+            scheme=self.scheme_name,
+            seed=self.seed,
+            n_processes=self.n,
+            completed=completed,
+            makespan=makespan,
+            ideal_makespan=self.workload.ideal_completion_time(),
+            processes=tuple(p.report() for p in self.procs),
+            rollback_count=len(self.rollback_distances),
+            rollback_distances=tuple(self.rollback_distances),
+            lost_work_total=sum(p.lost_work for p in self.procs),
+            checkpoint_overhead_total=sum(p.checkpoint_overhead for p in self.procs),
+            restart_overhead_total=sum(p.restart_overhead for p in self.procs),
+            waiting_time_total=sum(p.waiting_time for p in self.procs),
+            recovery_lines_committed=self.recovery_lines_committed,
+            domino_count=self.domino_count,
+            peak_saved_states=self.store.peak_count,
+            total_saves=self.store.total_saves,
+            extra=self.extra_metrics(),
+        )
+
+    def extra_metrics(self) -> Dict[str, float]:
+        """Scheme-specific additions to the report (optional)."""
+        return {}

@@ -1,0 +1,213 @@
+"""Checkpoint storage: saved states, lookup, purging and space accounting.
+
+A :class:`CheckpointStore` holds one :class:`SavedState` per checkpoint recorded in
+the history (regular recovery points, pseudo recovery points, and the implicit
+initial states).  The store also implements the space-reclamation rule of
+Section 4: under the PRP scheme, once a new recovery point is established, all old
+RPs and PRPs other than those participating in the current pseudo recovery lines
+can be purged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
+
+__all__ = ["SavedState", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class SavedState:
+    """The payload saved at a checkpoint.
+
+    Attributes
+    ----------
+    process, index:
+        Identity of the checkpoint (matches the corresponding
+        :class:`~repro.core.types.RecoveryPoint` in the history).
+    time:
+        Simulation time of the save.
+    kind:
+        Regular RP, pseudo RP or initial state.
+    work_done:
+        Useful work the process had completed when the state was saved (restoring
+        the state resets the work counter to this value).
+    contaminated:
+        Whether an undetected error was present in the process state when it was
+        saved.  Regular RPs are clean with a perfect acceptance test; PRPs can be
+        contaminated, which is exactly why a pseudo recovery line may need to be
+        abandoned (Section 4).
+    error_origin:
+        Originating process of the contamination (meaningful when contaminated).
+    size:
+        Abstract size of the saved state (bytes or words); used only for storage
+        accounting.
+    origin:
+        For PRPs, the ``(process, index)`` of the triggering RP.
+    """
+
+    process: ProcessId
+    index: int
+    time: float
+    kind: CheckpointKind
+    work_done: float
+    contaminated: bool = False
+    error_origin: Optional[ProcessId] = None
+    size: float = 1.0
+    origin: Optional[Tuple[ProcessId, int]] = None
+
+    def matches(self, rp: RecoveryPoint) -> bool:
+        """Whether this saved state corresponds to history checkpoint *rp*."""
+        return (self.process == rp.process and self.index == rp.index
+                and self.kind is rp.kind)
+
+
+class CheckpointStore:
+    """Per-process collections of saved states with purge rules and accounting."""
+
+    def __init__(self, n_processes: int, *, state_size: float = 1.0) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        if state_size <= 0.0:
+            raise ValueError("state_size must be positive")
+        self.n = int(n_processes)
+        self.state_size = float(state_size)
+        self._states: List[Dict[int, SavedState]] = [dict() for _ in range(self.n)]
+        self._peak_count = 0
+        self._total_saves = 0
+        self._purged = 0
+        # Every process starts with a clean initial state (work 0, index 0).
+        for pid in range(self.n):
+            self._insert(SavedState(process=pid, index=0, time=0.0,
+                                    kind=CheckpointKind.INITIAL, work_done=0.0,
+                                    size=self.state_size))
+
+    # ------------------------------------------------------------------ recording
+    def _insert(self, state: SavedState) -> SavedState:
+        self._states[state.process][state.index] = state
+        self._total_saves += 1
+        self._peak_count = max(self._peak_count, self.count())
+        return state
+
+    def save(self, rp: RecoveryPoint, *, work_done: float,
+             contaminated: bool = False, error_origin: Optional[ProcessId] = None
+             ) -> SavedState:
+        """Record the saved state for history checkpoint *rp*."""
+        state = SavedState(process=rp.process, index=rp.index, time=rp.time,
+                           kind=rp.kind, work_done=float(work_done),
+                           contaminated=bool(contaminated),
+                           error_origin=error_origin, size=self.state_size,
+                           origin=rp.origin)
+        return self._insert(state)
+
+    # ------------------------------------------------------------------ lookup
+    def lookup(self, rp: RecoveryPoint) -> SavedState:
+        """Saved state for history checkpoint *rp* (raises KeyError if purged)."""
+        try:
+            state = self._states[rp.process][rp.index]
+        except KeyError as exc:
+            raise KeyError(f"no saved state for {rp.label} "
+                           f"(purged or never recorded)") from exc
+        if not state.matches(rp):
+            raise KeyError(f"stored state for index {rp.index} of P{rp.process + 1} "
+                           f"does not match {rp.label}")
+        return state
+
+    def get(self, process: ProcessId, index: int) -> Optional[SavedState]:
+        return self._states[process].get(index)
+
+    def states_of(self, process: ProcessId) -> List[SavedState]:
+        """All retained states of *process*, oldest first."""
+        return [self._states[process][i] for i in sorted(self._states[process])]
+
+    def latest_regular(self, process: ProcessId,
+                       before: float = float("inf")) -> SavedState:
+        """Most recent regular RP (or the initial state) of *process* before *before*."""
+        best: Optional[SavedState] = None
+        for state in self._states[process].values():
+            if state.kind is CheckpointKind.PSEUDO:
+                continue
+            if state.time <= before and (best is None or state.time > best.time):
+                best = state
+        assert best is not None, "initial state can never be purged"
+        return best
+
+    def pseudo_for_origin(self, process: ProcessId,
+                          origin: Tuple[ProcessId, int]) -> Optional[SavedState]:
+        """The PRP implanted in *process* for the given triggering RP, if retained."""
+        for state in self._states[process].values():
+            if state.kind is CheckpointKind.PSEUDO and state.origin == tuple(origin):
+                return state
+        return None
+
+    # ------------------------------------------------------------------ accounting
+    def count(self, process: Optional[ProcessId] = None) -> int:
+        """Number of retained saved states (per process or total)."""
+        if process is not None:
+            return len(self._states[process])
+        return sum(len(d) for d in self._states)
+
+    def total_size(self) -> float:
+        """Total retained storage (sum of state sizes)."""
+        return sum(state.size for d in self._states for state in d.values())
+
+    @property
+    def peak_count(self) -> int:
+        """Largest number of simultaneously retained states observed."""
+        return self._peak_count
+
+    @property
+    def total_saves(self) -> int:
+        return self._total_saves
+
+    @property
+    def purged_count(self) -> int:
+        return self._purged
+
+    # ------------------------------------------------------------------ purging
+    def _purge_if(self, process: ProcessId, predicate) -> int:
+        doomed = [idx for idx, state in self._states[process].items()
+                  if state.kind is not CheckpointKind.INITIAL and predicate(state)]
+        for idx in doomed:
+            del self._states[process][idx]
+        self._purged += len(doomed)
+        return len(doomed)
+
+    def purge_before(self, process: ProcessId, time: float,
+                     *, keep_latest_regular: bool = True) -> int:
+        """Discard states of *process* saved strictly before *time*.
+
+        With ``keep_latest_regular`` the most recent regular RP is always retained
+        (a process must never lose its restart capability).
+        """
+        keeper = self.latest_regular(process) if keep_latest_regular else None
+        return self._purge_if(process,
+                              lambda s: s.time < time and s is not keeper)
+
+    def purge_obsolete_pseudo_lines(self) -> int:
+        """Section 4 space reclamation.
+
+        Keep, for every process ``i``: its most recent regular RP, and every PRP
+        whose triggering RP is currently the most recent RP of its owner.  All
+        other RPs and PRPs are purged.  Returns the number of states discarded.
+        """
+        latest_rp: Dict[ProcessId, SavedState] = {
+            pid: self.latest_regular(pid) for pid in range(self.n)}
+        live_origins = {(pid, state.index) for pid, state in latest_rp.items()
+                        if state.kind is CheckpointKind.REGULAR}
+        purged = 0
+        for pid in range(self.n):
+            keeper = latest_rp[pid]
+
+            def doomed(state: SavedState, keeper=keeper) -> bool:
+                if state is keeper:
+                    return False
+                if state.kind is CheckpointKind.PSEUDO:
+                    return state.origin not in live_origins
+                # Older regular RPs are superseded by the keeper.
+                return True
+
+            purged += self._purge_if(pid, doomed)
+        return purged

@@ -1,0 +1,141 @@
+"""Rollback coordination shared by the asynchronous and PRP runtimes.
+
+The coordinator turns a *restart assignment* (which checkpoint each affected
+process restarts from) into runtime state changes: useful work is rolled back,
+contamination is reset to whatever the restored state carried, restart costs are
+charged, fresh restart checkpoints are recorded (truncating the propagation
+horizon of future failures), and the invalidated interactions are remembered so
+they can never orphan anybody again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
+
+from repro.core.rollback import RollbackResult, propagate_rollback
+from repro.core.types import CheckpointKind, Interaction, ProcessId, RecoveryPoint
+from repro.recovery.checkpoint import SavedState
+
+__all__ = ["RollbackCoordinator"]
+
+
+class RollbackCoordinator:
+    """Applies rollback decisions to a :class:`RecoverySchemeRuntime`."""
+
+    def __init__(self, runtime) -> None:
+        # A forward reference on purpose: the coordinator is a collaborator of the
+        # runtime, not an owner; tests construct it with a real runtime instance.
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------ planning
+    def plan_asynchronous(self, failed_pid: int,
+                          failure_time: float) -> RollbackResult:
+        """Plan a rollback using only regular recovery points (Section 2 semantics)."""
+        return propagate_rollback(
+            self.runtime.tracer.history, failed_pid, failure_time,
+            checkpoint_filter=lambda rp: rp.kind is CheckpointKind.REGULAR,
+            excluded_interactions=self.runtime.excluded_interactions)
+
+    def plan_with_pseudo(self, failed_pid: int, failure_time: float,
+                         usable_pseudo: Callable[[RecoveryPoint], bool]
+                         ) -> RollbackResult:
+        """Plan a rollback in which selected pseudo recovery points are usable."""
+        def usable(rp: RecoveryPoint) -> bool:
+            if rp.kind is CheckpointKind.REGULAR:
+                return True
+            if rp.kind is CheckpointKind.PSEUDO:
+                return usable_pseudo(rp)
+            return True
+
+        return propagate_rollback(
+            self.runtime.tracer.history, failed_pid, failure_time,
+            checkpoint_filter=usable,
+            excluded_interactions=self.runtime.excluded_interactions)
+
+    # ------------------------------------------------------------------ applying
+    def apply(self, failed_pid: int,
+              restart_points: Dict[ProcessId, RecoveryPoint],
+              invalidated: Iterable[Interaction] = (),
+              *, record_restart_checkpoints: bool = True) -> Dict[str, float]:
+        """Apply a restart assignment and return rollback metrics.
+
+        Parameters
+        ----------
+        failed_pid:
+            The process whose acceptance test failed (for attribution in traces).
+        restart_points:
+            Checkpoint (from the history) each affected process restarts from.
+        invalidated:
+            Interactions discarded by this rollback; excluded from future
+            propagation.
+        record_restart_checkpoints:
+            Re-save the restored state as a fresh regular checkpoint so later
+            failures never propagate past this restart (log truncation).  The extra
+            saves are charged like ordinary checkpoints.
+        """
+        runtime = self.runtime
+        now = runtime.now
+        max_distance = 0.0
+        lost_total = 0.0
+        domino = False
+
+        for pid, rp in sorted(restart_points.items()):
+            proc = runtime.proc(pid)
+            proc.advance(now)
+            try:
+                saved: Optional[SavedState] = runtime.store.lookup(rp)
+            except KeyError:
+                # The state was purged (can only happen to superseded pseudo
+                # recovery points); fall back to the latest retained regular state
+                # not newer than the requested one.
+                saved = runtime.store.latest_regular(pid, before=rp.time)
+            lost = max(0.0, proc.work_done - saved.work_done)
+            proc.work_done = saved.work_done
+            proc.lost_work += lost
+            lost_total += lost
+            proc.rollbacks += 1
+            # The restored state dictates the contamination status.
+            if saved.contaminated:
+                proc.contaminate(now, saved.error_origin
+                                 if saved.error_origin is not None else pid)
+            else:
+                proc.clear_error()
+            if proc.done:
+                # A finished process dragged back into the computation.
+                proc.done = False
+                proc.finish_time = None
+            distance = now - rp.time
+            max_distance = max(max_distance, distance)
+            domino = domino or rp.kind is CheckpointKind.INITIAL
+            runtime.tracer.record_rollback(pid, now, rp.time, cause=failed_pid)
+            runtime.monitor.tally("rollback_distance_per_process").observe(distance)
+            # Charge the restart and resume.
+            runtime.pause_for(pid, runtime.workload.restart_cost, reason="restart")
+
+        runtime.excluded_interactions.update(invalidated)
+        runtime.rollback_distances.append(max_distance)
+        if domino:
+            runtime.domino_count += 1
+        runtime.monitor.counter("rollback_events").increment()
+        runtime.monitor.tally("rollback_distance").observe(max_distance)
+        runtime.monitor.tally("rollback_lost_work").observe(lost_total)
+        runtime.monitor.tally("rollback_span").observe(float(len(restart_points)))
+
+        if record_restart_checkpoints:
+            delay = runtime.workload.restart_cost
+            for pid in restart_points:
+                runtime.engine.schedule(delay, self._record_restart_checkpoint, pid)
+
+        return {
+            "max_distance": max_distance,
+            "lost_work": lost_total,
+            "affected": float(len(restart_points)),
+            "domino": 1.0 if domino else 0.0,
+        }
+
+    def _record_restart_checkpoint(self, pid: int) -> None:
+        runtime = self.runtime
+        proc = runtime.proc(pid)
+        if proc.done:
+            return
+        runtime.take_checkpoint(pid, kind=CheckpointKind.REGULAR, charge_time=True)

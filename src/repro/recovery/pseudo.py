@@ -1,0 +1,186 @@
+"""Pseudo recovery points (Section 4) as a running system.
+
+The implantation protocol:
+
+1. When ``P_i`` establishes a recovery point ``RP_i^j`` it broadcasts an
+   implantation request.
+2. Every other process ``P_{i'}`` records its state as ``PRP_{i'}^{ij}`` upon
+   completing its current instruction — *without* an acceptance test — and
+   broadcasts a commitment.
+3. All processes continue their normal tasks.
+
+Rollback (the paper's algorithm, step numbers preserved):
+
+1. An error is found in ``P_i``; set the rollback pointer ``p := i``.
+2. ``P_p`` rolls back to its previous recovery point ``RP_p``; every process
+   affected by that rollback rolls back to its pseudo recovery point
+   ``PRP^{p}`` implanted for that RP.
+3. For every affected process, if its rollback has not passed its most recent
+   recovery point, set ``p`` to it and repeat from 2 (this is what bounds the
+   propagation when the PRP contents may have been contaminated).
+
+Storage is reclaimed with the Section 4 rule: old RPs/PRPs outside the current
+pseudo recovery lines are purged whenever a new recovery point is established.
+The per-RP time overhead is ``(n−1)·t_r`` — each of the other processes pays one
+state save.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
+from repro.processes.program import RecoveryBlockExecutor
+from repro.recovery.base import RecoverySchemeRuntime
+from repro.recovery.coordinator import RollbackCoordinator
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["PseudoRecoveryPointRuntime"]
+
+
+class PseudoRecoveryPointRuntime(RecoverySchemeRuntime):
+    """The paper's proposed pseudo-recovery-point scheme."""
+
+    scheme_name = "pseudo-recovery-points"
+
+    def __init__(self, workload: WorkloadSpec, seed: Optional[int] = None, *,
+                 purge_storage: bool = True) -> None:
+        super().__init__(workload, seed)
+        self.coordinator = RollbackCoordinator(self)
+        self.purge_storage = bool(purge_storage)
+        self._executors = [RecoveryBlockExecutor(workload.block_spec,
+                                                 self._rng(f"alternates.{pid}"))
+                           for pid in range(self.n)]
+        self._implantation_overhead = 0.0
+
+    # ------------------------------------------------------------------ hooks
+    def on_block_boundary(self, pid: int) -> None:
+        detected = self.run_acceptance_test(pid)
+        if detected:
+            self.on_error_detected(pid)
+            return
+        nominal = 1.0 / float(self.params.mu[pid])
+        outcome = self._executors[pid].execute(nominal, state_contaminated=False)
+        if not outcome.passed:
+            self.monitor.counter("alternates_exhausted").increment()
+            self.on_error_detected(pid)
+            return
+        extra = max(0.0, outcome.elapsed - nominal)
+        if extra > 0.0:
+            self.pause_for(pid, extra, reason="restart")
+        rp, _state = self.take_checkpoint(pid)
+        self._broadcast_implantation(pid, rp)
+        if self.purge_storage:
+            purged = self.store.purge_obsolete_pseudo_lines()
+            if purged:
+                self._storage_level.update(self.now, self.store.count())
+
+    def _broadcast_implantation(self, origin_pid: int, rp: RecoveryPoint) -> None:
+        """Steps 1–2 of the implantation algorithm."""
+        origin = (origin_pid, rp.index)
+        for other in range(self.n):
+            if other == origin_pid:
+                continue
+            proc = self.proc(other)
+            if proc.done:
+                continue
+            # "Upon the completion of the current instruction": effectively
+            # immediately at the granularity of this simulation.
+            self.take_checkpoint(other, kind=CheckpointKind.PSEUDO, origin=origin)
+            self._implantation_overhead += self.workload.checkpoint_cost
+            self.monitor.counter("prp_implanted").increment()
+
+    def on_error_detected(self, pid: int) -> None:
+        assignment, visited = self._plan_pseudo_rollback(pid, self.now)
+        # Everything the affected processes did after their restart points is
+        # discarded; invalidated interactions are those touching a rolled-back
+        # window (computed the same way the asynchronous coordinator does it, but
+        # against the pseudo assignment).
+        invalidated = self._invalidated_interactions(assignment)
+        self.coordinator.apply(pid, assignment, invalidated)
+        self.monitor.tally("prp_rollback_scope").observe(float(len(visited)))
+
+    # ------------------------------------------------------------------ planning
+    def _plan_pseudo_rollback(self, failed_pid: int, failure_time: float
+                              ) -> Tuple[Dict[ProcessId, RecoveryPoint], Set[int]]:
+        """The Section 4 rollback algorithm over the recorded history."""
+        history = self.tracer.history
+        assignment: Dict[ProcessId, RecoveryPoint] = {}
+        visited: Set[int] = set()
+        pending = [failed_pid]
+
+        while pending:
+            p = pending.pop()
+            if p in visited:
+                continue
+            visited.add(p)
+            # Step 2a: P_p rolls back to its previous (regular) recovery point.
+            rp_p = history.latest_checkpoint_before(
+                p, failure_time, usable_only=True, failed_process=p)
+            # ``usable_only`` admits regular RPs and initial states only here,
+            # because a PRP of the failed process itself offers no protection.
+            current = assignment.get(p)
+            if current is None or rp_p.time < current.time:
+                assignment[p] = rp_p
+            # Step 2b: processes affected by P_p's rollback restart at their PRPs
+            # implanted for rp_p.
+            affected = self._affected_by(p, assignment[p].time, failure_time)
+            for j in affected:
+                target = self._pseudo_restart_point(j, assignment[p])
+                current_j = assignment.get(j)
+                if current_j is None or target.time < current_j.time:
+                    assignment[j] = target
+                # Step 3: if P_j has not rolled past its most recent RP, the
+                # propagation continues through it.
+                latest_rp_j = history.latest_checkpoint_before(
+                    j, failure_time, usable_only=True, failed_process=j)
+                if assignment[j].time > latest_rp_j.time and j not in visited:
+                    pending.append(j)
+        return assignment, visited
+
+    def _affected_by(self, p: int, restart_time: float,
+                     failure_time: float) -> Set[int]:
+        """Processes that interacted with *p* inside its discarded window."""
+        affected: Set[int] = set()
+        for interaction in self.tracer.history.interactions_involving(
+                p, restart_time, failure_time):
+            if interaction in self.excluded_interactions:
+                continue
+            other = interaction.target if interaction.source == p else interaction.source
+            affected.add(other)
+        affected.discard(p)
+        return affected
+
+    def _pseudo_restart_point(self, process: int,
+                              trigger_rp: RecoveryPoint) -> RecoveryPoint:
+        """The PRP implanted in *process* for *trigger_rp* (with fallbacks)."""
+        history = self.tracer.history
+        origin = (trigger_rp.process, trigger_rp.index)
+        for rp in history.checkpoints(process, kinds=(CheckpointKind.PSEUDO,)):
+            if rp.origin == origin:
+                return rp
+        # No PRP was implanted (e.g. the trigger is the initial state, or the
+        # process had already finished): fall back to the latest verified
+        # checkpoint not newer than the trigger.
+        return history.latest_checkpoint_before(process, trigger_rp.time,
+                                                usable_only=True,
+                                                failed_process=process)
+
+    def _invalidated_interactions(self, assignment: Dict[ProcessId, RecoveryPoint]):
+        invalidated = []
+        for interaction in self.tracer.history.interactions:
+            if interaction in self.excluded_interactions:
+                continue
+            for pid, rp in assignment.items():
+                if interaction.involves(pid) and interaction.time > rp.time \
+                        and interaction.time <= self.now:
+                    invalidated.append(interaction)
+                    break
+        return invalidated
+
+    # ------------------------------------------------------------------ reporting
+    def extra_metrics(self) -> Dict[str, float]:
+        return {
+            "prp_implanted": float(self.monitor.counter("prp_implanted").value),
+            "implantation_overhead": self._implantation_overhead,
+        }

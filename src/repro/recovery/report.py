@@ -1,0 +1,113 @@
+"""Run reports: the metrics a recovery-scheme run produces.
+
+Every runtime returns a :class:`RunReport`; the strategy-comparison experiment and
+several integration tests consume these.  The fields mirror the quantities the
+paper argues about: completion delay, computation lost to rollbacks, rollback
+distance, state-saving overhead, waiting (synchronisation) loss, and storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ProcessReport", "RunReport"]
+
+
+@dataclass(frozen=True)
+class ProcessReport:
+    """Per-process outcome of a run."""
+
+    process: int
+    finish_time: Optional[float]
+    useful_work: float
+    lost_work: float
+    checkpoint_overhead: float
+    restart_overhead: float
+    waiting_time: float
+    checkpoints_taken: int
+    pseudo_checkpoints_taken: int
+    rollbacks: int
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def total_overhead(self) -> float:
+        return self.checkpoint_overhead + self.restart_overhead + self.waiting_time
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregate outcome of one recovery-scheme run."""
+
+    scheme: str
+    seed: Optional[int]
+    n_processes: int
+    completed: bool
+    makespan: float
+    ideal_makespan: float
+    processes: Tuple[ProcessReport, ...]
+    rollback_count: int
+    rollback_distances: Tuple[float, ...]
+    lost_work_total: float
+    checkpoint_overhead_total: float
+    restart_overhead_total: float
+    waiting_time_total: float
+    recovery_lines_committed: int
+    domino_count: int
+    peak_saved_states: int
+    total_saves: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def mean_rollback_distance(self) -> float:
+        if not self.rollback_distances:
+            return 0.0
+        return sum(self.rollback_distances) / len(self.rollback_distances)
+
+    @property
+    def max_rollback_distance(self) -> float:
+        return max(self.rollback_distances, default=0.0)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Total non-useful time relative to the ideal (zero-overhead) makespan."""
+        if self.ideal_makespan <= 0.0:
+            return 0.0
+        total = (self.lost_work_total + self.checkpoint_overhead_total
+                 + self.restart_overhead_total + self.waiting_time_total)
+        return total / (self.n_processes * self.ideal_makespan)
+
+    @property
+    def slowdown(self) -> float:
+        """Makespan relative to the ideal makespan."""
+        if self.ideal_makespan <= 0.0:
+            return 1.0
+        return self.makespan / self.ideal_makespan
+
+    def per_process(self, process: int) -> ProcessReport:
+        for report in self.processes:
+            if report.process == process:
+                return report
+        raise KeyError(f"no report for process {process}")
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by experiment tables."""
+        return {
+            "makespan": self.makespan,
+            "slowdown": self.slowdown,
+            "rollbacks": float(self.rollback_count),
+            "mean_rollback_distance": self.mean_rollback_distance,
+            "max_rollback_distance": self.max_rollback_distance,
+            "lost_work": self.lost_work_total,
+            "checkpoint_overhead": self.checkpoint_overhead_total,
+            "restart_overhead": self.restart_overhead_total,
+            "waiting_time": self.waiting_time_total,
+            "recovery_lines": float(self.recovery_lines_committed),
+            "dominoes": float(self.domino_count),
+            "peak_saved_states": float(self.peak_saved_states),
+            "total_saves": float(self.total_saves),
+        }

@@ -1,0 +1,45 @@
+"""Discrete-event simulation substrate.
+
+The paper's authors evaluated their models with an in-house simulation whose code
+is not available; this package provides the replacement substrate: a deterministic,
+seedable discrete-event kernel with generator-based processes, message channels,
+shared resources and measurement utilities.  The recovery-block runtimes of
+:mod:`repro.recovery` are ordinary users of this kernel.
+
+Design notes
+------------
+* Concurrency is *simulated*: a single event loop advances virtual time.  This is
+  deliberate — the paper's quantities depend only on the stochastic model, and a
+  real-thread implementation in CPython would add GIL noise without adding fidelity.
+* Determinism: given a seed, every run is bit-for-bit reproducible; the event queue
+  breaks ties by insertion order.
+* The generator protocol is a deliberately small subset of the SimPy idiom
+  (``yield Timeout(d)``, ``yield event``, ``yield channel.receive()``) so that the
+  recovery runtimes stay readable.
+"""
+
+from repro.sim.engine import SimulationEngine, Timeout, SimEvent, ProcessExit
+from repro.sim.process import SimProcess
+from repro.sim.random_streams import RandomStreams
+from repro.sim.channels import Channel, Message, MessageRouter
+from repro.sim.resources import Resource
+from repro.sim.monitor import Counter, TimeWeightedStat, Tally, Monitor
+from repro.sim.tracer import Tracer
+
+__all__ = [
+    "SimulationEngine",
+    "Timeout",
+    "SimEvent",
+    "ProcessExit",
+    "SimProcess",
+    "RandomStreams",
+    "Channel",
+    "Message",
+    "MessageRouter",
+    "Resource",
+    "Counter",
+    "TimeWeightedStat",
+    "Tally",
+    "Monitor",
+    "Tracer",
+]

@@ -1,0 +1,161 @@
+"""Message channels between simulated processes.
+
+The paper's "consistent communications" assumption (Section 2.1) requires that
+messages between a pair of processes be delivered reliably and in FIFO order; the
+:class:`Channel` here guarantees both.  A :class:`MessageRouter` maintains one
+channel per ordered pair of processes and notifies an observer (usually the
+:class:`~repro.sim.tracer.Tracer`) of every delivery, which is how interactions end
+up in the history diagram.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.engine import SimEvent, SimulationEngine
+
+__all__ = ["Message", "Channel", "MessageRouter"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight between two processes."""
+
+    source: int
+    target: int
+    payload: Any
+    send_time: float
+    sequence: int
+    tainted: bool = field(default=False, compare=False)
+
+
+class Channel:
+    """Reliable FIFO channel with optional fixed latency.
+
+    ``send`` never blocks; ``receive`` returns a :class:`SimEvent` that fires when a
+    message is available (immediately if one is already queued).  Messages are
+    delivered in send order — the paper's consistency requirement (ii).
+    """
+
+    def __init__(self, engine: SimulationEngine, source: int, target: int,
+                 latency: float = 0.0) -> None:
+        if latency < 0.0:
+            raise ValueError("latency must be non-negative")
+        self.engine = engine
+        self.source = int(source)
+        self.target = int(target)
+        self.latency = float(latency)
+        self._queue: Deque[Message] = deque()
+        self._waiting: Deque[SimEvent] = deque()
+        self._sequence = 0
+        self._delivery_callbacks: List[Callable[[Message, float], None]] = []
+
+    # ------------------------------------------------------------------ observers
+    def on_delivery(self, callback: Callable[[Message, float], None]) -> None:
+        """Register ``callback(message, delivery_time)`` for every delivery."""
+        self._delivery_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ transfer
+    def send(self, payload: Any, *, tainted: bool = False) -> Message:
+        """Send *payload*; returns the in-flight :class:`Message`."""
+        message = Message(source=self.source, target=self.target, payload=payload,
+                          send_time=self.engine.now, sequence=self._sequence,
+                          tainted=tainted)
+        self._sequence += 1
+        self.engine.schedule(self.latency, self._deliver, message)
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        now = self.engine.now
+        for callback in self._delivery_callbacks:
+            callback(message, now)
+        if self._waiting:
+            waiter = self._waiting.popleft()
+            waiter.succeed(message)
+        else:
+            self._queue.append(message)
+
+    def receive(self) -> SimEvent:
+        """Waitable that fires with the next delivered message."""
+        event = self.engine.event(name=f"recv[{self.source}->{self.target}]")
+        if self._queue:
+            event.succeed(self._queue.popleft())
+        else:
+            self._waiting.append(event)
+        return event
+
+    def try_receive(self) -> Optional[Message]:
+        """Non-blocking receive; None when no message is queued."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._queue)
+
+    def drop_pending(self, predicate: Callable[[Message], bool]) -> int:
+        """Discard queued messages matching *predicate* (used on rollback).
+
+        Returns the number of messages dropped.
+        """
+        kept = deque(m for m in self._queue if not predicate(m))
+        dropped = len(self._queue) - len(kept)
+        self._queue = kept
+        return dropped
+
+
+class MessageRouter:
+    """Pairwise channels for ``n`` processes plus convenience broadcast.
+
+    One :class:`Channel` exists per ordered pair ``(i, j)``; observers can be
+    attached globally so that every delivery in the system is traced.
+    """
+
+    def __init__(self, engine: SimulationEngine, n_processes: int,
+                 latency: float = 0.0) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        self.engine = engine
+        self.n = int(n_processes)
+        self.latency = float(latency)
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._observers: List[Callable[[Message, float], None]] = []
+
+    def channel(self, source: int, target: int) -> Channel:
+        """The channel from *source* to *target* (created lazily)."""
+        if source == target:
+            raise ValueError("no self-channel")
+        for p in (source, target):
+            if not (0 <= p < self.n):
+                raise ValueError(f"process {p} out of range")
+        key = (int(source), int(target))
+        if key not in self._channels:
+            channel = Channel(self.engine, source, target, latency=self.latency)
+            for observer in self._observers:
+                channel.on_delivery(observer)
+            self._channels[key] = channel
+        return self._channels[key]
+
+    def on_delivery(self, callback: Callable[[Message, float], None]) -> None:
+        """Observe deliveries on every (present and future) channel."""
+        self._observers.append(callback)
+        for channel in self._channels.values():
+            channel.on_delivery(callback)
+
+    def send(self, source: int, target: int, payload: Any, *,
+             tainted: bool = False) -> Message:
+        return self.channel(source, target).send(payload, tainted=tainted)
+
+    def broadcast(self, source: int, payload: Any, *, tainted: bool = False
+                  ) -> List[Message]:
+        """Send *payload* from *source* to every other process."""
+        return [self.send(source, target, payload, tainted=tainted)
+                for target in range(self.n) if target != source]
+
+    def pending_for(self, target: int) -> int:
+        """Total undelivered-to-receiver messages destined to *target*."""
+        return sum(ch.pending for (s, t), ch in self._channels.items() if t == target)

@@ -1,0 +1,233 @@
+"""The discrete-event simulation kernel.
+
+A :class:`SimulationEngine` owns a virtual clock and a binary-heap event queue.
+Work is expressed either as plain callbacks (:meth:`SimulationEngine.schedule`) or
+as generator-based processes (:meth:`SimulationEngine.launch`) that ``yield``
+*waitables*:
+
+* :class:`Timeout` — resume after a virtual-time delay;
+* :class:`SimEvent` — resume when another party calls :meth:`SimEvent.succeed`
+  (or fail with :meth:`SimEvent.fail`);
+* another :class:`~repro.sim.process.SimProcess` — resume when it terminates.
+
+The kernel is single-threaded and deterministic: events at equal times fire in the
+order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["SimulationEngine", "Timeout", "SimEvent", "ProcessExit", "ScheduledCall"]
+
+
+class ProcessExit(Exception):
+    """Raised inside a process generator to terminate it early with a value."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class SimEvent:
+    """A one-shot triggerable event processes can wait on.
+
+    Waiters registered via :meth:`wait` are resumed (in registration order) when the
+    event is triggered.  Triggering twice is an error; waiting on an already
+    triggered event resumes immediately.
+    """
+
+    __slots__ = ("engine", "_callbacks", "_triggered", "_value", "_failed", "name")
+
+    def __init__(self, engine: "SimulationEngine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._triggered = False
+        self._failed: Optional[BaseException] = None
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully, resuming every waiter."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name or id(self)} already triggered")
+        self._triggered = True
+        self._value = value
+        for callback in self._callbacks:
+            self.engine.schedule(0.0, callback, value, None)
+        self._callbacks.clear()
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event as a failure; waiters receive the exception."""
+        if self._triggered:
+            raise RuntimeError(f"event {self.name or id(self)} already triggered")
+        self._triggered = True
+        self._failed = exception
+        for callback in self._callbacks:
+            self.engine.schedule(0.0, callback, None, exception)
+        self._callbacks.clear()
+        return self
+
+    def wait(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        """Register *callback(value, exception)*; called when the event triggers."""
+        if self._triggered:
+            self.engine.schedule(0.0, callback, self._value, self._failed)
+        else:
+            self._callbacks.append(callback)
+
+    # The waitable protocol used by SimProcess.
+    def _subscribe(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        self.wait(callback)
+
+
+class Timeout:
+    """Waitable that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0.0:
+            raise ValueError("timeout delay must be non-negative")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, callback, *, engine: "SimulationEngine") -> "ScheduledCall":
+        return engine.schedule(self.delay, callback, self.value, None)
+
+
+class ScheduledCall:
+    """Handle returned by :meth:`SimulationEngine.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time: float, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if it already ran)."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Event loop with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (default 0).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, ScheduledCall, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` after *delay* units of virtual time."""
+        if delay < 0.0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` at absolute virtual time *time*."""
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} < now ({self._now})")
+        handle = ScheduledCall(time, next(self._seq))
+        heapq.heappush(self._queue, (time, handle.seq, handle, callback, args))
+        return handle
+
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh :class:`SimEvent` bound to this engine."""
+        return SimEvent(self, name=name)
+
+    def launch(self, generator, name: str = ""):
+        """Start a generator-based process; returns the :class:`SimProcess`."""
+        from repro.sim.process import SimProcess
+
+        return SimProcess(self, generator, name=name)
+
+    # ------------------------------------------------------------------ running
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            if time < self._now - 1e-12:  # pragma: no cover - defensive
+                raise RuntimeError("event queue produced a time in the past")
+            self._now = max(self._now, time)
+            self._processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, *until* is reached, or *max_events* executed.
+
+        Returns the clock value when the run stops.  When *until* is given the
+        clock is advanced to exactly *until* even if the last event fired earlier.
+        """
+        if self._running:
+            raise RuntimeError("run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                next_time = self._peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            time, _seq, handle, _cb, _args = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+    def drain(self) -> float:
+        """Run until no events remain; returns the final clock value."""
+        return self.run(until=None)

@@ -1,0 +1,155 @@
+"""Generator-based simulation processes.
+
+A :class:`SimProcess` drives a Python generator: every value the generator yields
+must be a *waitable* (:class:`~repro.sim.engine.Timeout`,
+:class:`~repro.sim.engine.SimEvent`, or another :class:`SimProcess`), and the
+generator resumes — receiving the waitable's value — once it fires.  The process
+itself is a waitable, so processes can ``yield`` each other to join.
+
+Interruption (used by the rollback machinery to abort in-progress computation) is
+modelled by throwing :class:`Interrupt` into the generator at its next resumption
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import ProcessExit, SimEvent, SimulationEngine, Timeout
+
+__all__ = ["SimProcess", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when the process is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimProcess:
+    """A running generator inside a :class:`~repro.sim.engine.SimulationEngine`."""
+
+    def __init__(self, engine: SimulationEngine,
+                 generator: Generator[Any, Any, Any], name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError("SimProcess requires a generator (did you call the function?)")
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._finished = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._completion_callbacks: List[Callable[[Any, Optional[BaseException]], None]] = []
+        self._pending_interrupt: Optional[Interrupt] = None
+        self._waiting = False
+        # Wait-token: resumptions carry the token of the wait they belong to, so a
+        # stale waitable firing after an interrupt cannot resume the process twice.
+        self._wait_token = 0
+        # Handle of the currently pending Timeout (cancelled on interrupt so a
+        # stale timer cannot keep dragging the simulation clock forward).
+        self._timeout_handle = None
+        # Kick off at the current time (but asynchronously, preserving determinism).
+        engine.schedule(0.0, self._resume_with_token(self._wait_token), None, None)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        if not self._finished:
+            raise RuntimeError(f"process {self.name} has not finished")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def failed(self) -> bool:
+        return self._finished and self._error is not None
+
+    # ------------------------------------------------------------------ driving
+    def _resume_with_token(self, token: int) -> Callable[[Any, Optional[BaseException]], None]:
+        def callback(value: Any, exception: Optional[BaseException]) -> None:
+            if token != self._wait_token:
+                return  # stale wake-up from a wait that was superseded (interrupt)
+            self._resume(value, exception)
+        return callback
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._finished:
+            return
+        self._waiting = False
+        try:
+            if self._pending_interrupt is not None:
+                interrupt, self._pending_interrupt = self._pending_interrupt, None
+                yielded = self.generator.throw(interrupt)
+            elif exception is not None:
+                yielded = self.generator.throw(exception)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self._complete(getattr(stop, "value", None), None)
+            return
+        except ProcessExit as exit_:
+            self._complete(exit_.value, None)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to joiners
+            self._complete(None, error)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, waitable: Any) -> None:
+        self._waiting = True
+        self._wait_token += 1
+        self._timeout_handle = None
+        callback = self._resume_with_token(self._wait_token)
+        if isinstance(waitable, Timeout):
+            self._timeout_handle = waitable._subscribe(callback, engine=self.engine)
+        elif isinstance(waitable, (SimEvent, SimProcess)):
+            waitable._subscribe(callback)
+        else:
+            self._complete(None, TypeError(
+                f"process {self.name} yielded a non-waitable: {waitable!r}"))
+
+    def _complete(self, result: Any, error: Optional[BaseException]) -> None:
+        self._finished = True
+        self._result = result
+        self._error = error
+        for callback in self._completion_callbacks:
+            self.engine.schedule(0.0, callback, result, error)
+        self._completion_callbacks.clear()
+
+    # ------------------------------------------------------------------ waitable
+    def _subscribe(self, callback: Callable[[Any, Optional[BaseException]], None]) -> None:
+        if self._finished:
+            self.engine.schedule(0.0, callback, self._result, self._error)
+        else:
+            self._completion_callbacks.append(callback)
+
+    # ------------------------------------------------------------------ control
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process at its next resumption point.
+
+        If the process is currently waiting, it is resumed immediately (at the
+        current virtual time) with :class:`Interrupt` raised inside the generator.
+        """
+        if self._finished:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        if self._waiting:
+            # Supersede the current wait: bump the token so the original waitable's
+            # eventual firing is ignored, then wake the process up immediately.
+            self._waiting = False
+            self._wait_token += 1
+            if self._timeout_handle is not None:
+                self._timeout_handle.cancel()
+                self._timeout_handle = None
+            self.engine.schedule(0.0, self._resume_with_token(self._wait_token),
+                                 None, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._finished else "running"
+        return f"SimProcess({self.name}, {state})"

@@ -1,0 +1,96 @@
+"""Trace recording: from runtime callbacks to event logs and history diagrams.
+
+The recovery-block runtimes report what happens (recovery points, pseudo recovery
+points, interactions, acceptance tests, errors, rollbacks, synchronisation) to a
+:class:`Tracer`.  The tracer maintains both an :class:`~repro.core.events.EventLog`
+(the flat, replayable record) and a live :class:`~repro.core.history.HistoryDiagram`
+(what the rollback and recovery-line algorithms consume), keeping the two
+consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.events import EventLog
+from repro.core.history import HistoryDiagram
+from repro.core.types import CheckpointKind, EventKind, ProcessId, RecoveryPoint
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Collects the execution history of a recovery-block run."""
+
+    def __init__(self, n_processes: int) -> None:
+        self.n = int(n_processes)
+        self.log = EventLog()
+        self.history = HistoryDiagram(self.n)
+
+    # ------------------------------------------------------------------ checkpoints
+    def record_recovery_point(self, process: ProcessId, time: float) -> RecoveryPoint:
+        """Record a regular recovery point (post-acceptance-test state save)."""
+        rp = self.history.add_recovery_point(process, time,
+                                             kind=CheckpointKind.REGULAR)
+        self.log.append(time, EventKind.RECOVERY_POINT, process, index=rp.index)
+        return rp
+
+    def record_pseudo_recovery_point(self, process: ProcessId, time: float,
+                                     origin: Tuple[ProcessId, int]) -> RecoveryPoint:
+        """Record a pseudo recovery point implanted on behalf of *origin*."""
+        rp = self.history.add_recovery_point(process, time,
+                                             kind=CheckpointKind.PSEUDO,
+                                             origin=origin)
+        self.log.append(time, EventKind.PSEUDO_RECOVERY_POINT, process,
+                        index=rp.index, origin=origin)
+        return rp
+
+    # ------------------------------------------------------------------ messages
+    def record_interaction(self, source: ProcessId, target: ProcessId,
+                           send_time: float, receive_time: Optional[float] = None,
+                           *, tainted: bool = False) -> None:
+        """Record a delivered message between two processes."""
+        receive_time = send_time if receive_time is None else receive_time
+        self.history.add_interaction(source, target, send_time,
+                                     receive_time=receive_time)
+        self.log.append(receive_time, EventKind.INTERACTION, source, peer=target,
+                        initiator=True, receive_time=receive_time, tainted=tainted)
+
+    # ------------------------------------------------------------------ verdicts
+    def record_acceptance_test(self, process: ProcessId, time: float,
+                               passed: bool) -> None:
+        self.log.append(time, EventKind.ACCEPTANCE_TEST, process, passed=passed)
+
+    def record_error(self, process: ProcessId, time: float, *, local: bool = True,
+                     origin: Optional[ProcessId] = None) -> None:
+        self.log.append(time, EventKind.ERROR, process, local=local,
+                        origin=origin if origin is not None else process)
+
+    def record_rollback(self, process: ProcessId, time: float,
+                        restart_time: float, *, cause: ProcessId) -> None:
+        self.log.append(time, EventKind.ROLLBACK, process,
+                        restart_time=restart_time, cause=cause,
+                        distance=time - restart_time)
+
+    def record_sync_request(self, process: ProcessId, time: float) -> None:
+        self.log.append(time, EventKind.SYNC_REQUEST, process)
+
+    def record_sync_commit(self, process: ProcessId, time: float) -> None:
+        self.log.append(time, EventKind.SYNC_COMMIT, process)
+
+    def record_recovery_line(self, time: float, processes: Tuple[ProcessId, ...]) -> None:
+        self.log.append(time, EventKind.RECOVERY_LINE, processes[0] if processes else 0,
+                        members=tuple(processes))
+
+    # ------------------------------------------------------------------ queries
+    def rollback_count(self) -> int:
+        return self.log.count(EventKind.ROLLBACK)
+
+    def recovery_point_count(self, process: Optional[ProcessId] = None) -> int:
+        return self.log.count(EventKind.RECOVERY_POINT, process=process)
+
+    def interaction_count(self) -> int:
+        return self.log.count(EventKind.INTERACTION)
+
+    def summary(self) -> Dict[str, int]:
+        return self.log.summary()

@@ -1,0 +1,127 @@
+"""Linear-algebra helpers for Markov-chain analysis.
+
+Small, well-tested wrappers around numpy/scipy used by :mod:`repro.markov`:
+validation of generator matrices, embedding of a CTMC into a DTMC (uniformisation),
+and fundamental-matrix computations for absorbing chains.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "is_generator_matrix",
+    "uniformization_rate",
+    "embed_dtmc",
+    "solve_linear",
+    "expected_visits_absorbing",
+    "absorption_probabilities",
+    "fundamental_matrix",
+]
+
+
+def is_generator_matrix(Q: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return True when ``Q`` is a valid CTMC generator.
+
+    A generator has non-negative off-diagonal entries, non-positive diagonal entries
+    and row sums equal to zero (within *atol*).
+    """
+    Q = np.asarray(Q, dtype=float)
+    if Q.ndim != 2 or Q.shape[0] != Q.shape[1]:
+        return False
+    off = Q - np.diag(np.diagonal(Q))
+    if np.any(off < -atol):
+        return False
+    if np.any(np.diagonal(Q) > atol):
+        return False
+    return bool(np.allclose(Q.sum(axis=1), 0.0, atol=atol))
+
+
+def uniformization_rate(Q: np.ndarray, margin: float = 0.0) -> float:
+    """Return a uniformisation constant ``G >= max_i |Q_ii|``.
+
+    The paper's discrete chain :math:`Y_d` (Section 2.3) is exactly the uniformised
+    chain with ``G = Σ_{i<j} λ_ij + Σ_k μ_k``; a caller may pass that value directly
+    instead, but this helper computes the minimal admissible constant from ``Q``.
+    """
+    Q = np.asarray(Q, dtype=float)
+    rate = float(np.max(-np.diagonal(Q)))
+    if rate <= 0.0:
+        raise ValueError("generator has no transitions; cannot uniformise")
+    return rate * (1.0 + margin)
+
+
+def embed_dtmc(Q: np.ndarray, rate: float | None = None) -> Tuple[np.ndarray, float]:
+    """Uniformise generator ``Q`` into a DTMC transition matrix.
+
+    Returns ``(P, G)`` with ``P = I + Q / G``.  When *rate* is None the minimal
+    uniformisation constant is used.
+    """
+    Q = np.asarray(Q, dtype=float)
+    if not is_generator_matrix(Q):
+        raise ValueError("Q is not a valid CTMC generator matrix")
+    G = uniformization_rate(Q) if rate is None else float(rate)
+    if G < np.max(-np.diagonal(Q)) - 1e-12:
+        raise ValueError("uniformisation rate is smaller than the fastest exit rate")
+    P = np.eye(Q.shape[0]) + Q / G
+    # Clean tiny negative round-off.
+    P[P < 0.0] = 0.0
+    P /= P.sum(axis=1, keepdims=True)
+    return P, G
+
+
+def solve_linear(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` with a least-squares fallback for ill-conditioned systems."""
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    try:
+        return np.linalg.solve(A, b)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(A, b, rcond=None)[0]
+
+
+def fundamental_matrix(P_transient: np.ndarray) -> np.ndarray:
+    """Fundamental matrix ``N = (I - T)^{-1}`` of an absorbing DTMC.
+
+    ``P_transient`` is the transient-to-transient block ``T``.  Entry ``N[s, u]`` is
+    the expected number of visits to transient state ``u`` before absorption when
+    starting in ``s`` (counting the initial occupancy of ``s``).
+    """
+    T = np.asarray(P_transient, dtype=float)
+    if T.ndim != 2 or T.shape[0] != T.shape[1]:
+        raise ValueError("transient block must be square")
+    identity = np.eye(T.shape[0])
+    return np.linalg.solve(identity - T, identity)
+
+
+def expected_visits_absorbing(P_transient: np.ndarray, start: int) -> np.ndarray:
+    """Expected visit counts to each transient state before absorption.
+
+    Equivalent to the row of the fundamental matrix for *start*, computed without
+    forming the whole inverse.
+    """
+    T = np.asarray(P_transient, dtype=float)
+    n = T.shape[0]
+    if start < 0 or start >= n:
+        raise ValueError(f"start state {start} out of range [0, {n})")
+    e = np.zeros(n)
+    e[start] = 1.0
+    # visits v satisfies v = e + v T  =>  v (I - T) = e  =>  (I - T)^T v^T = e^T
+    return solve_linear(np.eye(n) - T.T, e)
+
+
+def absorption_probabilities(P_transient: np.ndarray,
+                             P_to_absorbing: np.ndarray,
+                             start: int) -> np.ndarray:
+    """Probability of being absorbed in each absorbing state, starting from *start*.
+
+    ``P_to_absorbing`` is the transient-to-absorbing block ``R``; the result is the
+    *start* row of ``N R``.
+    """
+    visits = expected_visits_absorbing(P_transient, start)
+    R = np.asarray(P_to_absorbing, dtype=float)
+    if R.shape[0] != visits.shape[0]:
+        raise ValueError("transient and absorbing blocks have mismatched sizes")
+    return visits @ R

@@ -1,0 +1,193 @@
+"""Statistics helpers: online moments, summaries, confidence intervals.
+
+Monte-Carlo experiments (model-level simulation and full DES runs) funnel their
+observations through :class:`OnlineMoments` so that means/variances are available
+without retaining every sample, while :class:`SummaryStats` captures a full summary
+when the samples *are* retained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OnlineMoments",
+    "SummaryStats",
+    "confidence_interval",
+    "empirical_cdf",
+    "empirical_pdf",
+    "relative_error",
+]
+
+
+class OnlineMoments:
+    """Welford-style streaming mean/variance accumulator.
+
+    >>> acc = OnlineMoments()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     acc.add(x)
+    >>> acc.mean
+    2.0
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate a single observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Incorporate many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "OnlineMoments") -> "OnlineMoments":
+        """Return a new accumulator combining *self* and *other*."""
+        if other._count == 0:
+            out = OnlineMoments()
+            out._count, out._mean, out._m2 = self._count, self._mean, self._m2
+            out._min, out._max = self._min, self._max
+            return out
+        if self._count == 0:
+            return other.merge(self)
+        out = OnlineMoments()
+        out._count = self._count + other._count
+        delta = other._mean - self._mean
+        out._mean = self._mean + delta * other._count / out._count
+        out._m2 = (self._m2 + other._m2
+                   + delta * delta * self._count * other._count / out._count)
+        out._min = min(self._min, other._min)
+        out._max = max(self._max, other._max)
+        return out
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self._count == 0:
+            return 0.0
+        return self.std / math.sqrt(self._count)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def summary(self) -> "SummaryStats":
+        return SummaryStats(count=self._count, mean=self.mean, std=self.std,
+                            minimum=self.minimum, maximum=self.maximum)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Immutable summary of a sample: count, mean, std, min, max."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "SummaryStats":
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot summarise an empty sample")
+        return cls(count=int(arr.size), mean=float(arr.mean()),
+                   std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+                   minimum=float(arr.min()), maximum=float(arr.max()))
+
+    @property
+    def stderr(self) -> float:
+        return self.std / math.sqrt(self.count) if self.count else 0.0
+
+    def ci95(self) -> Tuple[float, float]:
+        """Approximate 95% confidence interval for the mean (normal theory)."""
+        half = 1.959963984540054 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def confidence_interval(samples: Sequence[float], level: float = 0.95
+                        ) -> Tuple[float, float]:
+    """Normal-theory confidence interval for the mean of *samples*."""
+    from scipy import stats as sps
+
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
+    z = float(sps.norm.ppf(0.5 + level / 2.0))
+    return mean - z * sem, mean + z * sem
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` of the empirical CDF of *samples* (sorted)."""
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    probs = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, probs
+
+
+def empirical_pdf(samples: Sequence[float], bins: int = 50,
+                  range_: Tuple[float, float] | None = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram-based density estimate; returns ``(bin_centres, density)``."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a PDF from an empty sample")
+    density, edges = np.histogram(arr, bins=bins, range=range_, density=True)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, density
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Absolute relative error, safe when the reference is zero."""
+    if reference == 0.0:
+        return abs(estimate)
+    return abs(estimate - reference) / abs(reference)

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints every regenerated paper table/figure as an ASCII table
+so the run log itself is the artefact; this module keeps that formatting in one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["AsciiTable", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a float compactly: fixed precision, trimmed of noise."""
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1e6 or (abs(value) < 1e-4 and value != 0.0):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+class AsciiTable:
+    """Simple column-aligned ASCII table builder.
+
+    >>> t = AsciiTable(["case", "E[X]"])
+    >>> t.add_row(["1", 2.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    case | E[X]
+    -----+-------
+    1    | 2.5000
+    """
+
+    def __init__(self, headers: Sequence[str], *, float_digits: int = 4) -> None:
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+        self.float_digits = int(float_digits)
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(format_float(cell, self.float_digits))
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns")
+        self.rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[object]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def column_widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self.column_widths()
+        def fmt_line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+        sep = "-+-".join("-" * width for width in widths)
+        lines = [fmt_line(self.headers), sep]
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

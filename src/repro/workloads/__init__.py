@@ -1,0 +1,32 @@
+"""Workload generators for the recovery-block runtimes and experiments.
+
+A workload fixes everything about the concurrent computation except the recovery
+scheme: how many processes, how much useful work each must complete, how often they
+checkpoint and interact (the Section 2.1 rates), how faults arrive, and how costly
+state saving is.  The same :class:`~repro.workloads.spec.WorkloadSpec` can then be
+run under the asynchronous, synchronized and PRP runtimes for a like-for-like
+comparison.
+"""
+
+from repro.workloads.spec import FaultModel, WorkloadSpec
+from repro.workloads.generators import (
+    paper_table1_case,
+    paper_figure6_case,
+    homogeneous_workload,
+    pipeline_workload,
+    realtime_control_workload,
+)
+from repro.workloads.trace import TraceEvent, TraceWorkload, history_from_trace
+
+__all__ = [
+    "FaultModel",
+    "WorkloadSpec",
+    "paper_table1_case",
+    "paper_figure6_case",
+    "homogeneous_workload",
+    "pipeline_workload",
+    "realtime_control_workload",
+    "TraceEvent",
+    "TraceWorkload",
+    "history_from_trace",
+]

@@ -1,0 +1,104 @@
+"""Pre-canned workloads: the paper's parameter cases and richer scenarios.
+
+The first two builders reproduce the exact parameter points of Table 1 and
+Figure 6; the remaining ones are the domain scenarios used by the examples — a
+homogeneous compute job, a producer/consumer pipeline, and a time-critical control
+loop (the paper's motivation for rejecting long rollbacks in "time-critical tasks
+in which a delay in system response beyond … the system deadline leads to a
+catastrophic failure").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.parameters import SystemParameters
+from repro.processes.communication import all_pairs_rates, producer_consumer_rates
+from repro.processes.program import RecoveryBlockSpec
+from repro.workloads.spec import FaultModel, WorkloadSpec
+
+__all__ = [
+    "TABLE1_CASES",
+    "FIGURE6_CASES",
+    "paper_table1_case",
+    "paper_figure6_case",
+    "homogeneous_workload",
+    "pipeline_workload",
+    "realtime_control_workload",
+]
+
+#: The five (μ, λ) cases of Table 1: ``(μ_1, μ_2, μ_3)`` and ``(λ_12, λ_23, λ_31)``.
+TABLE1_CASES: Tuple[Tuple[Tuple[float, float, float], Tuple[float, float, float]], ...] = (
+    ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)),
+    ((1.5, 1.0, 0.5), (1.0, 1.0, 1.0)),
+    ((1.0, 1.0, 1.0), (1.5, 0.5, 1.0)),
+    ((1.5, 1.0, 0.5), (1.5, 0.5, 1.0)),
+    ((1.5, 1.0, 0.5), (0.5, 1.5, 1.0)),
+)
+
+#: The three density cases of Figure 6.
+FIGURE6_CASES: Tuple[Tuple[Tuple[float, float, float], Tuple[float, float, float]], ...] = (
+    ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)),
+    ((0.6, 0.45, 0.45), (0.5, 0.5, 0.5)),
+    ((0.6, 0.45, 0.45), (0.75, 0.75, 0.75)),
+)
+
+
+def paper_table1_case(case: int) -> SystemParameters:
+    """System parameters of Table 1 column *case* (1-based, 1…5)."""
+    if not (1 <= case <= len(TABLE1_CASES)):
+        raise ValueError(f"Table 1 has cases 1..{len(TABLE1_CASES)}, got {case}")
+    mu, lam = TABLE1_CASES[case - 1]
+    return SystemParameters.three_process(mu, lam)
+
+
+def paper_figure6_case(case: int) -> SystemParameters:
+    """System parameters of Figure 6 curve *case* (1-based, 1…3)."""
+    if not (1 <= case <= len(FIGURE6_CASES)):
+        raise ValueError(f"Figure 6 has cases 1..{len(FIGURE6_CASES)}, got {case}")
+    mu, lam = FIGURE6_CASES[case - 1]
+    return SystemParameters.three_process(mu, lam)
+
+
+def homogeneous_workload(n: int = 3, *, mu: float = 1.0, lam: float = 1.0,
+                         work: float = 50.0, error_rate: float = 0.02,
+                         checkpoint_cost: float = 0.02) -> WorkloadSpec:
+    """A symmetric all-pairs workload (the paper's canonical setting)."""
+    params = SystemParameters(mu=[mu] * n, lam=all_pairs_rates(n, lam))
+    return WorkloadSpec(params=params, work_per_process=work,
+                        checkpoint_cost=checkpoint_cost,
+                        faults=FaultModel(error_rate=error_rate))
+
+
+def pipeline_workload(n: int = 4, *, mu: float = 1.0, lam: float = 2.0,
+                      work: float = 40.0, error_rate: float = 0.03,
+                      checkpoint_cost: float = 0.02) -> WorkloadSpec:
+    """A producer/consumer pipeline: heavy neighbour traffic, classic domino risk."""
+    params = SystemParameters(mu=[mu] * n, lam=producer_consumer_rates(n, lam))
+    return WorkloadSpec(params=params, work_per_process=work,
+                        checkpoint_cost=checkpoint_cost,
+                        faults=FaultModel(error_rate=error_rate),
+                        block_spec=RecoveryBlockSpec.with_alternates(2))
+
+
+def realtime_control_workload(n: int = 3, *, cycle_rate: float = 2.0,
+                              coupling: float = 1.5, work: float = 30.0,
+                              error_rate: float = 0.05,
+                              checkpoint_cost: float = 0.01,
+                              deadline: Optional[float] = None) -> WorkloadSpec:
+    """A time-critical control task (sensor / control-law / actuator processes).
+
+    High checkpointing frequency (``cycle_rate``) and tight coupling; the paper's
+    conclusion argues the asynchronous scheme is unacceptable here because the
+    rollback distance is unbounded, which the strategy-comparison experiment makes
+    measurable.  ``deadline`` is carried via ``max_sim_time`` scaling when given.
+    """
+    params = SystemParameters(mu=[cycle_rate] * n,
+                              lam=all_pairs_rates(n, coupling))
+    max_time = 1e6 if deadline is None else max(deadline * 10.0, work * 10.0)
+    return WorkloadSpec(params=params, work_per_process=work,
+                        checkpoint_cost=checkpoint_cost,
+                        faults=FaultModel(error_rate=error_rate,
+                                          external_detection_probability=0.8),
+                        block_spec=RecoveryBlockSpec.with_alternates(3),
+                        max_sim_time=max_time)

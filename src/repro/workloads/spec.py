@@ -1,0 +1,117 @@
+"""Workload specification shared by all recovery-scheme runtimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import SystemParameters
+from repro.processes.acceptance import AcceptanceTestModel, PerfectAcceptanceTest
+from repro.processes.program import RecoveryBlockSpec
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = ["FaultModel", "WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stochastic fault-injection model.
+
+    Attributes
+    ----------
+    error_rate:
+        Poisson rate (per process, per unit of *running* time) at which transient
+        errors corrupt the process state.
+    propagate_via_messages:
+        Whether a message sent by a contaminated process contaminates the receiver
+        (the mechanism behind rollback propagation and, for PRPs, contaminated
+        pseudo recovery points).
+    external_detection_probability:
+        Probability that an acceptance test flags contamination that originated in
+        *another* process (Section 2.1: local errors are always detected, external
+        ones "may or may not" be).
+    """
+
+    error_rate: float = 0.0
+    propagate_via_messages: bool = True
+    external_detection_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.error_rate, "error_rate")
+        check_probability(self.external_detection_probability,
+                          "external_detection_probability")
+
+    @property
+    def enabled(self) -> bool:
+        return self.error_rate > 0.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything about the computation except the recovery scheme.
+
+    Attributes
+    ----------
+    params:
+        Recovery-point and interaction rates (``μ_i``, ``λ_ij``).
+    work_per_process:
+        Useful computation each process must complete (simulated time units at
+        rate 1) before it is finished.
+    checkpoint_cost:
+        Time ``t_r`` needed to record one process state (used for RPs *and* PRPs —
+        Section 4 charges ``(n−1)·t_r`` extra per RP under the PRP scheme).
+    restart_cost:
+        Fixed time to restore a saved state during a rollback.
+    faults:
+        Fault-injection model.
+    block_spec:
+        Structure of each recovery block (primary/alternates).
+    acceptance:
+        Acceptance-test model.
+    message_latency:
+        Delivery latency of interprocess messages.
+    max_sim_time:
+        Hard stop for a runtime run (safety bound; generous by default).
+    """
+
+    params: SystemParameters
+    work_per_process: float = 50.0
+    checkpoint_cost: float = 0.02
+    restart_cost: float = 0.05
+    faults: FaultModel = field(default_factory=FaultModel)
+    block_spec: RecoveryBlockSpec = field(default_factory=RecoveryBlockSpec)
+    acceptance: AcceptanceTestModel = field(default_factory=PerfectAcceptanceTest)
+    message_latency: float = 0.0
+    max_sim_time: float = 1e6
+
+    def __post_init__(self) -> None:
+        check_positive(self.work_per_process, "work_per_process")
+        check_non_negative(self.checkpoint_cost, "checkpoint_cost")
+        check_non_negative(self.restart_cost, "restart_cost")
+        check_non_negative(self.message_latency, "message_latency")
+        check_positive(self.max_sim_time, "max_sim_time")
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def n_processes(self) -> int:
+        return self.params.n
+
+    def with_faults(self, error_rate: float, **kwargs) -> "WorkloadSpec":
+        """Copy of the spec with a different fault rate (convenience for sweeps)."""
+        return replace(self, faults=FaultModel(error_rate=error_rate, **kwargs))
+
+    def with_work(self, work_per_process: float) -> "WorkloadSpec":
+        return replace(self, work_per_process=work_per_process)
+
+    def with_checkpoint_cost(self, checkpoint_cost: float) -> "WorkloadSpec":
+        return replace(self, checkpoint_cost=checkpoint_cost)
+
+    def ideal_completion_time(self) -> float:
+        """Completion time with zero overhead, zero faults and no waiting."""
+        return self.work_per_process
+
+    def expected_checkpoints_per_process(self) -> np.ndarray:
+        """Rough expectation of how many RPs each process takes while working."""
+        return self.params.mu * self.work_per_process

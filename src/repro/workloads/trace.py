@@ -1,0 +1,117 @@
+"""Deterministic trace workloads.
+
+Hand-written or recorded traces of recovery points and interactions, replayable
+into a :class:`~repro.core.history.HistoryDiagram`.  Traces serve three purposes:
+
+* unit tests build tiny deterministic histories (e.g. the exact scenario of the
+  paper's Figure 1) without touching random numbers;
+* recorded runs of the discrete-event runtimes can be re-analysed offline;
+* the examples use them to illustrate rollback propagation step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.history import HistoryDiagram
+from repro.core.types import CheckpointKind
+
+__all__ = ["TraceEvent", "TraceWorkload", "history_from_trace", "figure1_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``kind`` is ``"rp"``, ``"prp"`` or ``"msg"``.  For checkpoints, ``process`` is
+    the owner; for messages, ``process`` is the sender and ``peer`` the receiver.
+    """
+
+    time: float
+    kind: str
+    process: int
+    peer: int = -1
+    origin: Tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("rp", "prp", "msg"):
+            raise ValueError(f"unknown trace event kind {self.kind!r}")
+        if self.kind == "msg" and self.peer < 0:
+            raise ValueError("message events need a peer")
+        if self.kind == "prp" and self.origin is None:
+            raise ValueError("pseudo recovery points need an origin")
+        if self.time < 0.0:
+            raise ValueError("trace times must be non-negative")
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A named, fixed sequence of trace events over ``n_processes`` processes."""
+
+    name: str
+    n_processes: int
+    events: Tuple[TraceEvent, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError("need at least one process")
+        events = tuple(sorted(self.events, key=lambda e: e.time))
+        object.__setattr__(self, "events", events)
+        for event in events:
+            limit = self.n_processes
+            if not (0 <= event.process < limit):
+                raise ValueError(f"event process {event.process} out of range")
+            if event.kind == "msg" and not (0 <= event.peer < limit):
+                raise ValueError(f"event peer {event.peer} out of range")
+
+    def to_history(self) -> HistoryDiagram:
+        return history_from_trace(self.n_processes, self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+
+def history_from_trace(n_processes: int,
+                       events: Iterable[TraceEvent]) -> HistoryDiagram:
+    """Replay trace *events* into a fresh :class:`HistoryDiagram`."""
+    history = HistoryDiagram(n_processes)
+    for event in sorted(events, key=lambda e: e.time):
+        if event.kind == "rp":
+            history.add_recovery_point(event.process, event.time,
+                                       kind=CheckpointKind.REGULAR)
+        elif event.kind == "prp":
+            history.add_recovery_point(event.process, event.time,
+                                       kind=CheckpointKind.PSEUDO,
+                                       origin=event.origin)
+        else:
+            history.add_interaction(event.process, event.peer, event.time)
+    return history
+
+
+def figure1_trace() -> TraceWorkload:
+    """The rollback-propagation scenario of the paper's Figure 1.
+
+    Three processes; recovery points and interactions are laid out so that a
+    failure of ``P_1`` at its fourth acceptance test propagates through ``P_2`` and
+    ``P_3`` back to the recovery line formed around ``t = 2``: the later recovery
+    points are all invalidated by messages sandwiched between them.
+    """
+    events: List[TraceEvent] = [
+        # An early, globally consistent layer of recovery points (forms RL_2).
+        TraceEvent(time=1.8, kind="rp", process=0),
+        TraceEvent(time=2.0, kind="rp", process=1),
+        TraceEvent(time=2.1, kind="rp", process=2),
+        # Interactions that tie the later checkpoints together pairwise.
+        TraceEvent(time=3.0, kind="msg", process=0, peer=1),
+        TraceEvent(time=3.4, kind="rp", process=1),
+        TraceEvent(time=3.8, kind="msg", process=1, peer=2),
+        TraceEvent(time=4.2, kind="rp", process=2),
+        TraceEvent(time=4.6, kind="msg", process=2, peer=0),
+        TraceEvent(time=5.0, kind="rp", process=0),
+        TraceEvent(time=5.4, kind="msg", process=0, peer=1),
+        TraceEvent(time=5.8, kind="msg", process=1, peer=2),
+        # P_1 fails its acceptance test at t = 6.2 (AT_1^4 in the figure).
+    ]
+    return TraceWorkload(name="figure1", n_processes=3, events=tuple(events))

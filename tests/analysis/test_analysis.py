@@ -1,0 +1,207 @@
+"""Unit tests for the closed-form analyses (Sections 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import StrategyComparison, recommend_scheme
+from repro.analysis.order_statistics import (
+    expected_maximum_exponential,
+    expected_maximum_exponential_homogeneous,
+    expected_range_exponential,
+    harmonic_number,
+    maximum_exponential_cdf,
+    maximum_exponential_pdf,
+)
+from repro.analysis.prp_overhead import PRPOverheadModel
+from repro.analysis.rollback_distance import AsynchronousRollbackModel
+from repro.analysis.synchronized_loss import (
+    SynchronizedLossModel,
+    computation_loss,
+    computation_loss_homogeneous,
+)
+from repro.core.parameters import SystemParameters
+
+
+class TestOrderStatistics:
+    def test_harmonic_numbers(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(25.0 / 12.0)
+
+    def test_single_variable_reduces_to_exponential_mean(self):
+        assert expected_maximum_exponential([2.0]) == pytest.approx(0.5)
+
+    def test_two_variables_closed_form(self):
+        # E[max(Exp(a), Exp(b))] = 1/a + 1/b - 1/(a+b).
+        assert expected_maximum_exponential([1.0, 2.0]) == pytest.approx(
+            1.0 + 0.5 - 1.0 / 3.0)
+
+    def test_homogeneous_matches_harmonic_formula(self):
+        for n in (2, 3, 5, 8):
+            assert expected_maximum_exponential([1.5] * n) == pytest.approx(
+                expected_maximum_exponential_homogeneous(n, 1.5))
+
+    def test_mean_matches_numerical_integration_of_survival(self):
+        rates = [0.7, 1.3, 2.2]
+        t = np.linspace(0.0, 60.0, 60001)
+        survival = 1.0 - maximum_exponential_cdf(rates, t)
+        assert np.trapezoid(survival, t) == pytest.approx(
+            expected_maximum_exponential(rates), rel=1e-4)
+
+    def test_pdf_integrates_to_one_and_matches_cdf(self):
+        rates = [1.0, 0.5]
+        t = np.linspace(0.0, 80.0, 80001)
+        pdf = maximum_exponential_pdf(rates, t)
+        assert np.trapezoid(pdf, t) == pytest.approx(1.0, abs=1e-4)
+        cdf_numeric = np.cumsum(pdf) * (t[1] - t[0])
+        assert cdf_numeric[-1] == pytest.approx(
+            maximum_exponential_cdf(rates, t[-1]), abs=1e-3)
+
+    def test_monte_carlo_agreement(self, rng):
+        rates = [0.5, 1.0, 2.0]
+        samples = np.max(rng.exponential(1.0 / np.asarray(rates), size=(20000, 3)),
+                         axis=1)
+        assert samples.mean() == pytest.approx(
+            expected_maximum_exponential(rates), rel=0.03)
+
+    def test_range_is_positive_and_less_than_max(self):
+        rates = [1.0, 1.0, 1.0]
+        rng_val = expected_range_exponential(rates)
+        assert 0.0 < rng_val < expected_maximum_exponential(rates)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            expected_maximum_exponential([1.0, 0.0])
+
+
+class TestSynchronizedLoss:
+    def test_exact_and_integral_methods_agree(self):
+        mu = [0.6, 1.1, 2.4, 0.9]
+        assert computation_loss(mu, method="exact") == pytest.approx(
+            computation_loss(mu, method="integral"), rel=1e-6)
+
+    def test_homogeneous_closed_form(self):
+        # CL = n (H_n - 1) / mu.
+        assert computation_loss_homogeneous(3, 1.0) == pytest.approx(
+            3 * (harmonic_number(3) - 1.0))
+        assert computation_loss([2.0] * 4) == pytest.approx(
+            computation_loss_homogeneous(4, 2.0))
+
+    def test_loss_zero_for_single_process(self):
+        assert computation_loss([1.7]) == pytest.approx(0.0)
+
+    def test_loss_increases_with_n(self):
+        losses = [computation_loss_homogeneous(n, 1.0) for n in range(2, 8)]
+        assert all(b > a for a, b in zip(losses, losses[1:]))
+
+    def test_heterogeneity_increases_loss_at_constant_total_rate(self):
+        balanced = computation_loss([1.0, 1.0, 1.0])
+        skewed = computation_loss([1.8, 0.9, 0.3])
+        assert skewed > balanced
+
+    def test_model_per_process_losses(self):
+        model = SynchronizedLossModel([2.0, 0.5])
+        per_process = model.expected_loss_per_process()
+        # The faster checkpointer (rate 2) waits longer on average.
+        assert per_process[0] > per_process[1]
+        assert per_process.sum() == pytest.approx(model.expected_loss())
+
+    def test_report_and_rates(self):
+        model = SynchronizedLossModel([1.0, 1.0, 1.0])
+        report = model.report(sync_period=5.0)
+        assert report["CL"] == pytest.approx(report["CL_integral"], rel=1e-6)
+        assert report["relative_loss"] == pytest.approx(report["loss_rate"] / 3.0)
+        with pytest.raises(ValueError):
+            model.loss_rate(0.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            computation_loss([1.0, 1.0], method="guess")
+
+
+class TestPRPOverhead:
+    @pytest.fixture
+    def model(self, params_case1):
+        return PRPOverheadModel(params_case1, record_cost=0.05)
+
+    def test_time_overhead_formulas(self, model):
+        assert model.extra_time_per_rp() == pytest.approx(2 * 0.05)
+        assert model.overhead_time_rate() == pytest.approx(3.0 * 0.1)
+        assert model.overhead_per_process_rate() == pytest.approx(0.1)
+
+    def test_storage_formulas(self, model):
+        assert model.states_per_rp() == 3
+        assert model.steady_state_storage() == 9
+        assert model.save_rate() == pytest.approx(9.0)
+
+    def test_rollback_bound_is_max_exponential(self, model, params_case1):
+        assert model.rollback_distance_bound() == pytest.approx(
+            expected_maximum_exponential(params_case1.mu))
+
+    def test_quantile_is_monotone(self, model):
+        assert model.rollback_distance_bound_quantile(0.9) > \
+            model.rollback_distance_bound_quantile(0.5)
+        with pytest.raises(ValueError):
+            model.rollback_distance_bound_quantile(1.5)
+
+    def test_efficiency_ratio_infinite_without_communication(self):
+        params = SystemParameters(mu=[1.0, 1.0], lam=np.zeros((2, 2)))
+        assert PRPOverheadModel(params).efficiency_ratio() == float("inf")
+
+    def test_report_keys(self, model):
+        report = model.report()
+        assert {"extra_time_per_rp", "rollback_distance_bound",
+                "steady_state_storage"} <= set(report)
+
+
+class TestAsynchronousRollback:
+    def test_inspection_paradox_at_least_half_mean(self, params_case1):
+        model = AsynchronousRollbackModel(params_case1)
+        assert model.expected_distance_inspection_paradox() >= \
+            0.5 * model.expected_interval()
+
+    def test_simulated_distance_matches_inspection_paradox(self, params_case1):
+        model = AsynchronousRollbackModel(params_case1)
+        report = model.simulate_distance(n_failures=4000, seed=3)
+        assert report["mean_distance"] == pytest.approx(
+            report["analytic_inspection_paradox"], rel=0.15)
+
+    def test_report_keys(self, params_case2):
+        report = AsynchronousRollbackModel(params_case2).report()
+        assert "E[X]" in report and report["E[X]"] > 0
+
+
+class TestComparison:
+    def test_costs_reflect_paper_qualitative_claims(self, params_case1):
+        comparison = StrategyComparison(params_case1, record_cost=0.02,
+                                        sync_period=2.0)
+        costs = comparison.all_costs()
+        # Asynchronous: cheapest in normal operation.
+        assert costs["asynchronous"].normal_overhead_rate == \
+            min(c.normal_overhead_rate for c in costs.values())
+        # PRP rollback distance is bounded below the asynchronous expectation.
+        assert costs["pseudo-recovery-points"].expected_rollback_distance < \
+            costs["asynchronous"].expected_rollback_distance * 2.0
+        # PRP storage exceeds asynchronous per-line storage for small n.
+        assert costs["pseudo-recovery-points"].storage_states > 0
+
+    def test_total_cost_monotone_in_failure_rate(self, params_case1):
+        costs = StrategyComparison(params_case1).asynchronous_costs()
+        assert costs.total_cost(0.1) > costs.total_cost(0.01)
+
+    def test_table_structure(self, params_case1):
+        table = StrategyComparison(params_case1).table(failure_rate=0.05)
+        assert set(table) == {"asynchronous", "synchronized", "pseudo-recovery-points"}
+        for metrics in table.values():
+            assert "total_cost" in metrics
+
+    def test_recommend_deadline_disqualifies_async(self, params_case1):
+        # A recovery deadline of 2.0 admits the PRP bound (H_3/mu ≈ 1.83) but rules
+        # out both the asynchronous rollback (≈ 4.5) and the synchronized one
+        # (≈ 2.8), so the PRP scheme must be recommended despite its overhead.
+        scheme = recommend_scheme(params_case1, failure_rate=0.001, deadline=2.0)
+        assert scheme == "pseudo-recovery-points"
+
+    def test_recommend_low_failure_rate_prefers_cheap_normal_operation(self,
+                                                                       params_case1):
+        scheme = recommend_scheme(params_case1, failure_rate=1e-6)
+        assert scheme == "asynchronous"

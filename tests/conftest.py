@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryDiagram
+from repro.core.parameters import SystemParameters
+from repro.workloads.generators import homogeneous_workload, paper_table1_case
+from repro.workloads.trace import figure1_trace
+
+
+@pytest.fixture
+def params_case1() -> SystemParameters:
+    """Table 1 case 1: three symmetric processes (μ=λ=1)."""
+    return paper_table1_case(1)
+
+
+@pytest.fixture
+def params_case2() -> SystemParameters:
+    """Table 1 case 2: heterogeneous μ=(1.5, 1, 0.5), λ all 1."""
+    return paper_table1_case(2)
+
+
+@pytest.fixture
+def two_process_params() -> SystemParameters:
+    return SystemParameters.symmetric(2, mu=1.0, lam=0.5)
+
+
+@pytest.fixture
+def figure1_history() -> HistoryDiagram:
+    """The hand-built history of the paper's Figure 1."""
+    return figure1_trace().to_history()
+
+
+@pytest.fixture
+def simple_history() -> HistoryDiagram:
+    """Two processes, two checkpoints each, one message in between."""
+    history = HistoryDiagram(2)
+    history.add_recovery_point(0, 1.0)
+    history.add_recovery_point(1, 1.2)
+    history.add_interaction(0, 1, 2.0)
+    history.add_recovery_point(0, 3.0)
+    history.add_recovery_point(1, 3.5)
+    return history
+
+
+@pytest.fixture
+def small_workload():
+    """A small, fast workload for runtime integration tests."""
+    return homogeneous_workload(n=3, mu=1.0, lam=1.0, work=15.0, error_rate=0.05)
+
+
+@pytest.fixture
+def faultless_workload():
+    """Same workload but with fault injection disabled."""
+    return homogeneous_workload(n=3, mu=1.0, lam=1.0, work=15.0, error_rate=0.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

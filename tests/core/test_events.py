@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import Event, EventLog
+from repro.core.types import CheckpointKind, EventKind
+
+
+class TestEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, kind=EventKind.ERROR, process=0)
+
+    def test_ordering_by_time_then_seq(self):
+        a = Event(time=1.0, kind=EventKind.ERROR, process=0, seq=0)
+        b = Event(time=1.0, kind=EventKind.ERROR, process=0, seq=1)
+        assert a < b
+
+
+class TestEventLog:
+    def test_append_and_iterate(self):
+        log = EventLog()
+        log.append(0.5, EventKind.RECOVERY_POINT, 0, index=0)
+        log.append(1.0, EventKind.INTERACTION, 0, peer=1)
+        assert len(log) == 2
+        assert [e.kind for e in log] == [EventKind.RECOVERY_POINT, EventKind.INTERACTION]
+        assert log.end_time == 1.0
+
+    def test_rejects_time_regression(self):
+        log = EventLog()
+        log.append(2.0, EventKind.ERROR, 0)
+        with pytest.raises(ValueError):
+            log.append(1.0, EventKind.ERROR, 0)
+
+    def test_filter_by_kind_and_process(self):
+        log = EventLog()
+        log.append(0.0, EventKind.RECOVERY_POINT, 0)
+        log.append(1.0, EventKind.RECOVERY_POINT, 1)
+        log.append(2.0, EventKind.ERROR, 1)
+        assert len(log.filter(kind=EventKind.RECOVERY_POINT)) == 2
+        assert len(log.filter(process=1)) == 2
+        assert len(log.filter(kind=EventKind.ERROR, process=0)) == 0
+
+    def test_filter_with_predicate(self):
+        log = EventLog()
+        log.append(0.0, EventKind.ERROR, 0, local=True)
+        log.append(1.0, EventKind.ERROR, 0, local=False)
+        assert len(log.filter(predicate=lambda e: e.data.get("local"))) == 1
+
+    def test_count_and_processes(self):
+        log = EventLog()
+        log.append(0.0, EventKind.RECOVERY_POINT, 2)
+        log.append(0.5, EventKind.RECOVERY_POINT, 0)
+        assert log.count(EventKind.RECOVERY_POINT) == 2
+        assert log.processes() == [0, 2]
+
+    def test_summary_counts_by_kind(self):
+        log = EventLog()
+        log.append(0.0, EventKind.RECOVERY_POINT, 0)
+        log.append(0.1, EventKind.ROLLBACK, 0, restart_time=0.0, cause=0)
+        summary = log.summary()
+        assert summary["recovery_point"] == 1
+        assert summary["rollback"] == 1
+
+    def test_to_history_translates_checkpoints_and_interactions(self):
+        log = EventLog()
+        log.append(1.0, EventKind.RECOVERY_POINT, 0, index=1)
+        log.append(1.5, EventKind.INTERACTION, 0, peer=1, receive_time=1.5)
+        log.append(2.0, EventKind.PSEUDO_RECOVERY_POINT, 1, origin=(0, 1))
+        history = log.to_history(n_processes=2)
+        assert history.checkpoint_count(0, CheckpointKind.REGULAR) == 1
+        assert history.checkpoint_count(1, CheckpointKind.PSEUDO) == 1
+        assert len(history.interactions) == 1
+
+    def test_to_history_requires_peer_for_interactions(self):
+        log = EventLog()
+        log.append(1.0, EventKind.INTERACTION, 0)
+        with pytest.raises(ValueError):
+            log.to_history(n_processes=2)
+
+    def test_to_history_skips_non_initiator_side(self):
+        log = EventLog()
+        log.append(1.0, EventKind.INTERACTION, 0, peer=1, initiator=True)
+        log.append(1.0, EventKind.INTERACTION, 1, peer=0, initiator=False)
+        history = log.to_history(n_processes=2)
+        assert len(history.interactions) == 1
+
+    def test_extend_preserves_payload(self):
+        source = EventLog()
+        source.append(0.0, EventKind.ERROR, 1, origin=2)
+        clone = EventLog()
+        clone.extend(source.events)
+        assert clone[0].data["origin"] == 2

@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.history."""
+
+import pytest
+
+from repro.core.history import HistoryDiagram
+from repro.core.types import CheckpointKind
+
+
+class TestConstruction:
+    def test_every_process_starts_with_initial_state(self):
+        history = HistoryDiagram(3)
+        for pid in range(3):
+            points = history.checkpoints(pid)
+            assert len(points) == 1
+            assert points[0].kind is CheckpointKind.INITIAL
+            assert points[0].time == 0.0
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            HistoryDiagram(0)
+
+    def test_process_range_checked(self):
+        history = HistoryDiagram(2)
+        with pytest.raises(ValueError):
+            history.add_recovery_point(5, 1.0)
+        with pytest.raises(ValueError):
+            history.add_interaction(0, 9, 1.0)
+
+
+class TestCheckpoints:
+    def test_indices_increase_per_process(self):
+        history = HistoryDiagram(2)
+        rp1 = history.add_recovery_point(0, 1.0)
+        rp2 = history.add_recovery_point(0, 2.0)
+        assert (rp1.index, rp2.index) == (1, 2)
+
+    def test_out_of_order_insertion_kept_sorted(self):
+        history = HistoryDiagram(1)
+        history.add_recovery_point(0, 5.0)
+        history.add_recovery_point(0, 2.0)
+        times = [rp.time for rp in history.checkpoints(0)]
+        assert times == sorted(times)
+
+    def test_kind_filtering(self):
+        history = HistoryDiagram(2)
+        history.add_recovery_point(0, 1.0)
+        history.add_recovery_point(0, 2.0, kind=CheckpointKind.PSEUDO, origin=(1, 1))
+        assert history.checkpoint_count(0, CheckpointKind.REGULAR) == 1
+        assert history.checkpoint_count(0, CheckpointKind.PSEUDO) == 1
+        assert len(history.recovery_points(0)) == 1
+
+    def test_latest_checkpoint_before(self):
+        history = HistoryDiagram(1)
+        history.add_recovery_point(0, 1.0)
+        history.add_recovery_point(0, 3.0)
+        assert history.latest_checkpoint_before(0, 2.5).time == 1.0
+        assert history.latest_checkpoint_before(0, 3.0).time == 3.0
+        assert history.latest_checkpoint_before(0, 3.0, inclusive=False).time == 1.0
+        assert history.latest_checkpoint_before(0, 0.5).kind is CheckpointKind.INITIAL
+
+    def test_latest_checkpoint_usable_only_skips_foreign_pseudo(self):
+        history = HistoryDiagram(2)
+        history.add_recovery_point(0, 1.0)
+        history.add_recovery_point(0, 2.0, kind=CheckpointKind.PSEUDO, origin=(1, 1))
+        usable = history.latest_checkpoint_before(0, 3.0, usable_only=True,
+                                                  failed_process=0)
+        assert usable.time == 1.0
+        # When the failure is in the PRP's triggering process, the PRP is usable.
+        usable_for_1 = history.latest_checkpoint_before(0, 3.0, usable_only=True,
+                                                        failed_process=1)
+        assert usable_for_1.time == 2.0
+
+
+class TestInteractions:
+    def test_interactions_between_open_window(self, simple_history):
+        assert len(simple_history.interactions_between(0, 1, 1.0, 3.0)) == 1
+        assert len(simple_history.interactions_between(0, 1, 2.0, 3.0)) == 0
+        assert len(simple_history.interactions_between(0, 1, 2.0, 3.0, closed=True)) == 1
+
+    def test_interactions_between_is_symmetric_in_window(self, simple_history):
+        forward = simple_history.interactions_between(0, 1, 1.0, 3.0)
+        backward = simple_history.interactions_between(0, 1, 3.0, 1.0)
+        assert forward == backward
+
+    def test_interactions_involving_uses_endpoint_of_that_process(self):
+        history = HistoryDiagram(2)
+        history.add_interaction(0, 1, 1.0, receive_time=2.0)
+        assert len(history.interactions_involving(0, 0.0, 1.5)) == 1   # send at 1.0
+        assert len(history.interactions_involving(1, 0.0, 1.5)) == 0   # receive at 2.0
+        assert len(history.interactions_involving(1, 1.5, 2.5)) == 1
+
+    def test_last_event_kind(self, simple_history):
+        assert simple_history.last_event_kind(0, 1.5) == "rp"
+        assert simple_history.last_event_kind(0, 2.5) == "interaction"
+        assert simple_history.last_event_kind(0, 3.2) == "rp"
+        assert HistoryDiagram(1).last_event_kind(0, 1.0) == "none"
+
+
+class TestMisc:
+    def test_end_time_tracks_latest_event(self, simple_history):
+        assert simple_history.end_time == 3.5
+
+    def test_validate_passes_for_wellformed(self, simple_history, figure1_history):
+        simple_history.validate()
+        figure1_history.validate()
+
+    def test_render_ascii_contains_processes_and_marks(self, simple_history):
+        art = simple_history.render_ascii(width=40)
+        assert "P1" in art and "P2" in art
+        assert "o" in art and "x" in art
+
+    def test_repr_mentions_counts(self, simple_history):
+        assert "interactions=1" in repr(simple_history)

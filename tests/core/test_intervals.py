@@ -1,0 +1,55 @@
+"""Unit tests for repro.core.intervals."""
+
+import pytest
+
+from repro.core.history import HistoryDiagram
+from repro.core.intervals import extract_intervals, summarize_intervals
+from repro.core.recovery_line import ExactRecoveryLineDetector
+
+
+class TestExtractIntervals:
+    def test_simple_history_intervals(self, simple_history):
+        observations = extract_intervals(simple_history)
+        # Lines at 0, 1.0, 1.2, 3.5 under the latest-RP detector => three intervals.
+        assert len(observations) == 3
+        assert observations[0].length == pytest.approx(1.0)
+        assert observations[1].length == pytest.approx(0.2)
+        assert observations[2].length == pytest.approx(2.3)
+
+    def test_rp_counts_attribute_to_correct_interval(self, simple_history):
+        observations = extract_intervals(simple_history)
+        assert observations[0].rp_counts == (1, 0)
+        assert observations[1].rp_counts == (0, 1)
+        assert observations[2].rp_counts == (1, 1)
+        assert observations[2].total_rp_count == 2
+
+    def test_interaction_count(self, simple_history):
+        observations = extract_intervals(simple_history)
+        assert observations[0].interaction_count == 0
+        assert observations[1].interaction_count == 0
+        assert observations[2].interaction_count == 1
+
+    def test_max_intervals_truncates(self, simple_history):
+        observations = extract_intervals(simple_history, max_intervals=1)
+        assert len(observations) == 1
+
+    def test_custom_detector(self, figure1_history):
+        exact = extract_intervals(figure1_history, ExactRecoveryLineDetector())
+        default = extract_intervals(figure1_history)
+        assert len(exact) >= len(default)
+
+    def test_empty_history_has_no_intervals(self):
+        assert extract_intervals(HistoryDiagram(2)) == []
+
+
+class TestSummaries:
+    def test_summary_values(self, simple_history):
+        summary = summarize_intervals(extract_intervals(simple_history))
+        assert summary["count"] == 3
+        assert summary["mean_X"] == pytest.approx(3.5 / 3)
+        assert summary["mean_total_L"] == pytest.approx(4.0 / 3)
+        assert summary["mean_L"].shape == (2,)
+
+    def test_summary_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_intervals([])

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.recovery_line."""
+
+import pytest
+
+from repro.core.history import HistoryDiagram
+from repro.core.recovery_line import (
+    ExactRecoveryLineDetector,
+    LatestRPRecoveryLineDetector,
+    find_recovery_lines,
+    is_consistent_line,
+)
+from repro.core.types import CheckpointKind
+
+
+class TestConsistency:
+    def test_consistent_when_no_messages(self):
+        history = HistoryDiagram(2)
+        a = history.add_recovery_point(0, 1.0)
+        b = history.add_recovery_point(1, 2.0)
+        assert is_consistent_line(history, {0: a, 1: b})
+
+    def test_inconsistent_when_message_sandwiched(self):
+        history = HistoryDiagram(2)
+        a = history.add_recovery_point(0, 1.0)
+        history.add_interaction(0, 1, 1.5)
+        b = history.add_recovery_point(1, 2.0)
+        assert not is_consistent_line(history, {0: a, 1: b})
+
+    def test_message_outside_window_is_fine(self):
+        history = HistoryDiagram(2)
+        history.add_interaction(0, 1, 0.5)
+        a = history.add_recovery_point(0, 1.0)
+        b = history.add_recovery_point(1, 2.0)
+        history.add_interaction(0, 1, 3.0)
+        assert is_consistent_line(history, {0: a, 1: b})
+
+    def test_message_between_other_pair_does_not_matter(self):
+        history = HistoryDiagram(3)
+        a = history.add_recovery_point(0, 1.0)
+        b = history.add_recovery_point(1, 3.0)
+        history.add_interaction(0, 2, 2.0)  # involves P1 and P3, not the (0,1) pair
+        assert is_consistent_line(history, {0: a, 1: b})
+
+
+class TestExactDetector:
+    def test_initial_line_always_present(self):
+        lines = ExactRecoveryLineDetector().find_lines(HistoryDiagram(3))
+        assert len(lines) == 1
+        assert lines[0].formation_time == 0.0
+
+    def test_simple_history_forms_lines(self, simple_history):
+        lines = ExactRecoveryLineDetector().find_lines(simple_history)
+        # Initial line, the line at (1.0, 1.2), and the line at (3.0, 3.5).
+        assert len(lines) >= 3
+        assert lines[-1].formation_time == pytest.approx(3.5)
+
+    def test_sandwiched_message_blocks_line(self):
+        history = HistoryDiagram(2)
+        history.add_recovery_point(0, 1.0)
+        history.add_interaction(0, 1, 1.5)
+        history.add_recovery_point(1, 2.0)
+        lines = ExactRecoveryLineDetector().find_lines(history)
+        # Only the initial line: RP_1 and RP_2 are separated by the message, and
+        # combining either with the other's initial state is blocked too...
+        # except RP at 1.0 with P2's initial state at 0.0 has the message at 1.5
+        # outside (0,1) window, so that *is* a line.
+        times = [line.formation_time for line in lines]
+        assert 2.0 not in times
+
+    def test_figure1_history_recovers_paper_layers(self, figure1_history):
+        lines = ExactRecoveryLineDetector().find_lines(figure1_history)
+        # The early layer (1.8, 2.0, 2.1) must be a detected recovery line.
+        assert any(abs(line.formation_time - 2.1) < 1e-9 for line in lines)
+
+    def test_include_pseudo_allows_prp_members(self):
+        history = HistoryDiagram(2)
+        rp = history.add_recovery_point(0, 1.0)
+        history.add_recovery_point(1, 1.1, kind=CheckpointKind.PSEUDO,
+                                   origin=(0, rp.index))
+        with_pseudo = ExactRecoveryLineDetector(include_pseudo=True).find_lines(history)
+        without = ExactRecoveryLineDetector(include_pseudo=False).find_lines(history)
+        assert len(with_pseudo) >= len(without)
+
+    def test_intervals_are_nonnegative(self, figure1_history):
+        intervals = ExactRecoveryLineDetector().intervals(figure1_history)
+        assert all(x >= 0.0 for x in intervals)
+
+    def test_max_candidates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExactRecoveryLineDetector(max_candidates_per_process=0)
+
+
+class TestLatestRPDetector:
+    def test_line_when_all_last_actions_are_rps(self, simple_history):
+        lines = LatestRPRecoveryLineDetector().find_lines(simple_history)
+        times = [line.formation_time for line in lines]
+        # Initial line at 0; rule R4 lines at 1.0 and 1.2 (no interaction yet, so
+        # every new RP immediately closes a line); after the message at 2.0 both
+        # processes must checkpoint again, which completes at 3.5.
+        assert times == [0.0, 1.0, 1.2, 3.5]
+
+    def test_interaction_clears_both_bits(self):
+        history = HistoryDiagram(2)
+        history.add_recovery_point(0, 1.0)
+        history.add_interaction(0, 1, 1.5)
+        history.add_recovery_point(1, 2.0)
+        lines = LatestRPRecoveryLineDetector().find_lines(history)
+        # The RP at 1.0 closes a line via R4; after the interaction clears both
+        # bits, the single RP of P2 at 2.0 cannot close another one.
+        assert [line.formation_time for line in lines] == [0.0, 1.0]
+
+    def test_conservative_relative_to_exact(self, figure1_history):
+        exact = ExactRecoveryLineDetector().find_lines(figure1_history)
+        latest = LatestRPRecoveryLineDetector().find_lines(figure1_history)
+        assert len(latest) <= len(exact)
+
+    def test_r4_direct_transition_counts(self):
+        # Immediately after a line, a single new RP forms the next line (rule R4).
+        history = HistoryDiagram(2)
+        history.add_recovery_point(0, 1.0)
+        history.add_recovery_point(1, 1.5)
+        history.add_recovery_point(0, 2.0)
+        lines = LatestRPRecoveryLineDetector().find_lines(history)
+        assert [line.formation_time for line in lines] == [0.0, 1.0, 1.5, 2.0]
+
+
+class TestConvenienceWrapper:
+    def test_find_recovery_lines_exact_default(self, simple_history):
+        assert len(find_recovery_lines(simple_history)) >= 3
+
+    def test_find_recovery_lines_model_condition(self, simple_history):
+        assert len(find_recovery_lines(simple_history, exact=False)) == 4
+
+    def test_pseudo_with_model_detector_rejected(self, simple_history):
+        with pytest.raises(ValueError):
+            find_recovery_lines(simple_history, exact=False, include_pseudo=True)

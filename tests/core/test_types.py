@@ -1,0 +1,114 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import CheckpointKind, Interaction, RecoveryLine, RecoveryPoint
+
+
+class TestCheckpointKind:
+    def test_regular_and_initial_are_verified(self):
+        assert CheckpointKind.REGULAR.verified
+        assert CheckpointKind.INITIAL.verified
+
+    def test_pseudo_is_not_verified(self):
+        assert not CheckpointKind.PSEUDO.verified
+
+
+class TestRecoveryPoint:
+    def test_label_uses_paper_notation(self):
+        rp = RecoveryPoint(time=1.0, process=0, index=2)
+        assert rp.label == "RP_1^2"
+
+    def test_ordering_by_time(self):
+        early = RecoveryPoint(time=1.0, process=1, index=0)
+        late = RecoveryPoint(time=2.0, process=0, index=0)
+        assert early < late
+
+    def test_pseudo_requires_origin(self):
+        with pytest.raises(ValueError):
+            RecoveryPoint(time=1.0, process=0, index=0, kind=CheckpointKind.PSEUDO)
+
+    def test_pseudo_with_origin_ok(self):
+        rp = RecoveryPoint(time=1.0, process=0, index=0,
+                           kind=CheckpointKind.PSEUDO, origin=(1, 3))
+        assert rp.origin == (1, 3)
+        assert rp.label.startswith("PRP")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(time=-1.0, process=0, index=0),
+        dict(time=0.0, process=-1, index=0),
+        dict(time=0.0, process=0, index=-2),
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryPoint(**kwargs)
+
+    def test_regular_usable_for_anyone(self):
+        rp = RecoveryPoint(time=1.0, process=0, index=1)
+        assert rp.is_usable_for(0) and rp.is_usable_for(2)
+
+    def test_pseudo_usable_only_for_triggering_process_failure(self):
+        prp = RecoveryPoint(time=1.0, process=2, index=1,
+                            kind=CheckpointKind.PSEUDO, origin=(0, 4))
+        assert prp.is_usable_for(0)
+        assert not prp.is_usable_for(1)
+
+
+class TestInteraction:
+    def test_defaults_receive_to_send_time(self):
+        i = Interaction(time=1.5, source=0, target=1)
+        assert i.receive_time == 1.5
+        assert i.window() == (1.5, 1.5)
+
+    def test_rejects_self_interaction(self):
+        with pytest.raises(ValueError):
+            Interaction(time=1.0, source=2, target=2)
+
+    def test_rejects_receive_before_send(self):
+        with pytest.raises(ValueError):
+            Interaction(time=2.0, source=0, target=1, receive_time=1.0)
+
+    def test_pair_is_unordered(self):
+        assert Interaction(time=1.0, source=3, target=1).pair == (1, 3)
+
+    def test_involves(self):
+        i = Interaction(time=1.0, source=0, target=2)
+        assert i.involves(0) and i.involves(2) and not i.involves(1)
+
+
+class TestRecoveryLine:
+    def _line(self):
+        return RecoveryLine(points={
+            0: RecoveryPoint(time=1.0, process=0, index=1),
+            1: RecoveryPoint(time=2.0, process=1, index=1),
+        })
+
+    def test_formation_time_is_latest_member(self):
+        assert self._line().formation_time == 2.0
+        assert self._line().earliest_time == 1.0
+
+    def test_requires_matching_process_keys(self):
+        with pytest.raises(ValueError):
+            RecoveryLine(points={0: RecoveryPoint(time=1.0, process=1, index=0)})
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryLine(points={})
+
+    def test_equality_and_hash(self):
+        assert self._line() == self._line()
+        assert hash(self._line()) == hash(self._line())
+
+    def test_is_pseudo(self):
+        line = RecoveryLine(points={
+            0: RecoveryPoint(time=1.0, process=0, index=1),
+            1: RecoveryPoint(time=1.5, process=1, index=1,
+                             kind=CheckpointKind.PSEUDO, origin=(0, 1)),
+        })
+        assert line.is_pseudo()
+        assert not self._line().is_pseudo()
+
+    def test_point_for(self):
+        line = self._line()
+        assert line.point_for(1).time == 2.0
+        assert line.processes == (0, 1)

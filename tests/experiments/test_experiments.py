@@ -1,0 +1,151 @@
+"""Tests for the experiment harness (paper artefact regeneration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
+from repro.experiments.common import ExperimentResult
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import figure6_curves, run_figure6
+from repro.experiments.prp_costs import run_prp_costs
+from repro.experiments.sync_loss import run_sync_loss, run_sync_loss_validation
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.validation import run_validation
+
+
+class TestResultContainer:
+    def test_add_row_requires_all_columns(self):
+        result = ExperimentResult(name="x", paper_reference="y", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row("row", a=1.0)
+        result.add_row("row", a=1.0, b=2.0)
+        assert result.column("b") == [2.0]
+        assert result.row("row").get("a") == 1.0
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+    def test_render_contains_reference_and_notes(self):
+        result = ExperimentResult(name="x", paper_reference="Table 9",
+                                  columns=["a"], notes="hello")
+        result.add_row("r", a=1.0)
+        text = result.render()
+        assert "Table 9" in text and "hello" in text
+
+
+class TestTable1:
+    def test_matches_paper_EL_columns(self):
+        result = run_table1(simulate=False)
+        for case in range(1, 6):
+            row = result.rows[case - 1]
+            paper = PAPER_TABLE1[case]
+            assert row.get("E[L1]") == pytest.approx(paper[1], abs=2e-3)
+            if case != 5:
+                # Case 5's printed E(L2)=3.111 is inconsistent with the printed
+                # ΣE(L)=9.933=3·3.311 and with E(L_i)=μ_i·E[X]; we reproduce 3.311
+                # and document the cell as a typo (see EXPERIMENTS.md).
+                assert row.get("E[L2]") == pytest.approx(paper[2], abs=2e-3)
+            else:
+                assert row.get("E[L2]") == pytest.approx(3.311, abs=2e-3)
+            assert row.get("E[L3]") == pytest.approx(paper[3], abs=2e-3)
+            assert row.get("sum E[L]") == pytest.approx(paper[4], abs=5e-3)
+
+    def test_EX_within_paper_simulation_tolerance(self):
+        result = run_table1(simulate=False)
+        for case in range(1, 6):
+            row = result.rows[case - 1]
+            assert row.get("E[X]") == pytest.approx(PAPER_TABLE1[case][0], rel=0.07)
+
+    def test_minimum_at_balanced_mu(self):
+        result = run_table1(simulate=False)
+        # Cases 1 and 3 (balanced mu) have smaller E[X] and sum E[L] than 2/4/5.
+        balanced = [result.rows[0], result.rows[2]]
+        skewed = [result.rows[1], result.rows[3], result.rows[4]]
+        assert max(r.get("E[X]") for r in balanced) < \
+            min(r.get("E[X]") for r in skewed)
+        assert max(r.get("sum E[L]") for r in balanced) < \
+            min(r.get("sum E[L]") for r in skewed)
+
+    def test_simulated_columns_close_to_analytic(self):
+        result = run_table1(simulate=True, n_intervals=3000, seed=5)
+        for row in result.rows:
+            assert row.get("sim E[X]") == pytest.approx(row.get("E[X]"), rel=0.1)
+
+
+class TestFigure5:
+    def test_monotone_in_rho_and_steep_in_n(self):
+        result = run_figure5(n_values=(2, 3, 4, 5), rho_values=(0.5, 1.0, 2.0))
+        for row in result.rows:
+            assert row.get("E[X] rho=0.5") <= row.get("E[X] rho=1") \
+                <= row.get("E[X] rho=2")
+        high_rho = result.column("E[X] rho=2")
+        assert high_rho[-1] / high_rho[0] > 5.0     # drastic growth with n
+
+    def test_cross_check_with_full_chain_is_active(self):
+        # Should not raise: lumped and full chains agree for n <= 5.
+        run_figure5(n_values=(3, 4), rho_values=(1.0,),
+                    cross_check_full_chain_up_to=5)
+
+    def test_rejects_single_process(self):
+        with pytest.raises(ValueError):
+            run_figure5(n_values=(1,), rho_values=(1.0,))
+
+
+class TestFigure6:
+    def test_density_peaks_near_zero(self):
+        result = run_figure6()
+        for row in result.rows:
+            assert row.get("f(0)") > row.get("f(0.4)") > row.get("f(2)")
+
+    def test_case1_density_at_zero_is_total_mu(self):
+        result = run_figure6()
+        assert result.rows[0].get("f(0)") == pytest.approx(3.0)
+        assert result.rows[1].get("f(0)") == pytest.approx(1.5)
+
+    def test_curves_shape(self):
+        times, curves = figure6_curves(t_max=2.0, n_points=41)
+        assert times.shape == (41,)
+        assert set(curves) == {"case 1", "case 2", "case 3"}
+        for values in curves.values():
+            assert values.shape == (41,) and np.all(values >= 0.0)
+
+
+class TestSectionAnalyses:
+    def test_sync_loss_monotone_in_n_and_heterogeneity(self):
+        result = run_sync_loss(n_values=(2, 3, 4), heterogeneity=(1.0, 2.0))
+        cl1 = result.column("CL h=1")
+        assert cl1 == sorted(cl1)
+        for row in result.rows:
+            assert row.get("CL h=2") >= row.get("CL h=1")
+
+    def test_sync_loss_validation_close(self):
+        result = run_sync_loss_validation(n=3, work=250.0, seed=2)
+        assert result.rows[0].get("relative error") < 0.25
+
+    def test_prp_costs_shape(self):
+        result = run_prp_costs(n_values=(2, 3, 4, 6))
+        assert result.column("extra time per RP") == sorted(
+            result.column("extra time per RP"))
+        ratios = result.column("bound / E[X]")
+        assert ratios[-1] < ratios[0]   # PRP advantage grows with n
+
+
+class TestValidationAndAblation:
+    def test_three_way_validation_agrees(self):
+        result = run_validation(cases=(1,), n_intervals=4000,
+                                history_duration=900.0, seed=3)
+        row = result.rows[0]
+        assert row.get("MC rel err") < 0.1
+        # The history-level estimate uses far fewer intervals (one long trajectory)
+        # and X has a heavy-tailed phase-type distribution, so the tolerance is
+        # looser than for the direct Monte-Carlo estimate.
+        assert row.get("history rel err") < 0.2
+
+    def test_detector_ablation_exact_is_denser(self):
+        result = run_detector_ablation(cases=(1,), duration=150.0, seed=5)
+        row = result.rows[0]
+        assert row.get("exact lines") >= row.get("latest-RP lines")
+        assert row.get("conservatism") >= 1.0
+
+    def test_solver_ablation_tiny_difference(self):
+        result = run_solver_ablation(case=1)
+        assert max(result.column("abs diff")) < 1e-6

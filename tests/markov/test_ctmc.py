@@ -1,0 +1,115 @@
+"""Unit tests for repro.markov.ctmc (phase-type distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.markov.ctmc import PhaseType, transient_distribution
+from repro.markov.generator import build_generator
+
+
+@pytest.fixture
+def exponential_ph():
+    """PH representation of Exp(2)."""
+    return PhaseType(alpha=np.array([1.0]), T=np.array([[-2.0]]))
+
+
+@pytest.fixture
+def erlang2_ph():
+    """Erlang(2, rate 3): two exponential phases in series."""
+    return PhaseType(alpha=np.array([1.0, 0.0]),
+                     T=np.array([[-3.0, 3.0], [0.0, -3.0]]))
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([0.5]), T=np.array([[-1.0]]))
+
+    def test_rejects_positive_diagonal(self):
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0]), T=np.array([[1.0]]))
+
+    def test_rejects_negative_offdiagonal(self):
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0, 0.0]),
+                      T=np.array([[-1.0, -0.5], [0.0, -1.0]]))
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0]), T=np.eye(2) * -1)
+
+
+class TestExponentialCase:
+    def test_pdf_matches_closed_form(self, exponential_ph):
+        t = np.array([0.0, 0.5, 1.0])
+        assert np.allclose(exponential_ph.pdf(t), 2.0 * np.exp(-2.0 * t))
+
+    def test_cdf_and_sf(self, exponential_ph):
+        assert exponential_ph.cdf(1.0) == pytest.approx(1.0 - np.exp(-2.0))
+        assert exponential_ph.sf(1.0) == pytest.approx(np.exp(-2.0))
+
+    def test_moments(self, exponential_ph):
+        assert exponential_ph.mean() == pytest.approx(0.5)
+        assert exponential_ph.variance() == pytest.approx(0.25)
+        assert exponential_ph.moment(3) == pytest.approx(6.0 / 8.0)
+
+    def test_scalar_input_returns_scalar(self, exponential_ph):
+        assert isinstance(exponential_ph.pdf(0.3), float)
+        assert isinstance(exponential_ph.cdf(0.3), float)
+
+
+class TestErlangCase:
+    def test_mean_and_variance(self, erlang2_ph):
+        assert erlang2_ph.mean() == pytest.approx(2.0 / 3.0)
+        assert erlang2_ph.variance() == pytest.approx(2.0 / 9.0)
+
+    def test_pdf_matches_closed_form(self, erlang2_ph):
+        t = np.linspace(0.1, 2.0, 7)
+        expected = 9.0 * t * np.exp(-3.0 * t)
+        assert np.allclose(erlang2_ph.pdf(t), expected)
+
+    def test_exit_vector(self, erlang2_ph):
+        assert np.allclose(erlang2_ph.exit_vector, [0.0, 3.0])
+
+    def test_uniform_grid_propagation_matches_pointwise(self, erlang2_ph):
+        uniform = np.linspace(0.0, 2.0, 21)
+        irregular = uniform[[0, 3, 7, 20]]
+        dense = np.asarray(erlang2_ph.pdf(uniform))
+        sparse = np.asarray(erlang2_ph.pdf(irregular))
+        assert np.allclose(dense[[0, 3, 7, 20]], sparse)
+
+    def test_density_integrates_to_one(self, erlang2_ph):
+        t = np.linspace(0.0, 20.0, 4001)
+        mass = np.trapezoid(erlang2_ph.pdf(t), t)
+        assert mass == pytest.approx(1.0, abs=1e-4)
+
+    def test_negative_times_rejected(self, erlang2_ph):
+        with pytest.raises(ValueError):
+            erlang2_ph.pdf([-0.1, 0.5])
+
+    def test_sampling_mean_close_to_analytic(self, erlang2_ph, rng):
+        samples = erlang2_ph.sample(4000, rng)
+        assert samples.mean() == pytest.approx(erlang2_ph.mean(), rel=0.05)
+        assert np.all(samples > 0.0)
+
+
+class TestChapmanKolmogorov:
+    def test_ode_matches_phase_type_cdf(self, params_case1):
+        from repro.markov.generator import build_phase_type
+
+        H, space = build_generator(params_case1)
+        ph = build_phase_type(params_case1)
+        pi0 = np.zeros(space.n_states)
+        pi0[space.entry_index] = 1.0
+        times = np.array([0.0, 0.5, 1.0, 2.0, 4.0])
+        pi = transient_distribution(H, pi0, times)
+        assert np.allclose(pi[:, space.absorbing_index], ph.cdf(times), atol=1e-6)
+        # Probabilities remain a distribution at all times.
+        assert np.allclose(pi.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_times_must_be_sorted(self, params_case1):
+        H, space = build_generator(params_case1)
+        pi0 = np.zeros(space.n_states)
+        pi0[0] = 1.0
+        with pytest.raises(ValueError):
+            transient_distribution(H, pi0, [1.0, 0.5])

@@ -1,0 +1,76 @@
+"""Unit tests for repro.markov.dtmc."""
+
+import numpy as np
+import pytest
+
+from repro.markov.dtmc import AbsorbingDTMC
+
+
+@pytest.fixture
+def gambler():
+    """Gambler's ruin on {0,1,2,3} with p=0.5; states 0 and 3 absorbing."""
+    P = np.array([
+        [1.0, 0.0, 0.0, 0.0],
+        [0.5, 0.0, 0.5, 0.0],
+        [0.0, 0.5, 0.0, 0.5],
+        [0.0, 0.0, 0.0, 1.0],
+    ])
+    return AbsorbingDTMC(P=P, absorbing=(0, 3))
+
+
+class TestValidation:
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            AbsorbingDTMC(P=np.array([[0.5, 0.4], [0.0, 1.0]]), absorbing=(1,))
+
+    def test_rejects_non_absorbing_marked_absorbing(self):
+        P = np.array([[0.5, 0.5], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            AbsorbingDTMC(P=P, absorbing=(0,))
+
+    def test_rejects_out_of_range_absorbing(self):
+        with pytest.raises(ValueError):
+            AbsorbingDTMC(P=np.eye(2), absorbing=(5,))
+
+    def test_rejects_negative_probabilities(self):
+        P = np.array([[1.2, -0.2], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            AbsorbingDTMC(P=P, absorbing=(1,))
+
+
+class TestGamblersRuin:
+    def test_transient_identification(self, gambler):
+        assert gambler.transient == (1, 2)
+
+    def test_fundamental_matrix(self, gambler):
+        N = gambler.fundamental()
+        expected = np.array([[4.0 / 3.0, 2.0 / 3.0], [2.0 / 3.0, 4.0 / 3.0]])
+        assert np.allclose(N, expected)
+
+    def test_expected_steps_to_absorption(self, gambler):
+        assert gambler.expected_steps_to_absorption(1) == pytest.approx(2.0)
+        assert gambler.expected_steps_to_absorption(2) == pytest.approx(2.0)
+
+    def test_absorption_distribution(self, gambler):
+        probs = gambler.absorption_distribution(1)
+        assert np.allclose(probs, [2.0 / 3.0, 1.0 / 3.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_expected_visits_by_state_keys(self, gambler):
+        visits = gambler.expected_visits_by_state(1)
+        assert set(visits) == {1, 2}
+        assert visits[1] == pytest.approx(4.0 / 3.0)
+
+    def test_expected_visits_rejects_absorbing_start(self, gambler):
+        with pytest.raises(ValueError):
+            gambler.expected_visits(0)
+
+    def test_simulation_reaches_absorption(self, gambler, rng):
+        path = gambler.simulate_to_absorption(1, rng)
+        assert path[0] == 1
+        assert path[-1] in (0, 3)
+
+    def test_simulated_absorption_frequencies(self, gambler, rng):
+        hits = [gambler.simulate_to_absorption(1, rng)[-1] for _ in range(800)]
+        frequency_of_ruin = hits.count(0) / len(hits)
+        assert frequency_of_ruin == pytest.approx(2.0 / 3.0, abs=0.06)

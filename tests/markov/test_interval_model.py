@@ -1,0 +1,73 @@
+"""Unit tests for the high-level RecoveryLineIntervalModel façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+
+
+class TestChainSelection:
+    def test_symmetric_system_uses_lumped_chain(self):
+        params = SystemParameters.symmetric(6, 1.0, 1.0)
+        model = RecoveryLineIntervalModel(params)
+        assert model.uses_simplified_chain
+        assert model.n_states == 8    # n + 2
+
+    def test_asymmetric_system_uses_full_chain(self, params_case2):
+        model = RecoveryLineIntervalModel(params_case2)
+        assert not model.uses_simplified_chain
+        assert model.n_states == 9    # 2^3 + 1
+
+    def test_prefer_simplified_false_forces_full_chain(self, params_case1):
+        model = RecoveryLineIntervalModel(params_case1, prefer_simplified=False)
+        assert not model.uses_simplified_chain
+
+    def test_both_chains_agree(self, params_case1):
+        lumped = RecoveryLineIntervalModel(params_case1, prefer_simplified=True)
+        full = RecoveryLineIntervalModel(params_case1, prefer_simplified=False)
+        assert lumped.mean_interval() == pytest.approx(full.mean_interval())
+        t = np.linspace(0.0, 2.0, 9)
+        assert np.allclose(lumped.pdf(t), full.pdf(t), atol=1e-10)
+
+
+class TestQuantities:
+    def test_case1_reference_values(self, params_case1):
+        model = RecoveryLineIntervalModel(params_case1)
+        assert model.mean_interval() == pytest.approx(2.5)
+        assert model.expected_total_rp_count("all") == pytest.approx(7.5)
+        assert model.interval_variance() > 0.0
+        assert model.interval_moment(1) == pytest.approx(model.mean_interval())
+
+    def test_cdf_and_survival_complement(self, params_case1):
+        model = RecoveryLineIntervalModel(params_case1)
+        t = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(np.asarray(model.cdf(t)) + np.asarray(model.survival(t)),
+                           1.0)
+
+    def test_completion_probabilities_sum_to_one(self, params_case2):
+        model = RecoveryLineIntervalModel(params_case2)
+        assert model.completion_probabilities().sum() == pytest.approx(1.0)
+
+    def test_table1_row_fields(self, params_case2):
+        row = RecoveryLineIntervalModel(params_case2).table1_row()
+        assert set(row) == {"E[X]", "E[L1]", "E[L2]", "E[L3]", "E[sum L]"}
+        assert row["E[sum L]"] == pytest.approx(row["E[L1]"] + row["E[L2]"]
+                                                + row["E[L3]"])
+
+    def test_generator_property_matches_full_chain_shape(self, params_case1):
+        model = RecoveryLineIntervalModel(params_case1)
+        assert model.generator.shape == (9, 9)
+
+
+class TestSimulationBridge:
+    def test_simulate_returns_requested_samples(self, params_case1):
+        samples = RecoveryLineIntervalModel(params_case1).simulate(64, seed=1)
+        assert samples.n_samples == 64
+
+    def test_validation_report_contents(self, params_case1):
+        report = RecoveryLineIntervalModel(params_case1).validation_report(
+            n_intervals=2000, seed=3)
+        assert report["relative_error_X"] < 0.1
+        assert np.all(report["relative_error_L"] < 0.15)
+        assert report["counting"] == "all"

@@ -1,0 +1,94 @@
+"""Unit tests for the lumped symmetric chain (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.markov.generator import build_generator, build_phase_type
+from repro.markov.simplified import SimplifiedChain, simplified_mean_interval
+from repro.util.linalg import is_generator_matrix
+
+
+class TestStructure:
+    def test_state_count_is_n_plus_2(self):
+        assert SimplifiedChain(5, 1.0, 1.0).n_states == 7
+
+    def test_generator_is_valid(self):
+        H = SimplifiedChain(4, 1.0, 0.5).generator()
+        assert is_generator_matrix(H)
+
+    def test_rule_r4_entry_rate(self):
+        chain = SimplifiedChain(3, 2.0, 1.0)
+        H = chain.generator()
+        assert H[chain.entry_index, chain.absorbing_index] == pytest.approx(6.0)
+
+    def test_rule_r1_prime(self):
+        chain = SimplifiedChain(4, 1.5, 1.0)
+        H = chain.generator()
+        # From S_1 (one process clean), three processes can checkpoint.
+        assert H[chain.index_of_u(1), chain.index_of_u(2)] == pytest.approx(3 * 1.5)
+
+    def test_rule_r2_prime_and_r3_prime(self):
+        chain = SimplifiedChain(4, 1.0, 2.0)
+        H = chain.generator()
+        src = chain.index_of_u(3)
+        assert H[src, chain.index_of_u(1)] == pytest.approx(3 * 2 / 2.0 * 2.0)  # R2'
+        assert H[src, chain.index_of_u(2)] == pytest.approx(3 * 1 * 2.0)        # R3'
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimplifiedChain(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SimplifiedChain(3, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            SimplifiedChain(3, 1.0, -0.5)
+
+
+class TestAgreementWithFullChain:
+    @pytest.mark.parametrize("n,mu,lam", [(2, 1.0, 1.0), (3, 1.0, 1.0),
+                                          (3, 0.5, 2.0), (4, 2.0, 0.25),
+                                          (5, 1.0, 0.5)])
+    def test_mean_interval_matches_full_chain(self, n, mu, lam):
+        lumped = SimplifiedChain(n, mu, lam).mean_interval()
+        full = build_phase_type(SystemParameters.symmetric(n, mu, lam)).mean()
+        assert lumped == pytest.approx(full, rel=1e-9)
+
+    def test_density_matches_full_chain(self):
+        chain = SimplifiedChain(3, 1.0, 1.0)
+        full = build_phase_type(SystemParameters.symmetric(3, 1.0, 1.0))
+        t = np.linspace(0.0, 3.0, 13)
+        assert np.allclose(chain.phase_type().pdf(t), full.pdf(t), atol=1e-10)
+
+    def test_lumping_map_covers_all_states(self):
+        chain = SimplifiedChain(3, 1.0, 1.0)
+        mapping, sizes = chain.lumping_map()
+        assert mapping.shape == (9,)
+        # One entry state, one absorbing, C(3,u) intermediates per u.
+        assert sizes[chain.entry_index] == 1
+        assert sizes[chain.absorbing_index] == 1  # the all-ones pattern *is* S_{r+1}
+        assert sizes[chain.index_of_u(1)] == 3
+
+
+class TestScaling:
+    def test_known_case1_value(self):
+        assert simplified_mean_interval(3, 1.0, 1.0) == pytest.approx(2.5)
+
+    def test_time_rescaling(self):
+        # Scaling all rates by c scales E[X] by 1/c.
+        base = simplified_mean_interval(4, 1.0, 1.0)
+        scaled = simplified_mean_interval(4, 2.0, 2.0)
+        assert scaled == pytest.approx(base / 2.0)
+
+    def test_mean_grows_with_interaction_rate(self):
+        low = simplified_mean_interval(4, 1.0, 0.1)
+        high = simplified_mean_interval(4, 1.0, 2.0)
+        assert high > low
+
+    def test_mean_grows_rapidly_with_n_at_fixed_rates(self):
+        values = [simplified_mean_interval(n, 1.0, 1.0) for n in (2, 3, 4, 5, 6)]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        assert all(r > 1.5 for r in ratios)   # "increases drastically" (Figure 5)
+        assert ratios[-1] > ratios[0]
+
+    def test_interval_std_positive(self):
+        assert SimplifiedChain(3, 1.0, 1.0).interval_std() > 0.0

@@ -1,0 +1,87 @@
+"""Unit tests for the split discrete chain Y_d and the E[L_i] computations."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.markov.generator import build_phase_type
+from repro.markov.split_chain import (
+    SplitChainYd,
+    SplitTag,
+    absorption_by_process,
+    expected_rp_counts,
+)
+
+
+class TestSplitConstruction:
+    def test_state_count(self, params_case1):
+        chain = SplitChainYd(params_case1, target=0)
+        # Entry + absorbing + 7 intermediate masks, of which those with bit_0 set
+        # (0b001, 0b011, 0b101 -> 3 masks) are split in two.
+        assert chain.n_states == 2 + 7 + 3
+
+    def test_rows_are_stochastic(self, params_case2):
+        chain = SplitChainYd(params_case2, target=1)
+        P = chain.dtmc.P
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0.0)
+
+    def test_entry_has_no_self_loop(self, params_case1):
+        chain = SplitChainYd(params_case1, target=0)
+        assert chain.dtmc.P[chain.entry_index, chain.entry_index] == pytest.approx(0.0)
+
+    def test_target_out_of_range(self, params_case1):
+        with pytest.raises(ValueError):
+            SplitChainYd(params_case1, target=7)
+
+    def test_expected_visits_labels(self, params_case1):
+        visits = SplitChainYd(params_case1, target=0).expected_visits()
+        assert any(label.endswith("'") for label in visits)
+        assert "S_r" in visits
+
+
+class TestCountingConventions:
+    def test_all_counting_is_wald_identity(self, params_case2):
+        model = build_phase_type(params_case2)
+        counts = expected_rp_counts(params_case2, counting="all")
+        assert np.allclose(counts, params_case2.mu * model.mean())
+
+    def test_interior_counting_subtracts_completion_probability(self, params_case1):
+        all_counts = expected_rp_counts(params_case1, counting="all")
+        interior = expected_rp_counts(params_case1, counting="interior")
+        q = absorption_by_process(params_case1)
+        assert np.allclose(all_counts - interior, q)
+
+    def test_completion_probabilities_sum_to_one(self, params_case1, params_case2):
+        assert absorption_by_process(params_case1).sum() == pytest.approx(1.0)
+        assert absorption_by_process(params_case2).sum() == pytest.approx(1.0)
+
+    def test_split_chain_matches_direct_interior_computation(self, params_case2):
+        direct = expected_rp_counts(params_case2, counting="interior")
+        explicit = np.array([SplitChainYd(params_case2, target=i).expected_rp_count()
+                             for i in range(3)])
+        assert np.allclose(direct, explicit, rtol=1e-9)
+
+    def test_unknown_counting_rejected(self, params_case1):
+        with pytest.raises(ValueError):
+            expected_rp_counts(params_case1, counting="bogus")
+
+
+class TestPaperShapeProperties:
+    def test_counts_proportional_to_mu(self, params_case2):
+        counts = expected_rp_counts(params_case2, counting="all")
+        ratios = counts / params_case2.mu
+        assert np.allclose(ratios, ratios[0])
+
+    def test_balanced_mu_minimises_total_count(self):
+        # Table 1 observation: the minimum of E[sum L] occurs for balanced mu.
+        lam = (1.0, 1.0, 1.0)
+        balanced = SystemParameters.three_process((1.0, 1.0, 1.0), lam)
+        skewed = SystemParameters.three_process((1.5, 1.0, 0.5), lam)
+        total_balanced = expected_rp_counts(balanced, "all").sum()
+        total_skewed = expected_rp_counts(skewed, "all").sum()
+        assert total_balanced < total_skewed
+
+    def test_higher_mu_process_completes_lines_more_often(self, params_case2):
+        q = absorption_by_process(params_case2)
+        assert q[0] > q[1] > q[2]

@@ -1,0 +1,84 @@
+"""Unit tests for repro.markov.state_space."""
+
+import pytest
+
+from repro.markov.state_space import AsyncStateSpace
+
+
+class TestSizes:
+    @pytest.mark.parametrize("n,expected", [(1, 3), (2, 5), (3, 9), (4, 17)])
+    def test_state_count_is_2_pow_n_plus_1(self, n, expected):
+        assert AsyncStateSpace(n).n_states == expected
+
+    def test_transient_count(self):
+        assert AsyncStateSpace(3).n_transient == 8
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            AsyncStateSpace(0)
+        with pytest.raises(ValueError):
+            AsyncStateSpace(25)
+
+
+class TestEncoding:
+    def test_paper_numbering(self):
+        space = AsyncStateSpace(3)
+        # index = sum x_i 2^{i-1} + 1 in the paper; mask + 1 here.
+        assert space.index_of_mask(0b000) == 1
+        assert space.index_of_mask(0b101) == 6
+        assert space.index_of_mask(space.full_mask) == space.absorbing_index
+
+    def test_roundtrip_intermediate(self):
+        space = AsyncStateSpace(4)
+        for index in space.intermediate_indices():
+            assert space.index_of_mask(space.mask_of_index(index)) == index
+
+    def test_entry_and_absorbing_map_to_full_mask(self):
+        space = AsyncStateSpace(3)
+        assert space.mask_of_index(space.entry_index) == space.full_mask
+        assert space.mask_of_index(space.absorbing_index) == space.full_mask
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            AsyncStateSpace(2).index_of_mask(8)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            AsyncStateSpace(2).mask_of_index(9)
+
+
+class TestBits:
+    def test_bit_manipulation(self):
+        space = AsyncStateSpace(3)
+        mask = 0b010
+        assert space.bit(mask, 1) == 1 and space.bit(mask, 0) == 0
+        assert space.set_bit(mask, 0) == 0b011
+        assert space.clear_bit(mask, 1) == 0b000
+
+    def test_ones_and_zeros_partition(self):
+        space = AsyncStateSpace(4)
+        mask = 0b1010
+        assert space.ones(mask) == [1, 3]
+        assert space.zeros(mask) == [0, 2]
+        assert space.count_ones(mask) == 2
+
+    def test_process_range_checked(self):
+        with pytest.raises(ValueError):
+            AsyncStateSpace(2).bit(0, 5)
+
+
+class TestLabels:
+    def test_special_labels(self):
+        space = AsyncStateSpace(2)
+        assert space.label(space.entry_index) == "S_r"
+        assert space.label(space.absorbing_index) == "S_{r+1}"
+
+    def test_tuple_of_index(self):
+        space = AsyncStateSpace(3)
+        assert space.tuple_of_index(space.index_of_mask(0b101)) == (1, 0, 1)
+
+    def test_classifiers(self):
+        space = AsyncStateSpace(2)
+        assert space.is_entry(0) and not space.is_intermediate(0)
+        assert space.is_absorbing(space.absorbing_index)
+        assert space.is_intermediate(1)

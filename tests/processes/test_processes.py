@@ -1,0 +1,164 @@
+"""Unit tests for recovery-block program structure, acceptance tests, topologies."""
+
+import numpy as np
+import pytest
+
+from repro.processes.acceptance import CoverageAcceptanceTest, PerfectAcceptanceTest
+from repro.processes.communication import (
+    all_pairs_rates,
+    producer_consumer_rates,
+    ring_rates,
+    star_rates,
+)
+from repro.processes.program import Alternate, BlockOutcome, RecoveryBlockExecutor, RecoveryBlockSpec
+
+
+class TestRecoveryBlockSpec:
+    def test_default_spec_has_single_primary(self):
+        spec = RecoveryBlockSpec()
+        assert spec.depth == 1
+        assert spec.alternates[0].success_probability == 1.0
+
+    def test_with_alternates_builder(self):
+        spec = RecoveryBlockSpec.with_alternates(3, primary_success=0.9,
+                                                 alternate_success=0.8)
+        assert spec.depth == 3
+        assert spec.alternates[1].name == "alternate-1"
+        assert spec.alternates[2].duration_factor < 1.0
+
+    def test_rejects_empty_alternates(self):
+        with pytest.raises(ValueError):
+            RecoveryBlockSpec(alternates=())
+
+    def test_alternate_validation(self):
+        with pytest.raises(ValueError):
+            Alternate(name="bad", duration_factor=0.0)
+        with pytest.raises(ValueError):
+            Alternate(name="bad", success_probability=1.5)
+
+
+class TestRecoveryBlockExecutor:
+    def test_always_successful_primary(self, rng):
+        executor = RecoveryBlockExecutor(RecoveryBlockSpec(), rng)
+        outcome = executor.execute(2.0)
+        assert outcome.passed and outcome.alternate_used == 0
+        assert outcome.elapsed == pytest.approx(2.0)
+        assert executor.executions == 1 and executor.failures == 0
+
+    def test_alternates_used_when_primary_fails(self, rng):
+        spec = RecoveryBlockSpec(alternates=(
+            Alternate(name="primary", success_probability=0.0),
+            Alternate(name="backup", success_probability=1.0, duration_factor=0.5)),
+            local_retry_cost=0.1)
+        outcome = RecoveryBlockExecutor(spec, rng).execute(2.0)
+        assert outcome.passed and outcome.alternate_used == 1
+        assert outcome.elapsed == pytest.approx(2.0 + 0.1 + 1.0)
+
+    def test_exhaustion_reported(self, rng):
+        spec = RecoveryBlockSpec(alternates=(
+            Alternate(name="p", success_probability=0.0),
+            Alternate(name="a", success_probability=0.0)))
+        outcome = RecoveryBlockExecutor(spec, rng).execute(1.0)
+        assert outcome.exhausted and outcome.alternate_used == -1
+        assert outcome.attempts == 2
+
+    def test_contaminated_state_is_detected_not_fixed(self, rng):
+        executor = RecoveryBlockExecutor(RecoveryBlockSpec(), rng)
+        outcome = executor.execute(1.0, state_contaminated=True,
+                                   detect_contamination_probability=1.0)
+        assert outcome.detected_contamination and not outcome.passed
+
+    def test_contamination_can_slip_through(self, rng):
+        executor = RecoveryBlockExecutor(RecoveryBlockSpec(), rng)
+        outcome = executor.execute(1.0, state_contaminated=True,
+                                   detect_contamination_probability=0.0)
+        assert outcome.passed and not outcome.detected_contamination
+
+    def test_expected_elapsed_matches_sampling(self, rng):
+        spec = RecoveryBlockSpec.with_alternates(2, primary_success=0.6,
+                                                 alternate_success=1.0)
+        executor = RecoveryBlockExecutor(spec, rng)
+        samples = [executor.execute(1.0).elapsed for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(executor.expected_elapsed(1.0),
+                                                 rel=0.05)
+
+    def test_alternate_usage_counts(self, rng):
+        spec = RecoveryBlockSpec.with_alternates(2, primary_success=0.5,
+                                                 alternate_success=1.0)
+        executor = RecoveryBlockExecutor(spec, rng)
+        for _ in range(200):
+            executor.execute(1.0)
+        usage = executor.alternate_usage()
+        assert sum(usage) == 200 and usage[1] > 0
+
+    def test_invalid_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RecoveryBlockExecutor(RecoveryBlockSpec(), rng).execute(0.0)
+
+
+class TestAcceptanceTests:
+    def test_perfect_test_catches_local_errors(self, rng):
+        test = PerfectAcceptanceTest()
+        assert test.detects(has_local_error=True, has_external_error=False, rng=rng)
+        assert not test.detects(has_local_error=False, has_external_error=False,
+                                rng=rng)
+
+    def test_perfect_test_external_probability(self, rng):
+        never = PerfectAcceptanceTest(external_detection=0.0)
+        assert not never.detects(has_local_error=False, has_external_error=True,
+                                 rng=rng)
+
+    def test_coverage_test_rates(self, rng):
+        test = CoverageAcceptanceTest(local_coverage=0.5, external_coverage=0.0)
+        detections = sum(test.detects(has_local_error=True, has_external_error=False,
+                                      rng=rng) for _ in range(4000))
+        assert detections / 4000 == pytest.approx(0.5, abs=0.05)
+
+    def test_false_alarm_probability(self, rng):
+        test = CoverageAcceptanceTest(false_alarm_probability=0.2)
+        alarms = sum(test.false_alarm(rng) for _ in range(4000))
+        assert alarms / 4000 == pytest.approx(0.2, abs=0.03)
+        assert not PerfectAcceptanceTest().false_alarm(rng)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PerfectAcceptanceTest(external_detection=1.5)
+        with pytest.raises(ValueError):
+            CoverageAcceptanceTest(local_coverage=-0.1)
+
+
+class TestTopologies:
+    def test_all_pairs_symmetric_zero_diagonal(self):
+        m = all_pairs_rates(4, 0.5)
+        assert np.allclose(m, m.T) and np.allclose(np.diag(m), 0.0)
+        assert m[0, 3] == 0.5
+
+    def test_ring_connects_neighbours_only(self):
+        m = ring_rates(5, 1.0)
+        assert m[0, 1] == 1.0 and m[0, 4] == 1.0 and m[0, 2] == 0.0
+
+    def test_ring_of_two_has_single_pair(self):
+        m = ring_rates(2, 1.0)
+        assert m[0, 1] == 1.0 and np.count_nonzero(m) == 2
+
+    def test_pipeline_is_open_chain(self):
+        m = producer_consumer_rates(4, 2.0)
+        assert m[0, 1] == 2.0 and m[2, 3] == 2.0 and m[0, 3] == 0.0
+
+    def test_star_connects_hub_only(self):
+        m = star_rates(4, 1.5, hub=1)
+        assert m[1, 0] == 1.5 and m[1, 3] == 1.5 and m[0, 3] == 0.0
+
+    def test_star_hub_range_checked(self):
+        with pytest.raises(ValueError):
+            star_rates(3, 1.0, hub=7)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            all_pairs_rates(3, -1.0)
+
+    def test_matrices_usable_as_system_parameters(self):
+        from repro.core.parameters import SystemParameters
+
+        params = SystemParameters(mu=[1.0] * 4, lam=ring_rates(4, 1.0))
+        assert params.total_interaction_rate == pytest.approx(4.0)

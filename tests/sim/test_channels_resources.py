@@ -1,0 +1,175 @@
+"""Unit tests for channels, routers and shared resources."""
+
+import pytest
+
+from repro.sim.channels import Channel, MessageRouter
+from repro.sim.engine import SimulationEngine, Timeout
+from repro.sim.resources import Resource
+
+
+class TestChannel:
+    def test_fifo_delivery_order(self):
+        engine = SimulationEngine()
+        channel = Channel(engine, 0, 1)
+        received = []
+
+        def receiver():
+            for _ in range(3):
+                message = yield channel.receive()
+                received.append(message.payload)
+
+        engine.launch(receiver())
+        for payload in ("a", "b", "c"):
+            channel.send(payload)
+        engine.drain()
+        assert received == ["a", "b", "c"]
+
+    def test_latency_delays_delivery(self):
+        engine = SimulationEngine()
+        channel = Channel(engine, 0, 1, latency=2.5)
+        deliveries = []
+        channel.on_delivery(lambda message, when: deliveries.append(when))
+        channel.send("x")
+        engine.drain()
+        assert deliveries == [2.5]
+
+    def test_receive_before_send_blocks_until_delivery(self):
+        engine = SimulationEngine()
+        channel = Channel(engine, 0, 1)
+        got = []
+
+        def receiver():
+            message = yield channel.receive()
+            got.append((engine.now, message.payload))
+
+        engine.launch(receiver())
+        engine.schedule(4.0, channel.send, "late")
+        engine.drain()
+        assert got == [(4.0, "late")]
+
+    def test_try_receive_and_pending(self):
+        engine = SimulationEngine()
+        channel = Channel(engine, 0, 1)
+        channel.send("m")
+        engine.drain()
+        assert channel.pending == 1
+        assert channel.try_receive().payload == "m"
+        assert channel.try_receive() is None
+
+    def test_drop_pending_filters_messages(self):
+        engine = SimulationEngine()
+        channel = Channel(engine, 0, 1)
+        channel.send("keep")
+        channel.send("drop", tainted=True)
+        engine.drain()
+        dropped = channel.drop_pending(lambda m: m.tainted)
+        assert dropped == 1 and channel.pending == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(SimulationEngine(), 0, 1, latency=-1.0)
+
+
+class TestMessageRouter:
+    def test_channels_are_cached_per_ordered_pair(self):
+        router = MessageRouter(SimulationEngine(), 3)
+        assert router.channel(0, 1) is router.channel(0, 1)
+        assert router.channel(0, 1) is not router.channel(1, 0)
+
+    def test_rejects_self_channel_and_bad_ids(self):
+        router = MessageRouter(SimulationEngine(), 2)
+        with pytest.raises(ValueError):
+            router.channel(1, 1)
+        with pytest.raises(ValueError):
+            router.channel(0, 5)
+
+    def test_global_observer_sees_all_deliveries(self):
+        engine = SimulationEngine()
+        router = MessageRouter(engine, 3)
+        seen = []
+        router.on_delivery(lambda message, when: seen.append(message.pair()
+                           if hasattr(message, "pair") else (message.source,
+                                                             message.target)))
+        router.send(0, 1, "x")
+        router.send(2, 0, "y")
+        engine.drain()
+        assert len(seen) == 2
+
+    def test_broadcast_reaches_everyone_else(self):
+        engine = SimulationEngine()
+        router = MessageRouter(engine, 4)
+        messages = router.broadcast(1, "hello")
+        engine.drain()
+        assert sorted(m.target for m in messages) == [0, 2, 3]
+        assert router.pending_for(0) == 1
+
+    def test_observer_attached_before_channel_creation(self):
+        engine = SimulationEngine()
+        router = MessageRouter(engine, 2)
+        seen = []
+        router.on_delivery(lambda m, t: seen.append(m.payload))
+        router.send(0, 1, "later-channel")
+        engine.drain()
+        assert seen == ["later-channel"]
+
+
+class TestResource:
+    def test_immediate_grant_within_capacity(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=2)
+        granted = []
+        resource.request(owner=0).wait(lambda v, e: granted.append(0))
+        resource.request(owner=1).wait(lambda v, e: granted.append(1))
+        engine.drain()
+        assert granted == [0, 1]
+        assert resource.in_use == 2
+
+    def test_fifo_queueing_and_release(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        order = []
+
+        def user(pid, hold):
+            yield resource.request(owner=pid)
+            order.append(("got", pid, engine.now))
+            yield Timeout(hold)
+            resource.release()
+
+        engine.launch(user(0, 2.0))
+        engine.launch(user(1, 1.0))
+        engine.drain()
+        assert order[0][1] == 0 and order[1][1] == 1
+        assert order[1][2] == pytest.approx(2.0)
+        assert resource.grants == 2
+
+    def test_release_without_request_raises(self):
+        with pytest.raises(RuntimeError):
+            Resource(SimulationEngine(), capacity=1).release()
+
+    def test_cancel_waiters(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+        resource.request(owner=0)
+        resource.request(owner=1)
+        resource.request(owner=1)
+        engine.drain()
+        assert resource.cancel_waiters(owner=1) == 2
+        assert resource.queue_length == 0
+
+    def test_utilisation_between_zero_and_one(self):
+        engine = SimulationEngine()
+        resource = Resource(engine, capacity=1)
+
+        def user():
+            yield resource.request(owner=0)
+            yield Timeout(1.0)
+            resource.release()
+            yield Timeout(1.0)
+
+        engine.launch(user())
+        engine.drain()
+        assert 0.0 < resource.utilisation() <= 1.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Resource(SimulationEngine(), capacity=0)

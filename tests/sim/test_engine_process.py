@@ -1,0 +1,205 @@
+"""Unit tests for the discrete-event kernel and generator processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, Timeout
+from repro.sim.process import Interrupt, SimProcess
+
+
+class TestEngineBasics:
+    def test_clock_starts_at_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.0, lambda: seen.append("late"))
+        engine.schedule(1.0, lambda: seen.append("early"))
+        engine.drain()
+        assert seen == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = SimulationEngine()
+        seen = []
+        for tag in ("a", "b", "c"):
+            engine.schedule(1.0, seen.append, tag)
+        engine.drain()
+        assert seen == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-0.1, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_at(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(5.0, lambda: seen.append(5))
+        engine.run(until=2.0)
+        assert seen == [1]
+        assert engine.now == 2.0
+        assert engine.pending_events == 1
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = SimulationEngine()
+        seen = []
+        handle = engine.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        engine.drain()
+        assert seen == []
+
+    def test_processed_events_counter(self):
+        engine = SimulationEngine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.drain()
+        assert engine.processed_events == 5
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        for _ in range(10):
+            engine.schedule(1.0, lambda: None)
+        engine.run(max_events=3)
+        assert engine.processed_events == 3
+
+
+class TestSimEvent:
+    def test_succeed_resumes_waiters(self):
+        engine = SimulationEngine()
+        event = engine.event("go")
+        results = []
+        event.wait(lambda value, exc: results.append(value))
+        event.succeed(42)
+        engine.drain()
+        assert results == [42]
+
+    def test_double_trigger_rejected(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_wait_after_trigger_fires_immediately(self):
+        engine = SimulationEngine()
+        event = engine.event()
+        event.succeed("done")
+        got = []
+        event.wait(lambda value, exc: got.append(value))
+        engine.drain()
+        assert got == ["done"]
+
+
+class TestSimProcess:
+    def test_timeout_sequencing(self):
+        engine = SimulationEngine()
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield Timeout(1.5)
+            trace.append(engine.now)
+            yield Timeout(0.5)
+            trace.append(engine.now)
+            return "done"
+
+        process = engine.launch(proc(), name="walker")
+        engine.drain()
+        assert trace == [0.0, 1.5, 2.0]
+        assert process.finished and process.result == "done"
+
+    def test_process_join(self):
+        engine = SimulationEngine()
+
+        def child():
+            yield Timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield engine.launch(child())
+            return value + 1
+
+        parent_proc = engine.launch(parent())
+        engine.drain()
+        assert parent_proc.result == 8
+
+    def test_event_wait_inside_process(self):
+        engine = SimulationEngine()
+        gate = engine.event("gate")
+
+        def waiter():
+            value = yield gate
+            return value
+
+        def opener():
+            yield Timeout(3.0)
+            gate.succeed("open")
+
+        w = engine.launch(waiter())
+        engine.launch(opener())
+        engine.drain()
+        assert w.result == "open"
+        assert engine.now == 3.0
+
+    def test_yielding_garbage_fails_process(self):
+        engine = SimulationEngine()
+
+        def bad():
+            yield 42
+
+        process = engine.launch(bad())
+        engine.drain()
+        assert process.failed
+
+    def test_exception_propagates_to_result(self):
+        engine = SimulationEngine()
+
+        def boom():
+            yield Timeout(1.0)
+            raise RuntimeError("kaboom")
+
+        process = engine.launch(boom())
+        engine.drain()
+        assert process.failed
+        with pytest.raises(RuntimeError):
+            _ = process.result
+
+    def test_interrupt_wakes_waiting_process(self):
+        engine = SimulationEngine()
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                log.append("slept")
+            except Interrupt as interrupt:
+                log.append(f"interrupted:{interrupt.cause}")
+            yield Timeout(1.0)
+            return "after"
+
+        process = engine.launch(sleeper())
+        engine.schedule(2.0, process.interrupt, "rollback")
+        engine.drain()
+        assert log == ["interrupted:rollback"]
+        assert process.result == "after"
+        # The stale 100-unit timeout must not have dragged the clock out.
+        assert engine.now == pytest.approx(3.0)
+
+    def test_launch_requires_generator(self):
+        engine = SimulationEngine()
+        with pytest.raises(TypeError):
+            SimProcess(engine, lambda: None)   # not a generator
+
+    def test_result_before_finish_raises(self):
+        engine = SimulationEngine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        process = engine.launch(proc())
+        with pytest.raises(RuntimeError):
+            _ = process.result

@@ -1,0 +1,77 @@
+"""Unit tests for repro.util.integration and repro.util.tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.integration import adaptive_quad, simpson, tail_integral, trapezoid_cumulative
+from repro.util.tables import AsciiTable, format_float
+
+
+class TestQuadrature:
+    def test_adaptive_quad_polynomial(self):
+        assert adaptive_quad(lambda t: 3 * t * t, 0.0, 2.0) == pytest.approx(8.0)
+
+    def test_adaptive_quad_infinite_upper(self):
+        assert adaptive_quad(lambda t: math.exp(-t), 0.0, np.inf) == pytest.approx(1.0)
+
+    def test_tail_integral_is_mean_of_exponential(self):
+        # P(T > t) = exp(-2 t)  =>  E[T] = 1/2.
+        assert tail_integral(lambda t: math.exp(-2.0 * t)) == pytest.approx(0.5)
+
+    def test_tail_integral_max_of_exponentials(self):
+        # E[max of two iid Exp(1)] = 1.5.
+        surv = lambda t: 1.0 - (1.0 - math.exp(-t)) ** 2
+        assert tail_integral(surv) == pytest.approx(1.5, rel=1e-6)
+
+    def test_trapezoid_cumulative_linear(self):
+        x = np.linspace(0.0, 1.0, 11)
+        cumulative = trapezoid_cumulative(x, np.ones_like(x))
+        assert cumulative[0] == 0.0
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_trapezoid_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            trapezoid_cumulative(np.arange(3.0), np.arange(4.0))
+
+    def test_simpson_quadratic_exact(self):
+        x = np.linspace(0.0, 1.0, 21)
+        assert simpson(x, x ** 2) == pytest.approx(1.0 / 3.0, rel=1e-6)
+
+
+class TestFormatting:
+    def test_format_float_fixed(self):
+        assert format_float(2.5, 3) == "2.500"
+
+    def test_format_float_scientific_for_tiny(self):
+        assert "e" in format_float(1e-7)
+
+    def test_format_float_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_table_render_aligns_columns(self):
+        table = AsciiTable(["name", "value"])
+        table.add_row(["alpha", 1.0])
+        table.add_row(["b", 23.456789])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "23.4568" in text
+        assert len(lines) == 4
+
+    def test_table_rejects_wrong_arity(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_table_add_rows_bulk(self):
+        table = AsciiTable(["a"])
+        table.add_rows([[1], [2], [3]])
+        assert len(table.rows) == 3
+
+    def test_column_widths_account_for_headers(self):
+        table = AsciiTable(["long-header", "x"])
+        table.add_row(["v", 1.0])
+        widths = table.column_widths()
+        assert widths[0] == len("long-header")

@@ -1,0 +1,111 @@
+"""Unit tests for repro.util.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.util.linalg import (
+    absorption_probabilities,
+    embed_dtmc,
+    expected_visits_absorbing,
+    fundamental_matrix,
+    is_generator_matrix,
+    solve_linear,
+    uniformization_rate,
+)
+
+
+def simple_generator():
+    """Two transient states and implicit absorption (rows sum < 0 allowed? no)."""
+    return np.array([[-2.0, 2.0, 0.0],
+                     [1.0, -3.0, 2.0],
+                     [0.0, 0.0, 0.0]])
+
+
+class TestGeneratorChecks:
+    def test_valid_generator(self):
+        assert is_generator_matrix(simple_generator())
+
+    def test_rejects_positive_diagonal(self):
+        Q = np.array([[1.0, -1.0], [0.0, 0.0]])
+        assert not is_generator_matrix(Q)
+
+    def test_rejects_negative_off_diagonal(self):
+        Q = np.array([[-1.0, 1.0], [-0.5, 0.5]])
+        assert not is_generator_matrix(Q)
+
+    def test_rejects_nonzero_row_sum(self):
+        Q = np.array([[-1.0, 0.5], [0.0, 0.0]])
+        assert not is_generator_matrix(Q)
+
+    def test_rejects_non_square(self):
+        assert not is_generator_matrix(np.zeros((2, 3)))
+
+    def test_uniformization_rate_is_max_exit(self):
+        assert uniformization_rate(simple_generator()) == pytest.approx(3.0)
+
+    def test_uniformization_rate_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            uniformization_rate(np.zeros((2, 2)))
+
+
+class TestEmbedding:
+    def test_embed_produces_stochastic_matrix(self):
+        P, G = embed_dtmc(simple_generator())
+        assert G == pytest.approx(3.0)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0.0)
+
+    def test_embed_with_custom_rate(self):
+        P, G = embed_dtmc(simple_generator(), rate=6.0)
+        assert G == 6.0
+        # Self-loop probabilities grow with larger uniformisation constants.
+        assert P[0, 0] == pytest.approx(1.0 - 2.0 / 6.0)
+
+    def test_embed_rejects_too_small_rate(self):
+        with pytest.raises(ValueError):
+            embed_dtmc(simple_generator(), rate=1.0)
+
+    def test_embed_rejects_non_generator(self):
+        with pytest.raises(ValueError):
+            embed_dtmc(np.array([[1.0, -1.0], [0.0, 0.0]]))
+
+
+class TestAbsorbingChains:
+    def test_fundamental_matrix_single_state(self):
+        # One transient state with escape probability 0.5 per step: N = 2.
+        N = fundamental_matrix(np.array([[0.5]]))
+        assert N[0, 0] == pytest.approx(2.0)
+
+    def test_expected_visits_geometric(self):
+        T = np.array([[0.25]])
+        visits = expected_visits_absorbing(T, start=0)
+        assert visits[0] == pytest.approx(4.0 / 3.0)
+
+    def test_expected_visits_two_states(self):
+        # 0 -> 1 with prob 1, 1 -> absorbed with prob 1.
+        T = np.array([[0.0, 1.0], [0.0, 0.0]])
+        visits = expected_visits_absorbing(T, start=0)
+        assert np.allclose(visits, [1.0, 1.0])
+
+    def test_expected_visits_rejects_bad_start(self):
+        with pytest.raises(ValueError):
+            expected_visits_absorbing(np.array([[0.5]]), start=3)
+
+    def test_absorption_probabilities_split(self):
+        # From state 0: 0.3 to absorbing A, 0.7 to absorbing B.
+        T = np.array([[0.0]])
+        R = np.array([[0.3, 0.7]])
+        probs = absorption_probabilities(T, R, start=0)
+        assert np.allclose(probs, [0.3, 0.7])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_solve_linear_matches_numpy(self):
+        A = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        assert np.allclose(solve_linear(A, b), np.linalg.solve(A, b))
+
+    def test_solve_linear_falls_back_for_singular(self):
+        A = np.array([[1.0, 1.0], [1.0, 1.0]])
+        b = np.array([2.0, 2.0])
+        x = solve_linear(A, b)
+        assert np.allclose(A @ x, b)

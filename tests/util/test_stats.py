@@ -1,0 +1,112 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    OnlineMoments,
+    SummaryStats,
+    confidence_interval,
+    empirical_cdf,
+    empirical_pdf,
+    relative_error,
+)
+
+
+class TestOnlineMoments:
+    def test_mean_and_variance_match_numpy(self, rng):
+        samples = rng.normal(3.0, 2.0, size=500)
+        acc = OnlineMoments()
+        acc.extend(samples)
+        assert acc.mean == pytest.approx(float(samples.mean()))
+        assert acc.variance == pytest.approx(float(samples.var(ddof=1)))
+        assert acc.count == 500
+
+    def test_min_max(self):
+        acc = OnlineMoments()
+        acc.extend([3.0, -1.0, 7.0])
+        assert acc.minimum == -1.0 and acc.maximum == 7.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = OnlineMoments().mean
+
+    def test_single_sample_variance_zero(self):
+        acc = OnlineMoments()
+        acc.add(5.0)
+        assert acc.variance == 0.0 and acc.std == 0.0
+
+    def test_merge_equals_combined(self, rng):
+        a_samples = rng.normal(size=100)
+        b_samples = rng.normal(loc=2.0, size=150)
+        a, b, combined = OnlineMoments(), OnlineMoments(), OnlineMoments()
+        a.extend(a_samples)
+        b.extend(b_samples)
+        combined.extend(np.concatenate([a_samples, b_samples]))
+        merged = a.merge(b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        a = OnlineMoments()
+        a.extend([1.0, 2.0])
+        merged = a.merge(OnlineMoments())
+        assert merged.count == 2 and merged.mean == pytest.approx(1.5)
+
+    def test_stderr_decreases_with_samples(self, rng):
+        acc = OnlineMoments()
+        acc.extend(rng.normal(size=100))
+        early = acc.stderr
+        acc.extend(rng.normal(size=900))
+        assert acc.stderr < early
+
+    def test_summary_roundtrip(self):
+        acc = OnlineMoments()
+        acc.extend([1.0, 2.0, 3.0])
+        summary = acc.summary()
+        assert summary.count == 3 and summary.mean == pytest.approx(2.0)
+
+
+class TestSummaryStats:
+    def test_from_samples(self):
+        s = SummaryStats.from_samples([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.minimum == 2.0 and s.maximum == 6.0
+
+    def test_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            SummaryStats.from_samples([])
+
+    def test_ci95_contains_mean(self):
+        s = SummaryStats.from_samples(list(range(100)))
+        lo, hi = s.ci95()
+        assert lo < s.mean < hi
+
+
+class TestHelpers:
+    def test_confidence_interval_covers_true_mean(self, rng):
+        samples = rng.normal(10.0, 1.0, size=2000)
+        lo, hi = confidence_interval(samples, level=0.99)
+        assert lo < 10.0 < hi
+
+    def test_confidence_interval_needs_two(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_empirical_cdf_monotone(self, rng):
+        x, f = empirical_cdf(rng.exponential(size=50))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) >= 0)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_empirical_pdf_integrates_to_one(self, rng):
+        centres, density = empirical_pdf(rng.normal(size=5000), bins=40)
+        width = centres[1] - centres[0]
+        assert float((density * width).sum()) == pytest.approx(1.0, abs=0.05)
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.5, 0.0) == 0.5
