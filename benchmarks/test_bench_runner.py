@@ -1,0 +1,101 @@
+"""Micro-benchmarks for the runner subsystem and the vectorized sampler.
+
+Two perf trajectories this PR opens:
+
+* **Sampler** — batched numpy draws vs the event-at-a-time legacy loop of
+  :class:`~repro.markov.montecarlo.ModelSimulator` (acceptance floor: ≥3x on
+  the ``n_intervals=20_000`` Table 1 simulation).
+* **Backends** — serial vs process-pool execution of the Table 1 Monte-Carlo
+  scenario through :func:`repro.runner.run_scenario` (the seam every later
+  scaling PR plugs into).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.markov.montecarlo import ModelSimulator
+from repro.runner import run_scenario
+from repro.workloads.generators import paper_table1_case
+
+#: Budget of the acceptance comparison (the seed's Table 1 default).
+N_INTERVALS = 20_000
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_sampler_vectorized(benchmark):
+    """Batched sampler on the full 20k-interval Table 1 case 1 budget."""
+    simulator = ModelSimulator(paper_table1_case(1), seed=5)
+    samples = benchmark.pedantic(simulator.sample_intervals, args=(N_INTERVALS,),
+                                 iterations=1, rounds=3)
+    assert samples.n_samples == N_INTERVALS
+
+
+@pytest.mark.benchmark(group="sampler")
+def test_bench_sampler_legacy(benchmark):
+    """Event-at-a-time reference sampler (smaller budget; it is ~40x slower)."""
+    simulator = ModelSimulator(paper_table1_case(1), seed=5)
+    samples = benchmark.pedantic(simulator.sample_intervals_legacy, args=(2_000,),
+                                 iterations=1, rounds=1)
+    assert samples.n_samples == 2_000
+
+
+@pytest.mark.slow
+def test_vectorized_sampler_speedup_and_accuracy():
+    """Acceptance guard: ≥3x over legacy at 20k intervals, means still match."""
+    params = paper_table1_case(1)
+    analytic = RecoveryLineIntervalModel(params,
+                                         prefer_simplified=False).mean_interval()
+
+    start = time.perf_counter()
+    fast = ModelSimulator(params, seed=3).sample_intervals(N_INTERVALS)
+    fast_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    legacy = ModelSimulator(params, seed=3).sample_intervals_legacy(N_INTERVALS)
+    legacy_elapsed = time.perf_counter() - start
+
+    speedup = legacy_elapsed / fast_elapsed
+    print(f"\nvectorized {fast_elapsed:.3f}s vs legacy {legacy_elapsed:.3f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 3.0
+    # Both samplers draw from the identical process law.
+    assert fast.mean_interval() == pytest.approx(analytic, rel=0.06)
+    assert legacy.mean_interval() == pytest.approx(analytic, rel=0.06)
+
+
+@pytest.mark.benchmark(group="runner-backends")
+def test_bench_table1_scenario_serial(benchmark):
+    """Full Table 1 Monte-Carlo scenario on the serial backend."""
+    result = benchmark.pedantic(
+        run_scenario, args=("table1",),
+        kwargs=dict(simulate=True, reps=N_INTERVALS, seed=7),
+        iterations=1, rounds=1)
+    emit(result)
+    for row in result.rows:
+        assert row.get("sim E[X]") == pytest.approx(row.get("E[X]"), rel=0.1)
+
+
+@pytest.mark.benchmark(group="runner-backends")
+def test_bench_table1_scenario_process_pool(benchmark):
+    """Same scenario fanned out across a process pool (bit-identical output)."""
+    result = benchmark.pedantic(
+        run_scenario, args=("table1",),
+        kwargs=dict(simulate=True, reps=N_INTERVALS, seed=7,
+                    backend="process", workers=4),
+        iterations=1, rounds=1)
+    serial = run_scenario("table1", simulate=True, reps=N_INTERVALS, seed=7)
+    assert [row.values for row in result.rows] == \
+        [row.values for row in serial.rows]
+
+
+@pytest.mark.benchmark(group="runner-backends")
+def test_bench_strategy_scenario_process_pool(benchmark):
+    """Runtime-heavy scenario (3 schemes x reps) through the process backend."""
+    result = benchmark.pedantic(
+        run_scenario, args=("strategy_comparison",),
+        kwargs=dict(reps=6, seed=21, work=20.0, backend="process", workers=4),
+        iterations=1, rounds=1)
+    assert result.row("synchronized").get("waiting_time") > 0.0

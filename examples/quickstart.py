@@ -8,14 +8,17 @@ This walks through the public API end to end:
    lines, the density f_X(t), the per-process recovery-point counts E[L_i];
 3. cross-check them against a Monte-Carlo simulation of the same model;
 4. run the asynchronous recovery-block *runtime* under fault injection and look at
-   the measured rollback behaviour.
+   the measured rollback behaviour;
+5. run a registered scenario through the experiment runner (`run_scenario`) —
+   the same entry point as `python -m repro run <name>`, with serial and
+   process-pool backends producing bit-identical tables.
 
 Run with:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import RecoveryLineIntervalModel, SystemParameters
+from repro import RecoveryLineIntervalModel, SystemParameters, run_scenario
 from repro.recovery import AsynchronousRuntime
 from repro.util.tables import AsciiTable
 from repro.workloads import homogeneous_workload
@@ -60,6 +63,12 @@ def main() -> None:
           f"{run.max_rollback_distance:.2f}")
     print(f"  lost work           : {run.lost_work_total:.2f}")
     print(f"  saved states (peak) : {run.peak_saved_states}")
+
+    # 5. The experiment runner: any registered scenario by name, on any backend.
+    #    (`python -m repro list` shows all of them; a process-pool run with the
+    #    same seed reproduces this table bit for bit.)
+    print("\nThree-way validation via the experiment runner:")
+    print(run_scenario("validation", reps=2_000, seed=42).render(3))
 
 
 if __name__ == "__main__":

@@ -42,9 +42,10 @@ def analyse(name: str, workload, sync_period: float = 2.0,
     print(f"Recommended with a hard 2.0-unit recovery deadline: "
           f"{recommend_scheme(workload.params, failure_rate=failure_rate, record_cost=workload.checkpoint_cost, sync_period=sync_period, deadline=2.0)}")
 
-    print("\nMeasured (discrete-event runtimes, 3 replications):")
+    print("\nMeasured (discrete-event runtimes, 3 replications, process pool):")
     result = run_strategy_comparison(workload, replications=3, base_seed=11,
-                                     sync_interval=sync_period)
+                                     sync_interval=sync_period,
+                                     backend="process")
     print(result.render(3))
     print()
 

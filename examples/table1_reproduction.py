@@ -2,16 +2,19 @@
 """Regenerate the paper's quantitative artefacts from the command line.
 
 Prints Table 1, the Figure 5 series and the Figure 6 density samples, each next to
-the values printed in the paper where available.
+the values printed in the paper where available.  Everything is resolved through
+the scenario registry, so this is equivalent to::
 
-Run with:  python examples/table1_reproduction.py [--simulate]
+    python -m repro run table1 [-p simulate=true] [--backend process]
+    python -m repro run figure5
+    python -m repro run figure6
+
+Run with:  python examples/table1_reproduction.py [--simulate] [--workers N]
 """
 
 import argparse
 
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.table1 import run_table1
+from repro import run_scenario
 
 
 def main() -> None:
@@ -21,14 +24,17 @@ def main() -> None:
                              "(slower, adds 'sim' columns)")
     parser.add_argument("--intervals", type=int, default=10_000,
                         help="Monte-Carlo sample size per case")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan the Monte-Carlo shards out over a process "
+                             "pool with this many workers")
     args = parser.parse_args()
 
-    print(run_table1(simulate=args.simulate, n_intervals=args.intervals,
-                     seed=2024).render(3))
+    print(run_scenario("table1", simulate=args.simulate, reps=args.intervals,
+                       seed=2024, workers=args.workers).render(3))
     print()
-    print(run_figure5().render(3))
+    print(run_scenario("figure5").render(3))
     print()
-    print(run_figure6().render(3))
+    print(run_scenario("figure6").render(3))
 
 
 if __name__ == "__main__":

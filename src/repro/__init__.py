@@ -13,7 +13,10 @@ The package provides:
   blocks, the synchronized-loss formula, and the PRP overhead analysis
   (:mod:`repro.markov`, :mod:`repro.analysis`);
 * an experiment harness regenerating every table and figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a scenario registry and parallel experiment runner with serial/process-pool
+  backends and a CLI — ``python -m repro list`` / ``python -m repro run <name>``
+  (:mod:`repro.runner`).
 
 Quickstart
 ----------
@@ -44,6 +47,15 @@ from repro.markov import (
     RecoveryLineIntervalModel,
     SimplifiedChain,
 )
+from repro.runner import (
+    ExperimentRunner,
+    ProcessPoolBackend,
+    ScenarioSpec,
+    SerialBackend,
+    list_scenarios,
+    run_scenario,
+    scenario,
+)
 
 __all__ = [
     "__version__",
@@ -61,4 +73,11 @@ __all__ = [
     "PhaseType",
     "RecoveryLineIntervalModel",
     "SimplifiedChain",
+    "ExperimentRunner",
+    "ProcessPoolBackend",
+    "ScenarioSpec",
+    "SerialBackend",
+    "list_scenarios",
+    "run_scenario",
+    "scenario",
 ]

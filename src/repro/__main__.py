@@ -1,0 +1,155 @@
+"""``python -m repro`` — list and run registered experiment scenarios.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run table1
+    python -m repro run table1 -p simulate=true --reps 20000 \\
+        --backend process --workers 8
+    python -m repro run validation --reps 200 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import inspect
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner import (
+    ExperimentRunner,
+    get_scenario,
+    list_scenarios,
+    load_builtin_scenarios,
+    make_backend,
+)
+
+#: Default root seed for CLI runs, so invocations are reproducible unless the
+#: user asks for fresh entropy with ``--seed -1``.
+DEFAULT_CLI_SEED = 2024
+
+
+def _parse_value(text: str):
+    """Best-effort literal parsing: ints, floats, tuples, booleans, strings."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the registered experiment scenarios of the "
+                    "Shin & Lee (1983) reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("-v", "--verbose", action="store_true",
+                          help="include paper references and defaults")
+
+    run_cmd = sub.add_parser("run", help="run one scenario and print its table")
+    run_cmd.add_argument("scenario", help="registered scenario name "
+                                          "(see 'python -m repro list')")
+    run_cmd.add_argument("--backend", choices=("serial", "process"),
+                         default="serial", help="execution backend "
+                                                "(default: serial)")
+    run_cmd.add_argument("--workers", type=int, default=None,
+                         help="worker processes for --backend process "
+                              "(default: all cores)")
+    run_cmd.add_argument("--reps", type=int, default=None,
+                         help="Monte-Carlo replication budget "
+                              "(scenario default if omitted; ignored by "
+                              "purely analytic scenarios)")
+    run_cmd.add_argument("--seed", type=int, default=DEFAULT_CLI_SEED,
+                         help=f"root seed (default {DEFAULT_CLI_SEED}; "
+                              "-1 draws fresh entropy)")
+    run_cmd.add_argument("-p", "--param", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="scenario parameter override (repeatable)")
+    run_cmd.add_argument("--digits", type=int, default=4,
+                         help="float digits in the rendered table (default 4)")
+    return parser
+
+
+def _cmd_list(verbose: bool) -> int:
+    load_builtin_scenarios()
+    specs = list_scenarios()
+    if not specs:
+        print("no scenarios registered")
+        return 1
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        reps = f" [reps≈{spec.default_reps}]" if spec.uses_replications else ""
+        print(f"{spec.name:<{width}}  {spec.description}{reps}")
+        if verbose:
+            if spec.paper_reference:
+                print(f"{'':<{width}}  ↳ reproduces: {spec.paper_reference}")
+            if spec.defaults:
+                rendered = ", ".join(f"{k}={v!r}" for k, v in spec.defaults.items())
+                print(f"{'':<{width}}  ↳ defaults: {rendered}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers requires --backend process")
+    if args.reps is not None and args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    seed: Optional[int] = None if args.seed == -1 else args.seed
+    backend = make_backend(args.backend, args.workers)
+    runner = ExperimentRunner(backend, seed=seed, reps=args.reps)
+    load_builtin_scenarios()
+    try:
+        spec = get_scenario(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    params = _parse_params(args.param)
+    # Validate overrides against the scenario signature up front, so a typo'd
+    # -p name fails cleanly without masking TypeErrors from the run itself.
+    try:
+        inspect.signature(spec.func).bind_partial(None, **{**dict(spec.defaults),
+                                                           **params})
+    except TypeError as exc:
+        raise SystemExit(f"bad scenario parameters for {spec.name!r}: {exc}")
+    result = runner.run(spec, **params)
+    print(result.render(args.digits))
+    print(f"\n[scenario={args.scenario} backend={backend.describe()} "
+          f"seed={seed} reps={args.reps if args.reps is not None else 'default'}]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args.verbose)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like other CLIs.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(1)

@@ -4,13 +4,19 @@ Each module builds an :class:`~repro.experiments.common.ExperimentResult` whose
 ``render()`` produces the rows/series the paper reports (plus our analytic and
 Monte-Carlo values side by side), so that running the benchmark suite doubles as
 regenerating the artefacts.  See DESIGN.md §3 for the experiment index.
+
+Every module registers its entry point with the scenario registry
+(:mod:`repro.runner`): importing this package populates the registry, after
+which ``python -m repro list`` / ``python -m repro run <name>`` (or
+:func:`repro.runner.run_scenario`) run any experiment, serially or across a
+process pool.  The ``run_*`` functions remain as thin compatibility wrappers.
 """
 
 from repro.experiments.common import ExperimentResult, ExperimentRow
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.table1 import run_table1
-from repro.experiments.sync_loss import run_sync_loss
+from repro.experiments.sync_loss import run_sync_loss, run_sync_loss_validation
 from repro.experiments.prp_costs import run_prp_costs
 from repro.experiments.validation import run_validation
 from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
@@ -23,6 +29,7 @@ __all__ = [
     "run_figure6",
     "run_table1",
     "run_sync_loss",
+    "run_sync_loss_validation",
     "run_prp_costs",
     "run_validation",
     "run_detector_ablation",

@@ -9,11 +9,15 @@
   closed form (matrix exponentials) or by integrating the Chapman–Kolmogorov ODEs
   (the formulation the paper writes down).  The ablation checks the two agree and
   reports their discrepancy.
+
+The detector ablation generates one history per case through the runner backend
+(both detectors are applied to the same history inside the worker).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -26,15 +30,53 @@ from repro.experiments.common import ExperimentResult
 from repro.markov.generator import build_generator, build_phase_type
 from repro.markov.montecarlo import ModelSimulator
 from repro.markov.ctmc import transient_distribution
+from repro.runner import ExecutionContext, run_scenario, scenario
 from repro.workloads.generators import paper_table1_case
 
 __all__ = ["run_detector_ablation", "run_solver_ablation"]
 
 
-def run_detector_ablation(cases: Sequence[int] = (1, 2),
-                          duration: float = 300.0,
-                          seed: Optional[int] = 13) -> ExperimentResult:
-    """Exact vs latest-RP recovery-line detection on the same histories."""
+@dataclass(frozen=True)
+class _DetectorTask:
+    case: int
+    duration: float
+    seed: np.random.SeedSequence
+
+
+def _compare_detectors(task: _DetectorTask) -> Dict[str, float]:
+    """Run both detectors over one generated history; return the row metrics."""
+    params = paper_table1_case(task.case)
+    history = ModelSimulator(params, seed=task.seed).generate_history(task.duration)
+    latest_obs = extract_intervals(history, LatestRPRecoveryLineDetector())
+    exact_obs = extract_intervals(history, ExactRecoveryLineDetector())
+    latest_mean = summarize_intervals(latest_obs)["mean_X"] if latest_obs \
+        else float("nan")
+    exact_mean = summarize_intervals(exact_obs)["mean_X"] if exact_obs \
+        else float("nan")
+    return {
+        "latest-RP E[X]": latest_mean,
+        "exact E[X]": exact_mean,
+        "exact lines": float(len(exact_obs)),
+        "latest-RP lines": float(len(latest_obs)),
+        "conservatism": latest_mean / exact_mean if exact_mean else float("nan"),
+    }
+
+
+@scenario("detector_ablation",
+          description="Exact vs latest-RP recovery-line detection",
+          paper_reference="Section 2.2 model choice (conservative line condition)",
+          default_reps=1)
+def detector_ablation_scenario(ctx: ExecutionContext, *,
+                               cases: Sequence[int] = (1, 2),
+                               duration: float = 300.0) -> ExperimentResult:
+    """Exact vs latest-RP recovery-line detection on the same histories.
+
+    ``ctx.reps`` scales the history length (``reps`` histories' worth of
+    duration per case, still analysed as one trajectory each).
+    """
+    from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+
+    total_duration = duration * ctx.reps_or(1)
     columns = ["model E[X]", "latest-RP E[X]", "exact E[X]",
                "exact lines", "latest-RP lines", "conservatism"]
     result = ExperimentResult(
@@ -45,30 +87,35 @@ def run_detector_ablation(cases: Sequence[int] = (1, 2),
                "quantify how much the paper's Markov condition overestimates the "
                "spacing of recovery lines relative to the exact definition."),
     )
-    exact = ExactRecoveryLineDetector()
-    latest = LatestRPRecoveryLineDetector()
-    for idx, case in enumerate(cases):
+    cases = list(cases)
+    tasks = [_DetectorTask(case, total_duration, ctx.spawn_seed())
+             for case in cases]
+    rows = ctx.map(_compare_detectors, tasks)
+    for case, metrics in zip(cases, rows):
         params = paper_table1_case(case)
-        from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
-
         analytic = RecoveryLineIntervalModel(params,
                                              prefer_simplified=False).mean_interval()
-        history = ModelSimulator(params,
-                                 seed=None if seed is None else seed + idx
-                                 ).generate_history(duration)
-        latest_obs = extract_intervals(history, latest)
-        exact_obs = extract_intervals(history, exact)
-        latest_mean = summarize_intervals(latest_obs)["mean_X"] if latest_obs else float("nan")
-        exact_mean = summarize_intervals(exact_obs)["mean_X"] if exact_obs else float("nan")
-        result.add_row(f"table1 case {case}", **{
-            "model E[X]": analytic,
-            "latest-RP E[X]": latest_mean,
-            "exact E[X]": exact_mean,
-            "exact lines": float(len(exact_obs)),
-            "latest-RP lines": float(len(latest_obs)),
-            "conservatism": latest_mean / exact_mean if exact_mean else float("nan"),
-        })
+        result.add_row(f"table1 case {case}", **{"model E[X]": analytic, **metrics})
     return result
+
+
+def run_detector_ablation(cases: Sequence[int] = (1, 2),
+                          duration: float = 300.0,
+                          seed: Optional[int] = 13, *, backend=None,
+                          workers: Optional[int] = None) -> ExperimentResult:
+    """Detector ablation (compatibility wrapper over ``run_scenario``)."""
+    return run_scenario("detector_ablation", backend=backend, workers=workers,
+                        seed=seed, cases=cases, duration=duration)
+
+
+@scenario("solver_ablation",
+          description="Phase-type closed form vs Chapman-Kolmogorov ODE solver",
+          paper_reference="Section 2.3 (Chapman-Kolmogorov equations)")
+def solver_ablation_scenario(ctx: ExecutionContext, *, case: int = 1,
+                             times: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0)
+                             ) -> ExperimentResult:
+    """Solver agreement check (analytic; the backend is not used)."""
+    return run_solver_ablation(case, times)
 
 
 def run_solver_ablation(case: int = 1,

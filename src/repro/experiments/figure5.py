@@ -16,8 +16,22 @@ from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 from repro.markov.simplified import SimplifiedChain
+from repro.runner import ExecutionContext, scenario
 
 __all__ = ["run_figure5"]
+
+
+@scenario("figure5",
+          description="Figure 5: E[X] versus the number of processes",
+          paper_reference="Figure 5 (mean value of X vs. the number of processes)")
+def figure5_scenario(ctx: ExecutionContext, *,
+                     n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+                     rho_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                     mu: float = 1.0,
+                     cross_check_full_chain_up_to: int = 5) -> ExperimentResult:
+    """Regenerate the Figure 5 series (analytic; the backend is not used)."""
+    return run_figure5(n_values, rho_values, mu,
+                       cross_check_full_chain_up_to=cross_check_full_chain_up_to)
 
 
 def run_figure5(n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),

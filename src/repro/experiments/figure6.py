@@ -15,9 +15,21 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.runner import ExecutionContext, scenario
 from repro.workloads.generators import FIGURE6_CASES, paper_figure6_case
 
 __all__ = ["run_figure6", "figure6_curves"]
+
+
+@scenario("figure6",
+          description="Figure 6: the density f_X(t) of the recovery-line interval",
+          paper_reference="Figure 6 (the density function of X)")
+def figure6_scenario(ctx: ExecutionContext, *,
+                     sample_times: Sequence[float] = (0.0, 0.2, 0.4, 0.8, 1.2,
+                                                      1.6, 2.0)
+                     ) -> ExperimentResult:
+    """Regenerate Figure 6 (analytic; the backend is not used)."""
+    return run_figure6(sample_times)
 
 
 def figure6_curves(t_max: float = 2.0, n_points: int = 81):

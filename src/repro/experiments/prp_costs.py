@@ -16,8 +16,20 @@ from repro.analysis.prp_overhead import PRPOverheadModel
 from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
 from repro.markov.simplified import SimplifiedChain
+from repro.runner import ExecutionContext, scenario
 
 __all__ = ["run_prp_costs"]
+
+
+@scenario("prp_costs",
+          description="Section 4: PRP overhead, storage and rollback bound vs n",
+          paper_reference="Section 4 (PRP overhead, storage, rollback distance bound)")
+def prp_costs_scenario(ctx: ExecutionContext, *,
+                       n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
+                       mu: float = 1.0, rho: float = 1.0,
+                       record_cost: float = 0.02) -> ExperimentResult:
+    """Regenerate the PRP cost table (analytic; the backend is not used)."""
+    return run_prp_costs(n_values, mu, rho, record_cost)
 
 
 def run_prp_costs(n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),

@@ -5,11 +5,16 @@ The paper compares the schemes analytically; this experiment runs all three
 reports the measured makespan, rollback behaviour, overheads and storage — the
 empirical counterpart of the conclusion's trade-off discussion, and the experiment
 behind the ``strategy_comparison`` example.
+
+Every (scheme, replication) pair is one task for the experiment runner, so the
+whole comparison fans out across worker processes; seeds per replication are
+fixed up front, keeping the averaged metrics backend independent.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,9 +23,22 @@ from repro.recovery.asynchronous import AsynchronousRuntime
 from repro.recovery.pseudo import PseudoRecoveryPointRuntime
 from repro.recovery.synchronized import SynchronizedRuntime, SyncStrategy
 from repro.recovery.report import RunReport
+from repro.runner import (
+    ExecutionContext,
+    SerialBackend,
+    make_backend,
+    run_scenario,
+    scenario,
+    seed_to_int,
+)
+from repro.workloads.generators import homogeneous_workload
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["run_strategy_comparison", "run_scheme_replications"]
+
+METRIC_COLUMNS = ("makespan", "slowdown", "rollbacks", "mean_rollback_distance",
+                  "max_rollback_distance", "lost_work", "checkpoint_overhead",
+                  "waiting_time", "peak_saved_states")
 
 
 def _run_scheme(scheme: str, workload: WorkloadSpec, seed: int,
@@ -36,14 +54,21 @@ def _run_scheme(scheme: str, workload: WorkloadSpec, seed: int,
     raise ValueError(f"unknown scheme {scheme!r}")
 
 
-def run_scheme_replications(scheme: str, workload: WorkloadSpec, *,
-                            replications: int = 5, base_seed: int = 100,
-                            sync_interval: float = 2.0) -> Dict[str, float]:
-    """Run one scheme several times and average the headline metrics."""
-    if replications < 1:
-        raise ValueError("need at least one replication")
-    reports = [_run_scheme(scheme, workload, base_seed + r, sync_interval)
-               for r in range(replications)]
+@dataclass(frozen=True)
+class _SchemeRun:
+    """One picklable (scheme, replication) runtime task."""
+
+    scheme: str
+    workload: WorkloadSpec
+    seed: int
+    sync_interval: float
+
+
+def _run_scheme_task(task: _SchemeRun) -> RunReport:
+    return _run_scheme(task.scheme, task.workload, task.seed, task.sync_interval)
+
+
+def _summarize(reports: Sequence[RunReport]) -> Dict[str, float]:
     def mean(getter) -> float:
         return float(np.mean([getter(rep) for rep in reports]))
 
@@ -61,28 +86,84 @@ def run_scheme_replications(scheme: str, workload: WorkloadSpec, *,
     }
 
 
+def run_scheme_replications(scheme: str, workload: WorkloadSpec, *,
+                            replications: int = 5, base_seed: int = 100,
+                            sync_interval: float = 2.0,
+                            backend=None) -> Dict[str, float]:
+    """Run one scheme several times and average the headline metrics."""
+    if replications < 1:
+        raise ValueError("need at least one replication")
+    backend = make_backend(backend) if backend is not None else SerialBackend()
+    tasks = [_SchemeRun(scheme, workload, base_seed + r, sync_interval)
+             for r in range(replications)]
+    return _summarize(backend.map(_run_scheme_task, tasks))
+
+
+def _comparison_result(notes_replications: int) -> ExperimentResult:
+    return ExperimentResult(
+        name="strategy_comparison_runtime",
+        paper_reference="Sections 2-5 trade-off discussion (executable version)",
+        columns=list(METRIC_COLUMNS),
+        notes=(f"Averages over {notes_replications} replications of the same "
+               "workload; the asynchronous scheme trades low normal-operation "
+               "overhead for long (potentially unbounded) rollbacks, the "
+               "synchronized scheme trades waiting time for bounded rollback, "
+               "PRPs pay state-saving overhead for bounded rollback without "
+               "waiting."),
+    )
+
+
+def _tabulate(schemes: Sequence[str], tasks: List[_SchemeRun],
+              reports: Sequence[RunReport], replications: int
+              ) -> ExperimentResult:
+    result = _comparison_result(replications)
+    for scheme in schemes:
+        scheme_reports = [rep for task, rep in zip(tasks, reports)
+                          if task.scheme == scheme]
+        metrics = _summarize(scheme_reports)
+        result.add_row(scheme, **{k: metrics[k] for k in METRIC_COLUMNS})
+    return result
+
+
+@scenario("strategy_comparison",
+          description="All three recovery schemes on one workload (measured)",
+          paper_reference="Sections 2-5 trade-off discussion (executable version)",
+          default_reps=5)
+def strategy_comparison_scenario(ctx: ExecutionContext, *,
+                                 n: int = 3, mu: float = 1.0, lam: float = 1.0,
+                                 work: float = 25.0, error_rate: float = 0.04,
+                                 sync_interval: float = 2.0,
+                                 schemes: Sequence[str] = ("asynchronous",
+                                                           "synchronized",
+                                                           "pseudo")
+                                 ) -> ExperimentResult:
+    """Run every scheme on a homogeneous workload; ``ctx.reps`` replications each."""
+    replications = ctx.reps_or(5)
+    workload = homogeneous_workload(n=n, mu=mu, lam=lam, work=work,
+                                    error_rate=error_rate)
+    # Common random numbers: replication r uses the same seed for every scheme,
+    # so the seed noise cancels out of the scheme-vs-scheme deltas.
+    rep_seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(replications)]
+    tasks = [_SchemeRun(scheme, workload, rep_seed, sync_interval)
+             for scheme in schemes for rep_seed in rep_seeds]
+    reports = ctx.map(_run_scheme_task, tasks)
+    return _tabulate(schemes, tasks, reports, replications)
+
+
 def run_strategy_comparison(workload: WorkloadSpec, *, replications: int = 5,
                             base_seed: int = 100, sync_interval: float = 2.0,
                             schemes: Sequence[str] = ("asynchronous", "synchronized",
-                                                      "pseudo")) -> ExperimentResult:
-    """Run every scheme on *workload* and tabulate the averaged metrics."""
-    columns = ["makespan", "slowdown", "rollbacks", "mean_rollback_distance",
-               "max_rollback_distance", "lost_work", "checkpoint_overhead",
-               "waiting_time", "peak_saved_states"]
-    result = ExperimentResult(
-        name="strategy_comparison_runtime",
-        paper_reference="Sections 2-5 trade-off discussion (executable version)",
-        columns=columns,
-        notes=(f"Averages over {replications} replications of the same workload; "
-               "the asynchronous scheme trades low normal-operation overhead for "
-               "long (potentially unbounded) rollbacks, the synchronized scheme "
-               "trades waiting time for bounded rollback, PRPs pay state-saving "
-               "overhead for bounded rollback without waiting."),
-    )
-    for scheme in schemes:
-        metrics = run_scheme_replications(scheme, workload,
-                                          replications=replications,
-                                          base_seed=base_seed,
-                                          sync_interval=sync_interval)
-        result.add_row(scheme, **{k: metrics[k] for k in columns})
-    return result
+                                                      "pseudo"),
+                            backend=None,
+                            workers: Optional[int] = None) -> ExperimentResult:
+    """Run every scheme on *workload* and tabulate the averaged metrics.
+
+    Takes an explicit :class:`WorkloadSpec` (unlike the registered scenario,
+    which builds a homogeneous one), so the examples can compare schemes on
+    arbitrary workloads; replications fan out across the backend.
+    """
+    backend = make_backend(backend, workers)
+    tasks = [_SchemeRun(scheme, workload, base_seed + r, sync_interval)
+             for scheme in schemes for r in range(replications)]
+    reports = backend.map(_run_scheme_task, tasks)
+    return _tabulate(schemes, tasks, reports, replications)

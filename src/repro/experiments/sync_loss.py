@@ -8,7 +8,8 @@ analytic value against the synchronized runtime's measured waiting loss.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,9 +18,22 @@ from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
 from repro.processes.communication import all_pairs_rates
 from repro.recovery.synchronized import SynchronizedRuntime, SyncStrategy
+from repro.runner import ExecutionContext, scenario, seed_to_int
 from repro.workloads.spec import FaultModel, WorkloadSpec
 
 __all__ = ["run_sync_loss", "run_sync_loss_validation"]
+
+
+@scenario("sync_loss",
+          description="Section 3: mean computation-power loss CL vs n",
+          paper_reference="Section 3 (mean loss in computation power, eq. for CL)")
+def sync_loss_scenario(ctx: ExecutionContext, *,
+                       n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
+                       mu: float = 1.0,
+                       heterogeneity: Sequence[float] = (1.0, 2.0, 4.0)
+                       ) -> ExperimentResult:
+    """Regenerate the CL table (analytic; the backend is not used)."""
+    return run_sync_loss(n_values, mu, heterogeneity)
 
 
 def run_sync_loss(n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
@@ -58,20 +72,51 @@ def run_sync_loss(n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
     return result
 
 
-def run_sync_loss_validation(n: int = 3, mu: float = 1.0, *,
-                             sync_interval: float = 3.0, work: float = 400.0,
-                             seed: Optional[int] = 11) -> ExperimentResult:
-    """Compare the analytic ``CL`` with the synchronized runtime's measurement."""
-    params = SystemParameters(mu=[mu] * n, lam=all_pairs_rates(n, 0.5))
-    workload = WorkloadSpec(params=params, work_per_process=work,
+@dataclass(frozen=True)
+class _SyncLossRun:
+    """One picklable synchronized-runtime measurement task."""
+
+    n: int
+    mu: float
+    sync_interval: float
+    work: float
+    seed: Optional[int]
+
+
+def _measure_sync_loss(task: _SyncLossRun) -> Tuple[float, int]:
+    """Run the synchronized runtime once; return (mean loss, lines committed)."""
+    params = SystemParameters(mu=[task.mu] * task.n,
+                              lam=all_pairs_rates(task.n, 0.5))
+    workload = WorkloadSpec(params=params, work_per_process=task.work,
                             checkpoint_cost=0.0, restart_cost=0.0,
                             faults=FaultModel(error_rate=0.0))
-    runtime = SynchronizedRuntime(workload, seed=seed,
+    runtime = SynchronizedRuntime(workload, seed=task.seed,
                                   strategy=SyncStrategy.ELAPSED_TIME,
-                                  sync_interval=sync_interval)
+                                  sync_interval=task.sync_interval)
     report = runtime.run()
+    return runtime.mean_sync_loss(), report.recovery_lines_committed
+
+
+@scenario("sync_loss_validation",
+          description="Section 3 CL formula vs the synchronized runtime",
+          paper_reference="Section 3 (CL formula) — runtime cross-check",
+          default_reps=1)
+def sync_loss_validation_scenario(ctx: ExecutionContext, *, n: int = 3,
+                                  mu: float = 1.0, sync_interval: float = 3.0,
+                                  work: float = 400.0) -> ExperimentResult:
+    """Compare the analytic ``CL`` with the synchronized runtime's measurement.
+
+    ``ctx.reps`` independent runtime replications are averaged (each with its
+    own spawned seed); the default of one replication matches the original
+    single-run experiment.
+    """
+    reps = ctx.reps_or(1)
+    tasks = [_SyncLossRun(n, mu, sync_interval, work, seed_to_int(seq))
+             for seq in ctx.spawn_seeds(reps)]
+    measurements = ctx.map(_measure_sync_loss, tasks)
     analytic = SynchronizedLossModel([mu] * n).expected_loss()
-    measured = runtime.mean_sync_loss()
+    measured = float(np.mean([loss for loss, _lines in measurements]))
+    lines = sum(lines for _loss, lines in measurements)
     result = ExperimentResult(
         name="sync_loss_validation",
         paper_reference="Section 3 (CL formula) — runtime cross-check",
@@ -83,6 +128,19 @@ def run_sync_loss_validation(n: int = 3, mu: float = 1.0, *,
         "analytic CL": analytic,
         "measured CL": measured,
         "relative error": rel,
-        "lines committed": float(report.recovery_lines_committed),
+        "lines committed": float(lines),
     })
     return result
+
+
+def run_sync_loss_validation(n: int = 3, mu: float = 1.0, *,
+                             sync_interval: float = 3.0, work: float = 400.0,
+                             seed: Optional[int] = 11, backend=None,
+                             workers: Optional[int] = None,
+                             replications: int = 1) -> ExperimentResult:
+    """Runtime cross-check of ``CL`` (compatibility wrapper over the scenario)."""
+    from repro.runner import run_scenario
+
+    return run_scenario("sync_loss_validation", backend=backend, workers=workers,
+                        seed=seed, reps=replications, n=n, mu=mu,
+                        sync_interval=sync_interval, work=work)

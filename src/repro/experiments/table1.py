@@ -11,6 +11,10 @@ methodology (Monte-Carlo simulation of the model) for comparison.  The paper's
 ``E(L_i)`` values match our analytic values under the *all* counting convention
 (the recovery point that completes the next line is included) to the three decimal
 places printed in the paper.
+
+The Monte-Carlo columns are produced through the experiment runner: the interval
+budget of every case is sharded into fixed-size tasks with driver-spawned seeds,
+so ``--backend process`` reproduces the serial numbers bit for bit.
 """
 
 from __future__ import annotations
@@ -18,7 +22,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sampling import sample_interval_cases
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.runner import ExecutionContext, run_scenario, scenario
 from repro.workloads.generators import TABLE1_CASES, paper_table1_case
 
 __all__ = ["run_table1", "PAPER_TABLE1"]
@@ -32,14 +38,22 @@ PAPER_TABLE1 = {
     5: (3.354, 4.967, 3.111, 1.656, 9.933),
 }
 
+DEFAULT_INTERVALS = 20_000
 
-def run_table1(*, simulate: bool = False, n_intervals: int = 20_000,
-               seed: Optional[int] = 2024) -> ExperimentResult:
+
+@scenario("table1",
+          description="Table 1: E[X] and E[L_i] for the five parameter cases",
+          paper_reference="Table 1 (mean values of X and L for constant rho)",
+          default_reps=DEFAULT_INTERVALS)
+def table1_scenario(ctx: ExecutionContext, *, simulate: bool = False
+                    ) -> ExperimentResult:
     """Regenerate Table 1.
 
     With ``simulate=True`` the Monte-Carlo columns (the paper's own methodology)
-    are added next to the analytic ones.
+    are added next to the analytic ones; ``ctx.reps`` is the per-case interval
+    budget.
     """
+    n_intervals = ctx.reps_or(DEFAULT_INTERVALS)
     columns = ["E[X]", "E[L1]", "E[L2]", "E[L3]", "sum E[L]",
                "paper E[X]", "paper sum E[L]"]
     if simulate:
@@ -53,7 +67,9 @@ def run_table1(*, simulate: bool = False, n_intervals: int = 20_000,
                "precision.  The paper's E(X) column came from simulation and sits "
                "3-6% above the analytic mean."),
     )
-    for case in range(1, len(TABLE1_CASES) + 1):
+    cases = list(range(1, len(TABLE1_CASES) + 1))
+    sampled = sample_interval_cases(ctx, cases, n_intervals) if simulate else {}
+    for case in cases:
         params = paper_table1_case(case)
         model = RecoveryLineIntervalModel(params, prefer_simplified=False)
         counts = model.expected_rp_counts(counting="all")
@@ -68,9 +84,17 @@ def run_table1(*, simulate: bool = False, n_intervals: int = 20_000,
             "paper sum E[L]": paper[4],
         }
         if simulate:
-            sim = model.simulate(n_intervals, seed=None if seed is None else seed + case)
+            sim = sampled[case]
             values["sim E[X]"] = sim.mean_interval()
             values["sim sum E[L]"] = float(sim.mean_rp_counts("all").sum())
         mu, lam = TABLE1_CASES[case - 1]
         result.add_row(f"case {case} mu={mu} lam={lam}", **values)
     return result
+
+
+def run_table1(*, simulate: bool = False, n_intervals: int = DEFAULT_INTERVALS,
+               seed: Optional[int] = 2024, backend=None,
+               workers: Optional[int] = None) -> ExperimentResult:
+    """Regenerate Table 1 (compatibility wrapper over ``run_scenario``)."""
+    return run_scenario("table1", backend=backend, workers=workers, seed=seed,
+                        reps=n_intervals, simulate=simulate)

@@ -5,26 +5,62 @@ stochastic model: for the Table 1 cases, the phase-type mean ``E[X]``, the
 Monte-Carlo estimate from :class:`~repro.markov.montecarlo.ModelSimulator`, and the
 history-level estimate obtained by running the latest-RP recovery-line detector
 over a generated history must all agree within sampling error.
+
+Both the Monte-Carlo sampling (sharded per case) and the history generation run
+through the experiment runner's backend, so the whole validation fans out across
+cores with bit-identical output.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.intervals import extract_intervals, summarize_intervals
 from repro.core.recovery_line import LatestRPRecoveryLineDetector
 from repro.experiments.common import ExperimentResult
+from repro.experiments.sampling import sample_interval_cases
 from repro.markov.montecarlo import ModelSimulator
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.runner import ExecutionContext, run_scenario, scenario
 from repro.workloads.generators import paper_table1_case
 
 __all__ = ["run_validation"]
 
+DEFAULT_INTERVALS = 4_000
 
-def run_validation(cases: Sequence[int] = (1, 2, 3),
-                   n_intervals: int = 4000, history_duration: float = 400.0,
-                   seed: Optional[int] = 7) -> ExperimentResult:
-    """Three-way agreement check on ``E[X]`` for selected Table 1 cases."""
+
+@dataclass(frozen=True)
+class _HistoryTask:
+    case: int
+    duration: float
+    seed: np.random.SeedSequence
+
+
+def _history_mean(task: _HistoryTask) -> Tuple[float, int]:
+    """Generate one history and return (mean interval, interval count)."""
+    params = paper_table1_case(task.case)
+    history = ModelSimulator(params, seed=task.seed).generate_history(task.duration)
+    observations = extract_intervals(history, LatestRPRecoveryLineDetector())
+    if not observations:
+        return float("nan"), 0
+    return summarize_intervals(observations)["mean_X"], len(observations)
+
+
+@scenario("validation",
+          description="Three-way agreement: analytic vs Monte-Carlo vs history",
+          paper_reference="Section 2.3 methodology (analytic vs simulation)",
+          default_reps=DEFAULT_INTERVALS)
+def validation_scenario(ctx: ExecutionContext, *,
+                        cases: Sequence[int] = (1, 2, 3),
+                        history_duration: float = 400.0) -> ExperimentResult:
+    """Three-way agreement check on ``E[X]`` for selected Table 1 cases.
+
+    ``ctx.reps`` is the per-case Monte-Carlo interval budget.
+    """
+    n_intervals = ctx.reps_or(DEFAULT_INTERVALS)
     columns = ["analytic E[X]", "MC E[X]", "MC stderr", "history E[X]",
                "MC rel err", "history rel err"]
     result = ExperimentResult(
@@ -35,23 +71,19 @@ def run_validation(cases: Sequence[int] = (1, 2, 3),
                "history and extracts intervals with the latest-RP detector — all "
                "three must agree within sampling error."),
     )
-    detector = LatestRPRecoveryLineDetector()
-    for idx, case in enumerate(cases):
+    cases = list(cases)
+
+    sampled_by_case = sample_interval_cases(ctx, cases, n_intervals)
+    history_tasks = [_HistoryTask(case, history_duration, ctx.spawn_seed())
+                     for case in cases]
+    history_outputs = ctx.map(_history_mean, history_tasks)
+
+    for case, (history_mean, _count) in zip(cases, history_outputs):
         params = paper_table1_case(case)
-        model = RecoveryLineIntervalModel(params, prefer_simplified=False)
-        analytic = model.mean_interval()
-
-        simulator = ModelSimulator(params, seed=None if seed is None else seed + idx)
-        sampled = simulator.sample_intervals(n_intervals)
+        analytic = RecoveryLineIntervalModel(params,
+                                             prefer_simplified=False).mean_interval()
+        sampled = sampled_by_case[case]
         mc_mean = sampled.mean_interval()
-
-        history = ModelSimulator(params,
-                                 seed=None if seed is None else seed + 100 + idx
-                                 ).generate_history(history_duration)
-        observations = extract_intervals(history, detector)
-        history_mean = summarize_intervals(observations)["mean_X"] if observations \
-            else float("nan")
-
         result.add_row(f"table1 case {case}", **{
             "analytic E[X]": analytic,
             "MC E[X]": mc_mean,
@@ -61,3 +93,14 @@ def run_validation(cases: Sequence[int] = (1, 2, 3),
             "history rel err": abs(history_mean - analytic) / analytic,
         })
     return result
+
+
+def run_validation(cases: Sequence[int] = (1, 2, 3),
+                   n_intervals: int = DEFAULT_INTERVALS,
+                   history_duration: float = 400.0,
+                   seed: Optional[int] = 7, *, backend=None,
+                   workers: Optional[int] = None) -> ExperimentResult:
+    """Three-way validation (compatibility wrapper over ``run_scenario``)."""
+    return run_scenario("validation", backend=backend, workers=workers,
+                        seed=seed, reps=n_intervals, cases=cases,
+                        history_duration=history_duration)

@@ -18,14 +18,19 @@ recovery-line detectors against the bit-level bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.history import HistoryDiagram
 from repro.core.parameters import SystemParameters
 
-__all__ = ["SimulatedIntervals", "ModelSimulator"]
+__all__ = ["SimulatedIntervals", "ModelSimulator", "concatenate_intervals"]
+
+#: Events drawn from the generator per batch.  One batch covers a few hundred
+#: intervals of a typical Table 1 case, so the per-event cost is dominated by
+#: the (cheap) Python state update rather than by RNG calls.
+DEFAULT_BATCH_SIZE = 8_192
 
 
 @dataclass(frozen=True)
@@ -84,21 +89,62 @@ class SimulatedIntervals:
         return freq / max(self.n_samples, 1)
 
 
+def concatenate_intervals(parts: Sequence["SimulatedIntervals"]
+                          ) -> "SimulatedIntervals":
+    """Merge per-shard sample sets into one, preserving shard order.
+
+    The experiment runner shards a Monte-Carlo budget across workers and merges
+    the shard outputs with this helper; because the merge respects the shard
+    order, the combined sample set is independent of which backend produced it.
+    """
+    if not parts:
+        raise ValueError("need at least one shard to concatenate")
+    n_processes = parts[0].n_processes
+    if any(part.n_processes != n_processes for part in parts):
+        raise ValueError("shards disagree on the number of processes")
+    if len(parts) == 1:
+        return parts[0]
+    return SimulatedIntervals(
+        lengths=np.concatenate([part.lengths for part in parts]),
+        rp_counts=np.concatenate([part.rp_counts for part in parts]),
+        completing_process=np.concatenate([part.completing_process
+                                           for part in parts]),
+    )
+
+
 class ModelSimulator:
     """Monte-Carlo sampler of the Section 2 model.
+
+    The sampler exploits the structure of the underlying Markov jump chain: the
+    holding times are i.i.d. ``Exp(Λ)`` with ``Λ`` the total event rate, and the
+    event identities are i.i.d. categorical draws with probabilities
+    ``rate/Λ`` — the competing exponentials of the model.  Both streams are
+    therefore drawn from numpy in large batches instead of one generator call
+    per event, and the per-event state update is a pair of integer bitmask
+    operations; this is an order of magnitude faster than the event-at-a-time
+    reference implementation (kept as :meth:`sample_intervals_legacy`) while
+    sampling the exact same process law.
 
     Parameters
     ----------
     params:
         System parameters (``μ``, ``λ``).
     seed:
-        Seed for the dedicated :class:`numpy.random.Generator`; runs with the same
-        seed are bit-for-bit reproducible.
+        Seed (or a pre-spawned :class:`numpy.random.SeedSequence`) for the
+        dedicated :class:`numpy.random.Generator`; runs with the same seed are
+        bit-for-bit reproducible.
+    batch_size:
+        Events drawn per numpy batch.
     """
 
-    def __init__(self, params: SystemParameters, seed: Optional[int] = None) -> None:
+    def __init__(self, params: SystemParameters,
+                 seed: Union[int, np.random.SeedSequence, None] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.params = params
         self.rng = np.random.default_rng(seed)
+        self.batch_size = int(batch_size)
         # Pre-compute the event alphabet: ("rp", i) and ("interaction", (i, j)).
         self._event_rates: List[float] = []
         self._events: List[Tuple[str, Tuple[int, ...]]] = []
@@ -116,19 +162,112 @@ class ModelSimulator:
         if self._total_rate <= 0.0:
             raise ValueError("the system has no events (all rates zero)")
         self._probs = self._rates / self._total_rate
+        # Per-event lookup tables for the batched fast path, as plain Python
+        # lists (scalar indexing of lists is ~3x faster than numpy scalars).
+        # Applying an event to the bit-vector state is
+        #   mask = (mask & and_mask[e]) | or_mask[e]
+        # (an RP sets the process bit, an interaction clears both bits).
+        full = (1 << params.n) - 1
+        self._full_mask = full
+        self._or_masks: List[int] = []
+        self._and_masks: List[int] = []
+        self._rp_proc: List[int] = []       # process id for RPs, -1 otherwise
+        self._pair: List[Tuple[int, int]] = []
+        for kind, who in self._events:
+            if kind == "rp":
+                (i,) = who
+                self._or_masks.append(1 << i)
+                self._and_masks.append(full)
+                self._rp_proc.append(i)
+                self._pair.append((i, i))
+            else:
+                i, j = who
+                self._or_masks.append(0)
+                self._and_masks.append(full & ~((1 << i) | (1 << j)))
+                self._rp_proc.append(-1)
+                self._pair.append((i, j))
+        self._cumprobs = np.cumsum(self._probs)
+        self._cumprobs[-1] = 1.0
 
     # ------------------------------------------------------------------ sampling
     def _next_event(self) -> Tuple[float, str, Tuple[int, ...]]:
-        """Sample the next event: (holding time, kind, participants)."""
+        """Sample the next event: (holding time, kind, participants).
+
+        Event-at-a-time reference path; the batched sampler below draws the
+        same two streams (exponential holding times, categorical identities)
+        in numpy blocks instead.
+        """
         dt = self.rng.exponential(1.0 / self._total_rate)
         idx = int(self.rng.choice(len(self._events), p=self._probs))
         kind, who = self._events[idx]
         return dt, kind, who
 
+    def _draw_batch(self) -> Tuple[List[float], List[int]]:
+        """Draw one numpy batch of (holding times, event indices)."""
+        size = self.batch_size
+        dts = self.rng.exponential(1.0 / self._total_rate, size=size)
+        idxs = np.searchsorted(self._cumprobs, self.rng.random(size),
+                               side="right")
+        return dts.tolist(), idxs.tolist()
+
     def sample_intervals(self, n_intervals: int,
                          max_events_per_interval: int = 10_000_000
                          ) -> SimulatedIntervals:
         """Sample *n_intervals* successive inter-recovery-line intervals."""
+        if n_intervals < 1:
+            raise ValueError("need at least one interval")
+        n = self.params.n
+        lengths = np.empty(n_intervals)
+        counts = np.zeros((n_intervals, n), dtype=np.int64)
+        completing = np.empty(n_intervals, dtype=np.int64)
+
+        full = self._full_mask
+        or_masks = self._or_masks
+        and_masks = self._and_masks
+        rp_proc = self._rp_proc
+        dts: List[float] = []
+        idxs: List[int] = []
+        ptr = buffered = 0
+
+        for r in range(n_intervals):
+            mask = full                 # entry state: all last actions are RPs
+            elapsed = 0.0
+            events = 0
+            row = [0] * n
+            while True:
+                if ptr == buffered:
+                    dts, idxs = self._draw_batch()
+                    ptr, buffered = 0, len(dts)
+                dt = dts[ptr]
+                idx = idxs[ptr]
+                ptr += 1
+                events += 1
+                if events > max_events_per_interval:
+                    raise RuntimeError("interval did not close; check the rates")
+                elapsed += dt
+                i = rp_proc[idx]
+                if i >= 0:
+                    row[i] += 1
+                    mask |= or_masks[idx]
+                    if mask == full:
+                        lengths[r] = elapsed
+                        completing[r] = i
+                        break
+                else:
+                    mask &= and_masks[idx]
+            counts[r] = row
+        return SimulatedIntervals(lengths=lengths, rp_counts=counts,
+                                  completing_process=completing)
+
+    def sample_intervals_legacy(self, n_intervals: int,
+                                max_events_per_interval: int = 10_000_000
+                                ) -> SimulatedIntervals:
+        """Event-at-a-time reference implementation of :meth:`sample_intervals`.
+
+        Kept as the cross-check and benchmark baseline for the batched fast
+        path: both sample the identical process law, but this one pays two
+        generator calls per event.
+        """
         if n_intervals < 1:
             raise ValueError("need at least one interval")
         n = self.params.n
@@ -172,16 +311,26 @@ class ModelSimulator:
         if duration <= 0.0:
             raise ValueError("duration must be positive")
         history = HistoryDiagram(self.params.n)
+        rp_proc = self._rp_proc
+        pair = self._pair
         t = 0.0
+        dts: List[float] = []
+        idxs: List[int] = []
+        ptr = buffered = 0
         while True:
-            dt, kind, who = self._next_event()
-            t += dt
+            if ptr == buffered:
+                dts, idxs = self._draw_batch()
+                ptr, buffered = 0, len(dts)
+            t += dts[ptr]
+            idx = idxs[ptr]
+            ptr += 1
             if t > duration:
                 break
-            if kind == "rp":
-                history.add_recovery_point(who[0], t)
+            i = rp_proc[idx]
+            if i >= 0:
+                history.add_recovery_point(i, t)
             else:
-                i, j = who
+                i, j = pair[idx]
                 # Interactions of the analytic model are symmetric and
                 # instantaneous; direction is irrelevant, pick the lower id as the
                 # sender for determinism.

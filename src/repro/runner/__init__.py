@@ -1,0 +1,68 @@
+"""Unified scenario registry and parallel experiment runner.
+
+Every paper artefact (table, figure, section analysis) is a *scenario*: a named,
+registered entry point that builds an
+:class:`~repro.experiments.common.ExperimentResult`.  The subsystem splits the
+experiment layer into three pieces:
+
+``registry``
+    :class:`ScenarioSpec` and the global decorator-based registry
+    (``@scenario("table1")``), so new workloads plug in without touching the
+    harness.
+``backends``
+    Pluggable execution backends: :class:`SerialBackend` runs replications in
+    the driver process, :class:`ProcessPoolBackend` fans them out across worker
+    processes via :mod:`concurrent.futures`.
+``runner``
+    :class:`ExperimentRunner` / :func:`run_scenario`, which hand each scenario
+    an :class:`ExecutionContext` carrying the backend, the replication budget
+    and a root :class:`numpy.random.SeedSequence`.  Monte-Carlo work is sharded
+    into fixed-size tasks whose seeds are spawned *in the driver*, so serial
+    and parallel runs of the same seed are bit-for-bit identical.
+
+The CLI (``python -m repro``) lists and runs registered scenarios.
+"""
+
+from repro.runner.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.runner.registry import (
+    DuplicateScenarioError,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    load_builtin_scenarios,
+    register_scenario,
+    scenario,
+)
+from repro.runner.runner import (
+    DEFAULT_SHARD_SIZE,
+    ExecutionContext,
+    ExperimentRunner,
+    run_scenario,
+    seed_to_int,
+    shard_counts,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "DuplicateScenarioError",
+    "ExecutionBackend",
+    "ExecutionContext",
+    "ExperimentRunner",
+    "ProcessPoolBackend",
+    "ScenarioSpec",
+    "SerialBackend",
+    "get_scenario",
+    "list_scenarios",
+    "load_builtin_scenarios",
+    "make_backend",
+    "register_scenario",
+    "run_scenario",
+    "scenario",
+    "seed_to_int",
+    "shard_counts",
+]

@@ -1,0 +1,140 @@
+"""The global scenario registry.
+
+A *scenario* is a callable ``func(ctx, **params) -> ExperimentResult`` whose
+first argument is the :class:`~repro.runner.runner.ExecutionContext` injected by
+the runner; everything after it must be keyword parameters with defaults so the
+CLI can override them.  Registration is decorator based::
+
+    @scenario("table1", paper_reference="Table 1", default_reps=20_000)
+    def table1_scenario(ctx, *, simulate=False):
+        ...
+
+Names are unique: registering two scenarios under the same name raises
+:class:`DuplicateScenarioError` (re-registering the *same* function is a no-op
+so module reloads stay harmless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+__all__ = [
+    "DuplicateScenarioError",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "load_builtin_scenarios",
+    "register_scenario",
+    "scenario",
+    "unregister_scenario",
+]
+
+
+class DuplicateScenarioError(ValueError):
+    """Raised when two different callables claim the same scenario name."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Metadata + entry point of one registered scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the CLI name (``python -m repro run <name>``).
+    func:
+        ``func(ctx, **params) -> ExperimentResult``.
+    description:
+        One-line summary shown by ``python -m repro list``.
+    paper_reference:
+        The table/figure/section of the paper the scenario reproduces.
+    default_reps:
+        Default Monte-Carlo replication budget (``None`` for purely analytic
+        scenarios, where ``--reps`` is ignored).
+    defaults:
+        Default keyword parameters merged under any caller overrides.
+    """
+
+    name: str
+    func: Callable
+    description: str = ""
+    paper_reference: str = ""
+    default_reps: Optional[int] = None
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def uses_replications(self) -> bool:
+        return self.default_reps is not None
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add *spec* to the global registry; duplicate names are an error."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        if existing.func is spec.func:
+            return existing
+        # A reload re-runs the decorator on a *fresh* function object; treat
+        # the same module+qualname as the same scenario and refresh the entry.
+        if (existing.func.__module__ == spec.func.__module__
+                and existing.func.__qualname__ == spec.func.__qualname__):
+            _REGISTRY[spec.name] = spec
+            return spec
+        raise DuplicateScenarioError(
+            f"scenario {spec.name!r} is already registered "
+            f"(by {existing.func.__module__}.{existing.func.__qualname__})")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario(name: str, *, description: str = "", paper_reference: str = "",
+             default_reps: Optional[int] = None,
+             **defaults: object) -> Callable[[Callable], Callable]:
+    """Decorator registering *func* as scenario *name*; returns *func* unchanged."""
+
+    def decorate(func: Callable) -> Callable:
+        doc_first_line = next(iter((func.__doc__ or "").strip().splitlines()), "")
+        register_scenario(ScenarioSpec(
+            name=name,
+            func=func,
+            description=description or doc_first_line,
+            paper_reference=paper_reference,
+            default_reps=default_reps,
+            defaults=dict(defaults),
+        ))
+        return func
+
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario; ``KeyError`` names the known scenarios."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none registered)"
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") \
+            from None
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (test hygiene; unknown names are a no-op)."""
+    _REGISTRY.pop(name, None)
+
+
+def load_builtin_scenarios() -> None:
+    """Import :mod:`repro.experiments`, registering every built-in scenario.
+
+    Idempotent: the import is cached, and re-registration of the same functions
+    is a no-op.  Kept lazy (a function, not a module-level import) so that
+    ``repro.runner`` itself never depends on the experiment layer.
+    """
+    import repro.experiments  # noqa: F401  (import side effect registers scenarios)

@@ -1,0 +1,165 @@
+"""The experiment runner: execution contexts, seed streams and sharding.
+
+Determinism contract
+--------------------
+All randomness a scenario consumes is derived from one root
+:class:`numpy.random.SeedSequence` held by the :class:`ExecutionContext`.
+Per-replication (or per-shard) child sequences are spawned *in the driver
+process, in a fixed order* (:meth:`ExecutionContext.spawn_seeds`), attached to
+the task payloads, and only then handed to the backend.  Workers never touch
+the root sequence, and backends return results in task order — so for a fixed
+seed the assembled :class:`~repro.experiments.common.ExperimentResult` is
+bit-for-bit identical whether the tasks ran serially or across a process pool,
+with any worker count.
+
+Sharding follows the same rule: a Monte-Carlo budget of ``N`` replications is
+split into fixed-size shards (:func:`shard_counts`) whose sizes depend only on
+``N`` — never on the backend or worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+from repro.runner.backends import ExecutionBackend, SerialBackend, make_backend
+from repro.runner.registry import ScenarioSpec, get_scenario, load_builtin_scenarios
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "ExecutionContext",
+    "ExperimentRunner",
+    "run_scenario",
+    "seed_to_int",
+    "shard_counts",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Replications per shard.  Fixed (backend- and worker-independent) so that the
+#: shard layout — and therefore the seed stream and the results — depends only
+#: on the total budget.  Small enough to load ~10 workers on the default
+#: Table 1 budget, large enough that per-task overhead stays negligible.
+DEFAULT_SHARD_SIZE = 2_000
+
+
+def shard_counts(total: int, shard_size: int = DEFAULT_SHARD_SIZE) -> List[int]:
+    """Split *total* replications into fixed-size shards (last one ragged)."""
+    if total < 1:
+        raise ValueError("need at least one replication")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    full, rest = divmod(total, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])
+
+
+def seed_to_int(seq: np.random.SeedSequence) -> int:
+    """Deterministic 64-bit integer seed from a :class:`SeedSequence`.
+
+    For legacy components whose API takes an ``int`` seed (the recovery-scheme
+    runtimes, :class:`~repro.sim.random_streams.RandomStreams`).
+    """
+    lo, hi = seq.generate_state(2, dtype=np.uint32)
+    return (int(hi) << 32) | int(lo)
+
+
+class ExecutionContext:
+    """What the runner injects into a scenario function.
+
+    Carries the execution backend, the requested replication budget and the
+    root seed sequence.  Scenario code expresses Monte-Carlo work as *tasks*
+    (picklable payloads, each holding a spawned child seed) and runs them with
+    :meth:`map`; everything else — analytic computation, result assembly — runs
+    in the driver.
+    """
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 seed: Optional[int] = None, reps: Optional[int] = None) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.seed = seed
+        self.reps = reps
+        self._root = np.random.SeedSequence(seed)
+
+    # ------------------------------------------------------------------ seeds
+    def spawn_seeds(self, n: int) -> List[np.random.SeedSequence]:
+        """Spawn *n* fresh child seed sequences from the root.
+
+        Successive calls continue the spawn counter, so a scenario that calls
+        this in a fixed order gets the same seed stream on every backend.
+        """
+        if n < 0:
+            raise ValueError("cannot spawn a negative number of seeds")
+        return list(self._root.spawn(n)) if n else []
+
+    def spawn_seed(self) -> np.random.SeedSequence:
+        """Spawn a single child seed sequence."""
+        return self.spawn_seeds(1)[0]
+
+    # ------------------------------------------------------------------ reps
+    def reps_or(self, default: int) -> int:
+        """The requested replication budget, or *default* when unspecified."""
+        reps = default if self.reps is None else self.reps
+        if reps < 1:
+            raise ValueError("replication budget must be >= 1")
+        return reps
+
+    def shards_for(self, total: int,
+                   shard_size: int = DEFAULT_SHARD_SIZE) -> List[int]:
+        """Shard sizes for *total* replications (backend independent)."""
+        return shard_counts(total, shard_size)
+
+    # ------------------------------------------------------------------ execution
+    def map(self, func: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
+        """Run picklable *tasks* through the backend; results in task order."""
+        return self.backend.map(func, list(tasks))
+
+
+class ExperimentRunner:
+    """Resolve scenarios from the registry and execute them on a backend.
+
+    >>> runner = ExperimentRunner(seed=7)
+    >>> result = runner.run("validation", reps=500)     # doctest: +SKIP
+    """
+
+    def __init__(self, backend: Union[str, ExecutionBackend, None] = None, *,
+                 workers: Optional[int] = None, seed: Optional[int] = None,
+                 reps: Optional[int] = None) -> None:
+        self.backend = make_backend(backend, workers)
+        self.seed = seed
+        self.reps = reps
+
+    def run(self, name_or_spec: Union[str, ScenarioSpec], *,
+            seed: Optional[int] = None, reps: Optional[int] = None, **params):
+        """Run one scenario and return its ``ExperimentResult``.
+
+        ``seed``/``reps`` override the runner-level defaults; ``params`` are
+        scenario keyword parameters layered over the spec's registered
+        defaults.
+        """
+        if isinstance(name_or_spec, ScenarioSpec):
+            spec = name_or_spec
+        else:
+            load_builtin_scenarios()
+            spec = get_scenario(name_or_spec)
+        ctx = ExecutionContext(
+            backend=self.backend,
+            seed=self.seed if seed is None else seed,
+            reps=self.reps if reps is None else reps,
+        )
+        merged = {**spec.defaults, **params}
+        return spec.func(ctx, **merged)
+
+
+def run_scenario(name: str, *, backend: Union[str, ExecutionBackend, None] = None,
+                 workers: Optional[int] = None, seed: Optional[int] = None,
+                 reps: Optional[int] = None, **params):
+    """One-shot convenience wrapper around :class:`ExperimentRunner`.
+
+    >>> from repro.runner import run_scenario
+    >>> result = run_scenario("table1", simulate=True, reps=2_000,
+    ...                       backend="process", workers=4, seed=1)  # doctest: +SKIP
+    """
+    runner = ExperimentRunner(backend, workers=workers, seed=seed, reps=reps)
+    return runner.run(name, **params)

@@ -150,8 +150,13 @@ class SimulationEngine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones not yet popped)."""
-        return len(self._queue)
+        """Number of live events still queued.
+
+        Cancelled entries stay in the heap until popped (cancellation only flags
+        the handle), so they are filtered out here rather than counted.
+        """
+        return sum(1 for _time, _seq, handle, _cb, _args in self._queue
+                   if not handle.cancelled)
 
     # ------------------------------------------------------------------ scheduling
     def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledCall:

@@ -1,0 +1,85 @@
+"""Unit tests for the scenario registry."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import (
+    DuplicateScenarioError,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    load_builtin_scenarios,
+    register_scenario,
+    scenario,
+)
+from repro.runner.registry import unregister_scenario
+
+#: Every experiment module's entry point must be reachable through the registry.
+BUILTIN_SCENARIOS = {
+    "table1", "figure5", "figure6", "sync_loss", "sync_loss_validation",
+    "prp_costs", "validation", "detector_ablation", "solver_ablation",
+    "strategy_comparison",
+}
+
+
+def _dummy(ctx):
+    return ExperimentResult(name="dummy", paper_reference="-", columns=[])
+
+
+class TestRegistry:
+    def test_builtin_scenarios_all_registered(self):
+        load_builtin_scenarios()
+        names = {spec.name for spec in list_scenarios()}
+        assert BUILTIN_SCENARIOS <= names
+
+    def test_register_and_get(self):
+        try:
+            spec = register_scenario(ScenarioSpec(name="_tmp_reg", func=_dummy))
+            assert get_scenario("_tmp_reg") is spec
+        finally:
+            unregister_scenario("_tmp_reg")
+
+    def test_duplicate_name_rejected(self):
+        try:
+            register_scenario(ScenarioSpec(name="_tmp_dup", func=_dummy))
+            with pytest.raises(DuplicateScenarioError):
+                register_scenario(ScenarioSpec(name="_tmp_dup",
+                                               func=lambda ctx: None))
+        finally:
+            unregister_scenario("_tmp_dup")
+
+    def test_reregistering_same_function_is_noop(self):
+        try:
+            first = register_scenario(ScenarioSpec(name="_tmp_same", func=_dummy))
+            second = register_scenario(ScenarioSpec(name="_tmp_same", func=_dummy))
+            assert second is first
+        finally:
+            unregister_scenario("_tmp_same")
+
+    def test_unknown_scenario_names_known_ones(self):
+        load_builtin_scenarios()
+        with pytest.raises(KeyError, match="table1"):
+            get_scenario("_no_such_scenario")
+
+    def test_decorator_registers_with_doc_description(self):
+        try:
+            @scenario("_tmp_deco", paper_reference="Table 0", default_reps=7)
+            def my_scenario(ctx):
+                """First line becomes the description.
+
+                Not this one.
+                """
+
+            spec = get_scenario("_tmp_deco")
+            assert spec.func is my_scenario
+            assert spec.description == "First line becomes the description."
+            assert spec.paper_reference == "Table 0"
+            assert spec.default_reps == 7
+            assert spec.uses_replications
+        finally:
+            unregister_scenario("_tmp_deco")
+
+    def test_listing_is_sorted(self):
+        load_builtin_scenarios()
+        names = [spec.name for spec in list_scenarios()]
+        assert names == sorted(names)

@@ -52,6 +52,20 @@ class TestEngineBasics:
         engine.drain()
         assert seen == []
 
+    def test_pending_events_excludes_cancelled(self):
+        engine = SimulationEngine()
+        live = engine.schedule(1.0, lambda: None)
+        doomed = engine.schedule(2.0, lambda: None)
+        assert engine.pending_events == 2
+        doomed.cancel()
+        # The cancelled entry is still in the heap (unpopped) but must not count.
+        assert engine.pending_events == 1
+        live.cancel()
+        assert engine.pending_events == 0
+        engine.drain()
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0
+
     def test_processed_events_counter(self):
         engine = SimulationEngine()
         for _ in range(5):
