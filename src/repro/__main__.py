@@ -16,8 +16,10 @@ from __future__ import annotations
 import argparse
 import ast
 import inspect
+import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.runner import (
@@ -88,6 +90,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="scenario parameter override (repeatable)")
     run_cmd.add_argument("--digits", type=int, default=4,
                          help="float digits in the rendered table (default 4)")
+    run_cmd.add_argument("-o", "--output", metavar="PATH", default=None,
+                         help="persist the result as JSON (envelope with "
+                              "params, seed, backend and elapsed time)")
     return parser
 
 
@@ -116,6 +121,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.reps is not None and args.reps < 1:
         raise SystemExit("--reps must be >= 1")
     seed: Optional[int] = None if args.seed == -1 else args.seed
+    if args.output is not None:
+        # Fail before the run, not after it: a long sweep whose result cannot
+        # be persisted is wasted work.
+        if os.path.isdir(args.output):
+            raise SystemExit(f"--output path is a directory: {args.output}")
+        directory = os.path.dirname(os.path.abspath(args.output))
+        if not os.path.isdir(directory):
+            raise SystemExit(f"--output directory does not exist: {directory}")
+        if not os.access(directory, os.W_OK):
+            raise SystemExit(f"--output directory is not writable: {directory}")
     backend = make_backend(args.backend, args.workers)
     runner = ExperimentRunner(backend, seed=seed, reps=args.reps)
     load_builtin_scenarios()
@@ -131,11 +146,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                                            **params})
     except TypeError as exc:
         raise SystemExit(f"bad scenario parameters for {spec.name!r}: {exc}")
+    start = time.perf_counter()
     result = runner.run(spec, **params)
+    elapsed = time.perf_counter() - start
     print(result.render(args.digits))
     print(f"\n[scenario={args.scenario} backend={backend.describe()} "
           f"seed={seed} reps={args.reps if args.reps is not None else 'default'}]")
+    if args.output is not None:
+        effective = {**dict(spec.defaults), **params}
+        try:
+            _write_json(args.output, args, spec.name, effective, seed,
+                        backend.describe(), elapsed, result)
+        except OSError as exc:
+            raise SystemExit(f"cannot write --output file: {exc}")
+        print(f"[result written to {args.output}]")
     return 0
+
+
+def _jsonable(value):
+    """Best-effort conversion of parameter values for the JSON envelope."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item"):        # numpy scalars
+        return value.item()
+    return value
+
+
+def _write_json(path: str, args: argparse.Namespace, scenario_name: str,
+                params: Dict[str, object], seed: Optional[int],
+                backend_description: str, elapsed: float, result) -> None:
+    """Persist the run as a JSON envelope around ``ExperimentResult.to_dict``."""
+    envelope = {
+        "scenario": scenario_name,
+        "params": _jsonable(params),
+        "seed": seed,
+        "reps": args.reps,
+        "backend": backend_description,
+        "workers": args.workers,
+        "elapsed_seconds": elapsed,
+        "result": result.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -14,7 +14,10 @@ process pool.  The ``run_*`` functions remain as thin compatibility wrappers.
 
 from repro.experiments.common import ExperimentResult, ExperimentRow
 from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure5_full_chain import run_figure5_full_chain
 from repro.experiments.figure6 import run_figure6
+from repro.experiments.heterogeneous_sweep import (heterogeneous_parameters,
+                                                   run_heterogeneous_sweep)
 from repro.experiments.table1 import run_table1
 from repro.experiments.sync_loss import run_sync_loss, run_sync_loss_validation
 from repro.experiments.prp_costs import run_prp_costs
@@ -25,8 +28,11 @@ from repro.experiments.strategy_comparison import run_strategy_comparison
 __all__ = [
     "ExperimentResult",
     "ExperimentRow",
+    "heterogeneous_parameters",
     "run_figure5",
+    "run_figure5_full_chain",
     "run_figure6",
+    "run_heterogeneous_sweep",
     "run_table1",
     "run_sync_loss",
     "run_sync_loss_validation",

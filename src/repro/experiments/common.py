@@ -54,6 +54,17 @@ class ExperimentResult:
                 return row
         raise KeyError(f"no row labelled {label!r}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (``python -m repro run --output``)."""
+        return {
+            "name": self.name,
+            "paper_reference": self.paper_reference,
+            "columns": list(self.columns),
+            "rows": [{"label": row.label, "values": dict(row.values)}
+                     for row in self.rows],
+            "notes": self.notes,
+        }
+
     def render(self, float_digits: int = 4) -> str:
         table = AsciiTable(["case", *self.columns], float_digits=float_digits)
         for row in self.rows:

@@ -11,7 +11,12 @@ Sub-modules
     Encoding of the chain's states (entry state ``S_r``, the intermediate
     ``(x_1,…,x_n)`` states, and the absorbing state ``S_{r+1}``).
 ``generator``
-    Assembly of the transition-rate matrix according to rules R1–R4.
+    Assembly of the transition-rate matrix according to rules R1–R4 (dense
+    ground truth plus a vectorised CSR builder for large state spaces).
+``operators``
+    The :class:`TransientOperator` seam: interchangeable dense
+    (``expm``/LU) and sparse (``expm_multiply``/sparse-LU/GMRES) numeric
+    backends, with a size-based auto-selection policy.
 ``simplified``
     The lumped symmetric chain of Figure 3 (rules R1'–R4').
 ``ctmc`` / ``dtmc``
@@ -29,7 +34,11 @@ Sub-modules
 """
 
 from repro.markov.state_space import AsyncStateSpace
-from repro.markov.generator import build_generator, build_phase_type
+from repro.markov.generator import (build_generator, build_generator_sparse,
+                                    build_phase_type)
+from repro.markov.operators import (DENSE_STATE_LIMIT, DenseTransientOperator,
+                                    SparseTransientOperator, TransientOperator,
+                                    as_operator, select_backend)
 from repro.markov.simplified import SimplifiedChain, simplified_mean_interval
 from repro.markov.ctmc import PhaseType, transient_distribution
 from repro.markov.dtmc import AbsorbingDTMC
@@ -40,8 +49,15 @@ from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 
 __all__ = [
     "AsyncStateSpace",
+    "DENSE_STATE_LIMIT",
+    "DenseTransientOperator",
+    "SparseTransientOperator",
+    "TransientOperator",
+    "as_operator",
     "build_generator",
+    "build_generator_sparse",
     "build_phase_type",
+    "select_backend",
     "SimplifiedChain",
     "simplified_mean_interval",
     "PhaseType",

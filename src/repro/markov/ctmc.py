@@ -8,7 +8,15 @@ survival function and factorial moments used throughout the reproduction:
 * density       ``f_X(t) = α · exp(T t) · t⁰`` with exit vector ``t⁰ = −T·1``
   (this is exactly the paper's ``f_X(t) = d/dt π_m(t)``),
 * CDF           ``F_X(t) = 1 − α · exp(T t) · 1``,
+* survival      ``S_X(t) = α · exp(T t) · 1`` (computed directly, *not* as
+  ``1 − F`` — the subtraction cancels catastrophically in the deep tail),
 * moments       ``E[X^k] = (−1)^k k! · α · T^{−k} · 1``.
+
+``T`` may be a dense array or any ``scipy.sparse`` matrix; all numerics are
+routed through the matching :class:`~repro.markov.operators.TransientOperator`
+backend (dense ``expm``/LU versus sparse ``expm_multiply``/sparse-LU), so the
+same :class:`PhaseType` object scales from the 3-state toy chains of the unit
+tests to the ``2^14``-state heterogeneous recovery-line chains.
 
 :func:`transient_distribution` additionally integrates the Chapman–Kolmogorov
 equations ``dπ/dt = π H`` directly (the formulation the paper states); it serves as
@@ -18,15 +26,20 @@ an independent cross-check of the matrix-exponential path in the ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from functools import cached_property
+from typing import Iterable, Sequence, Union
 
 import numpy as np
-from scipy import linalg as sla
+from scipy import sparse
 from scipy.integrate import solve_ivp
 
-from repro.util.linalg import solve_linear
+from repro.markov.operators import TransientOperator, as_operator
 
 __all__ = ["PhaseType", "transient_distribution"]
+
+#: Largest order at which :meth:`PhaseType.sample` will densify a sparse ``T``
+#: to build its per-state jump tables.
+_SAMPLE_DENSIFY_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -42,33 +55,46 @@ class PhaseType:
     T:
         ``p × p`` sub-generator: non-positive diagonal, non-negative off-diagonal,
         row sums ≤ 0 with strict inequality for at least one reachable state
-        (otherwise absorption would never happen).
+        (otherwise absorption would never happen).  Dense ``ndarray`` or any
+        ``scipy.sparse`` matrix (stored as CSR).
     """
 
     alpha: np.ndarray
-    T: np.ndarray
+    T: Union[np.ndarray, sparse.spmatrix]
 
     def __post_init__(self) -> None:
         alpha = np.asarray(self.alpha, dtype=float).copy()
-        T = np.asarray(self.T, dtype=float).copy()
         if alpha.ndim != 1:
             raise ValueError("alpha must be a vector")
-        if T.ndim != 2 or T.shape[0] != T.shape[1]:
-            raise ValueError("T must be square")
-        if T.shape[0] != alpha.shape[0]:
-            raise ValueError("alpha and T have mismatched sizes")
         if np.any(alpha < -1e-12) or abs(alpha.sum() - 1.0) > 1e-9:
             raise ValueError("alpha must be a probability vector")
-        off = T - np.diag(np.diagonal(T))
-        if np.any(off < -1e-9):
-            raise ValueError("off-diagonal entries of T must be non-negative")
-        if np.any(np.diagonal(T) > 1e-9):
+        if sparse.issparse(self.T):
+            T = sparse.csr_matrix(self.T, copy=True)
+            if T.shape[0] != T.shape[1]:
+                raise ValueError("T must be square")
+            diagonal = T.diagonal()
+            coo = T.tocoo()
+            off = coo.data[coo.row != coo.col]
+            if off.size and np.min(off) < -1e-9:
+                raise ValueError("off-diagonal entries of T must be non-negative")
+            row_sums = np.asarray(T.sum(axis=1)).ravel()
+        else:
+            T = np.asarray(self.T, dtype=float).copy()
+            if T.ndim != 2 or T.shape[0] != T.shape[1]:
+                raise ValueError("T must be square")
+            diagonal = np.diagonal(T)
+            off = T - np.diag(diagonal)
+            if np.any(off < -1e-9):
+                raise ValueError("off-diagonal entries of T must be non-negative")
+            row_sums = T.sum(axis=1)
+            T.setflags(write=False)
+        if T.shape[0] != alpha.shape[0]:
+            raise ValueError("alpha and T have mismatched sizes")
+        if np.any(diagonal > 1e-9):
             raise ValueError("diagonal entries of T must be non-positive")
-        row_sums = T.sum(axis=1)
         if np.any(row_sums > 1e-7):
             raise ValueError("row sums of T must be non-positive")
         alpha.setflags(write=False)
-        T.setflags(write=False)
         object.__setattr__(self, "alpha", alpha)
         object.__setattr__(self, "T", T)
 
@@ -79,36 +105,46 @@ class PhaseType:
         return int(self.alpha.shape[0])
 
     @property
+    def is_sparse(self) -> bool:
+        """Whether ``T`` is stored (and evaluated) sparsely."""
+        return sparse.issparse(self.T)
+
+    @cached_property
+    def operator(self) -> TransientOperator:
+        """The numeric backend evaluating everything against ``T``.
+
+        Chosen strictly by storage format: a sparse ``T`` gets the
+        Krylov/sparse-LU backend, a dense ``T`` the ``expm``/LU ground-truth
+        backend — never by size, so a caller who forced ``backend="dense"`` in
+        :func:`~repro.markov.generator.build_phase_type` really measures the
+        dense numerics.
+        """
+        return as_operator(self.T,
+                           backend="sparse" if self.is_sparse else "dense")
+
+    @property
+    def backend(self) -> str:
+        """Name of the numeric backend (``"dense"`` / ``"sparse"``)."""
+        return self.operator.name
+
+    @cached_property
     def exit_vector(self) -> np.ndarray:
         """Exit-rate vector ``t⁰ = −T·1`` (rate of absorption from each phase)."""
-        return -self.T @ np.ones(self.order)
+        return self.operator.exit_vector()
 
     # ------------------------------------------------------------------ densities
     def _expm_states(self, times: np.ndarray) -> np.ndarray:
         """Row vectors ``α·exp(T t)`` for each requested time.
 
-        Uniform grids are propagated with a single cached step matrix; arbitrary
-        grids fall back to one matrix exponential per distinct time.
+        Dense backend: uniform grids are propagated with a single cached step
+        matrix, arbitrary grids fall back to one matrix exponential per time.
+        Sparse backend: Krylov propagation (``expm_multiply``) over the grid —
+        no matrix exponential is ever materialised.
         """
-        times = np.asarray(times, dtype=float)
-        flat = np.atleast_1d(times).astype(float)
+        flat = np.atleast_1d(np.asarray(times, dtype=float))
         if np.any(flat < 0.0):
             raise ValueError("times must be non-negative")
-        out = np.empty((flat.size, self.order))
-        diffs = np.diff(flat)
-        uniform = (flat.size > 2 and np.allclose(diffs, diffs[0], rtol=1e-10, atol=1e-14)
-                   and flat[0] >= 0.0 and diffs[0] > 0)
-        if uniform:
-            step = sla.expm(self.T * diffs[0])
-            vec = self.alpha @ sla.expm(self.T * flat[0])
-            out[0] = vec
-            for k in range(1, flat.size):
-                vec = vec @ step
-                out[k] = vec
-        else:
-            for k, t in enumerate(flat):
-                out[k] = self.alpha @ sla.expm(self.T * t)
-        return out
+        return self.operator.expm_states(self.alpha, flat)
 
     def pdf(self, times: Iterable[float] | float) -> np.ndarray | float:
         """Density ``f_X(t)`` evaluated at *times*."""
@@ -125,18 +161,31 @@ class PhaseType:
         return float(values[0]) if scalar else values
 
     def sf(self, times: Iterable[float] | float) -> np.ndarray | float:
-        """Survival function ``P(X > t)``."""
-        cdf = self.cdf(times)
-        return 1.0 - cdf
+        """Survival function ``P(X > t)``, accurate deep into the tail.
+
+        Computed directly as ``α·exp(T t)·1`` — the remaining transient mass —
+        rather than ``1 − cdf``: the latter cancels to 0 (or slips negative)
+        once the survival drops below the double-precision epsilon of 1,
+        whereas the direct sum stays accurate down to the underflow threshold.
+        """
+        scalar = np.isscalar(times)
+        states = self._expm_states(np.atleast_1d(np.asarray(times, dtype=float)))
+        values = states.sum(axis=1)
+        return float(values[0]) if scalar else values
 
     # ------------------------------------------------------------------ moments
     def moment(self, k: int = 1) -> float:
-        """Raw moment ``E[X^k] = (−1)^k k! α T^{−k} 1``."""
+        """Raw moment ``E[X^k] = (−1)^k k! α T^{−k} 1``.
+
+        Each power is one (cached-factorisation) solve against ``T`` — dense LU
+        for the dense backend, sparse LU or preconditioned GMRES for the
+        sparse one.
+        """
         if k < 1:
             raise ValueError("moment order must be >= 1")
         vec = np.ones(self.order)
         for _ in range(k):
-            vec = solve_linear(self.T, vec)
+            vec = self.operator.solve(vec)
         sign = -1.0 if k % 2 else 1.0
         return float(sign * _factorial(k) * (self.alpha @ vec))
 
@@ -151,13 +200,37 @@ class PhaseType:
     def std(self) -> float:
         return float(np.sqrt(max(self.variance(), 0.0)))
 
+    @cached_property
+    def _occupancy_vector(self) -> np.ndarray:
+        vector = self.operator.occupancy(self.alpha)
+        vector.setflags(write=False)
+        return vector
+
+    def occupancy(self) -> np.ndarray:
+        """``τ = α(−T)^{-1}`` — expected time in each phase before absorption.
+
+        ``τ.sum()`` is ``E[X]``; the split-chain recovery-point counts are
+        linear functionals of this vector.  Cached: repeated callers
+        (``E[L_i]``, ``q_i``) share one transpose solve.
+        """
+        return self._occupancy_vector
+
     # ------------------------------------------------------------------ sampling
     def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Draw *size* absorption times by simulating the underlying jump chain."""
         if size < 0:
             raise ValueError("size must be non-negative")
+        if self.is_sparse:
+            if self.order > _SAMPLE_DENSIFY_LIMIT:
+                raise RuntimeError(
+                    f"jump-chain sampling densifies T; order {self.order} exceeds "
+                    f"the {_SAMPLE_DENSIFY_LIMIT}-state limit — sample the model "
+                    "with repro.markov.montecarlo.ModelSimulator instead")
+            T = self.T.toarray()
+        else:
+            T = self.T
         exit_rates = self.exit_vector
-        diag = -np.diagonal(self.T)
+        diag = -np.diagonal(T)
         out = np.empty(size)
         # Pre-compute per-state jump distributions (to transient states + exit).
         jump_probs = []
@@ -166,7 +239,7 @@ class PhaseType:
             if total <= 0.0:
                 jump_probs.append((np.zeros(self.order), 1.0))
                 continue
-            probs = np.maximum(self.T[s].copy(), 0.0)
+            probs = np.maximum(T[s].copy(), 0.0)
             probs[s] = 0.0
             jump_probs.append((probs / total, exit_rates[s] / total))
         for i in range(size):
@@ -192,7 +265,8 @@ def _factorial(k: int) -> float:
     return out
 
 
-def transient_distribution(H: np.ndarray, pi0: Sequence[float],
+def transient_distribution(H: Union[np.ndarray, sparse.spmatrix],
+                           pi0: Sequence[float],
                            times: Sequence[float], *, rtol: float = 1e-9,
                            atol: float = 1e-12) -> np.ndarray:
     """Integrate the Chapman–Kolmogorov equations ``dπ/dt = π H``.
@@ -200,7 +274,7 @@ def transient_distribution(H: np.ndarray, pi0: Sequence[float],
     Parameters
     ----------
     H:
-        Full generator (absorbing rows included).
+        Full generator (absorbing rows included), dense or sparse.
     pi0:
         Initial distribution over all states.
     times:
@@ -212,16 +286,20 @@ def transient_distribution(H: np.ndarray, pi0: Sequence[float],
     requested time.  This is the formulation the paper writes down explicitly; the
     phase-type machinery above is the closed-form equivalent.
     """
-    H = np.asarray(H, dtype=float)
+    if sparse.issparse(H):
+        Ht = H.T.tocsr()
+    else:
+        H = np.asarray(H, dtype=float)
+        Ht = H.T
     pi0 = np.asarray(pi0, dtype=float)
     times = np.asarray(times, dtype=float)
     if np.any(np.diff(times) < 0):
         raise ValueError("times must be non-decreasing")
     if times.size == 0:
-        return np.empty((0, H.shape[0]))
+        return np.empty((0, Ht.shape[0]))
 
     def rhs(_t: float, pi: np.ndarray) -> np.ndarray:
-        return pi @ H
+        return Ht @ pi
 
     t_span = (0.0, float(times[-1]) if times[-1] > 0 else 1e-12)
     solution = solve_ivp(rhs, t_span, pi0, t_eval=np.maximum(times, 0.0),

@@ -28,15 +28,18 @@ accounted for by the uniformised chain ``Y_d`` when counting recovery points
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.parameters import SystemParameters
 from repro.markov.ctmc import PhaseType
+from repro.markov.operators import select_backend
 from repro.markov.state_space import AsyncStateSpace
 
-__all__ = ["build_generator", "build_phase_type", "transition_rate"]
+__all__ = ["build_generator", "build_generator_sparse", "build_phase_type",
+           "transition_rate"]
 
 
 def build_generator(params: SystemParameters) -> Tuple[np.ndarray, AsyncStateSpace]:
@@ -103,6 +106,79 @@ def build_generator(params: SystemParameters) -> Tuple[np.ndarray, AsyncStateSpa
     return H, space
 
 
+def build_generator_sparse(params: SystemParameters
+                           ) -> Tuple[sparse.csr_matrix, AsyncStateSpace]:
+    """Build ``H`` directly in CSR form, without the dense ``(2^n+1)²`` array.
+
+    The chain has only ``O(n² · 2^n)`` nonzeros (each state has at most ``n``
+    R1 departures plus one per interacting pair), so the CSR form stays
+    assembleable and usable far past the dense path's n≈10 memory wall.
+    Assembly is fully vectorised: one numpy selection over all intermediate
+    masks per (rule, process/pair) combination; duplicate ``(row, col)``
+    entries — e.g. the per-pair R3 contributions the dense builder aggregates —
+    are summed by the COO→CSR conversion.
+
+    Agreement with the dense :func:`build_generator` (the small-``n`` ground
+    truth) is pinned by tests.
+    """
+    space = AsyncStateSpace(params.n)
+    n, full, m = params.n, space.full_mask, space.n_states
+    masks = space.intermediate_masks()
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+
+    def add(src: np.ndarray, dest: np.ndarray, rate: float) -> None:
+        rows.append(src)
+        cols.append(dest)
+        vals.append(np.full(src.size, rate))
+
+    # R1: a 0-bit process establishes a recovery point.
+    for i in range(n):
+        bit = 1 << i
+        sel = masks[(masks & bit) == 0]
+        add(sel + 1, space.indices_of_masks(sel | bit), float(params.mu[i]))
+
+    for i in range(n):
+        bi = 1 << i
+        for j in range(i + 1, n):
+            rate = params.pair_rate(i, j)
+            if rate <= 0.0:
+                continue
+            bj = 1 << j
+            # R2: both bits set — clear both.
+            sel = masks[((masks & bi) != 0) & ((masks & bj) != 0)]
+            add(sel + 1, (sel & ~bi & ~bj) + 1, rate)
+            # R3: exactly one of the pair's bits set — clear it.
+            sel = masks[((masks & bi) != 0) & ((masks & bj) == 0)]
+            add(sel + 1, (sel & ~bi) + 1, rate)
+            sel = masks[((masks & bj) != 0) & ((masks & bi) == 0)]
+            add(sel + 1, (sel & ~bj) + 1, rate)
+
+    # Entry state S_r: R4 plus pair interactions from the all-ones pattern.
+    entry = np.array([space.entry_index])
+    add(entry, np.array([space.absorbing_index]), params.total_rp_rate)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rate = params.pair_rate(i, j)
+            if rate <= 0.0:
+                continue
+            dest_mask = full & ~(1 << i) & ~(1 << j)
+            add(entry, np.array([dest_mask + 1]), rate)
+
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = np.concatenate(vals)
+    # Diagonal = negative off-diagonal row sums; the absorbing row has no
+    # entries, so its diagonal is 0 and the row stays identically zero.
+    diag = -np.bincount(row, weights=val, minlength=m)
+    row = np.concatenate([row, np.arange(m)])
+    col = np.concatenate([col, np.arange(m)])
+    val = np.concatenate([val, diag])
+    H = sparse.coo_matrix((val, (row, col)), shape=(m, m)).tocsr()
+    return H, space
+
+
 def transition_rate(params: SystemParameters, source: int, dest: int) -> float:
     """Rate of the ``source → dest`` transition (state indices); 0 if none.
 
@@ -113,15 +189,28 @@ def transition_rate(params: SystemParameters, source: int, dest: int) -> float:
     return float(H[source, dest])
 
 
-def build_phase_type(params: SystemParameters) -> PhaseType:
+def build_phase_type(params: SystemParameters, *,
+                     backend: str = "auto") -> PhaseType:
     """Phase-type representation of the inter-recovery-line interval ``X``.
 
     The chain starts in the entry state ``S_r`` with probability 1; the transient
     sub-generator is the restriction of ``H`` to the ``2^n`` transient states.
+
+    ``backend`` selects the numeric representation of ``T``: ``"dense"`` (the
+    small-``n`` ground truth), ``"sparse"`` (CSR + Krylov/sparse-LU evaluation,
+    the only feasible path for large ``n``), or ``"auto"`` (size policy of
+    :func:`repro.markov.operators.select_backend`).
     """
-    H, space = build_generator(params)
-    transient = list(space.transient_indices())
-    T = H[np.ix_(transient, transient)]
-    alpha = np.zeros(len(transient))
+    space = AsyncStateSpace(params.n)
+    chosen = select_backend(space.n_transient, backend)
+    if chosen == "sparse":
+        H, space = build_generator_sparse(params)
+        k = space.n_transient
+        T = H[:k, :k].tocsr()
+    else:
+        H, space = build_generator(params)
+        transient = list(space.transient_indices())
+        T = H[np.ix_(transient, transient)]
+    alpha = np.zeros(space.n_transient)
     alpha[space.entry_index] = 1.0
     return PhaseType(alpha=alpha, T=T)

@@ -17,8 +17,10 @@ from repro.core.parameters import SystemParameters
 from repro.markov.ctmc import PhaseType
 from repro.markov.generator import build_generator, build_phase_type
 from repro.markov.montecarlo import ModelSimulator, SimulatedIntervals
+from repro.markov.operators import check_backend_name, select_backend
 from repro.markov.simplified import SimplifiedChain
 from repro.markov.split_chain import absorption_by_process, expected_rp_counts
+from repro.markov.state_space import AsyncStateSpace
 
 __all__ = ["RecoveryLineIntervalModel"]
 
@@ -33,13 +35,21 @@ class RecoveryLineIntervalModel:
     prefer_simplified:
         Use the lumped chain of Figure 3 when the system is homogeneous; the full
         ``2^n``-state chain is used otherwise (or when False).  The lumped chain is
-        required for the large-``n`` sweeps of Figure 5.
+        the cheapest route for the large-``n`` symmetric sweeps of Figure 5.
+    backend:
+        Numeric backend for the full chain: ``"auto"`` (dense up to
+        :data:`~repro.markov.operators.DENSE_STATE_LIMIT` transient states,
+        sparse beyond — the sparse path keeps heterogeneous analyses feasible
+        to n≈14 and beyond), ``"dense"`` or ``"sparse"`` to force one.  The
+        lumped chain is always dense (it has only ``n + 2`` states).
     """
 
     def __init__(self, params: SystemParameters, *,
-                 prefer_simplified: bool = True) -> None:
+                 prefer_simplified: bool = True,
+                 backend: str = "auto") -> None:
         self.params = params
         self.prefer_simplified = bool(prefer_simplified)
+        self.backend = check_backend_name(backend)
 
     # ------------------------------------------------------------------ structure
     @cached_property
@@ -49,6 +59,14 @@ class RecoveryLineIntervalModel:
             and self.params.n >= 2
 
     @cached_property
+    def analytic_backend(self) -> str:
+        """Resolved numeric route: ``"lumped"``, ``"dense"`` or ``"sparse"``."""
+        if self.uses_simplified_chain:
+            return "lumped"
+        return select_backend(AsyncStateSpace(self.params.n).n_transient,
+                              self.backend)
+
+    @cached_property
     def phase_type(self) -> PhaseType:
         """Phase-type distribution of ``X``."""
         if self.uses_simplified_chain:
@@ -56,13 +74,32 @@ class RecoveryLineIntervalModel:
             chain = SimplifiedChain(n=self.params.n, mu=float(self.params.mu[0]),
                                     lam=lam)
             return chain.phase_type()
-        return build_phase_type(self.params)
+        return build_phase_type(self.params, backend=self.backend)
 
     @cached_property
     def generator(self) -> np.ndarray:
-        """Full generator matrix ``H`` (always the unlumped chain)."""
+        """Full *dense* generator matrix ``H`` (always the unlumped chain).
+
+        Kept for small-``n`` inspection and ODE cross-checks; large state
+        spaces should use :func:`repro.markov.generator.build_generator_sparse`
+        instead of materialising ``(2^n + 1)²`` entries.
+        """
         H, _space = build_generator(self.params)
         return H
+
+    @cached_property
+    def _counting_phase_type(self) -> PhaseType:
+        """Full-chain phase type backing the occupancy-based counts.
+
+        ``E[L_i]`` and ``q_i`` are functionals of the *full* chain's occupancy
+        vector, so the lumped chain cannot serve here; a model running lumped
+        builds (and caches) the full chain on demand, every other model reuses
+        :attr:`phase_type` — and with it the cached factorisation and
+        occupancy solve.
+        """
+        if not self.uses_simplified_chain:
+            return self.phase_type
+        return build_phase_type(self.params, backend=self.backend)
 
     @property
     def n_states(self) -> int:
@@ -97,7 +134,8 @@ class RecoveryLineIntervalModel:
     # ------------------------------------------------------------------ counts L_i
     def expected_rp_counts(self, counting: str = "interior") -> np.ndarray:
         """``E[L_i]`` for each process (see :mod:`repro.markov.split_chain`)."""
-        return expected_rp_counts(self.params, counting=counting)
+        return expected_rp_counts(self.params, counting=counting,
+                                  phase_type=self._counting_phase_type)
 
     def expected_total_rp_count(self, counting: str = "interior") -> float:
         """``E[Σ_i L_i]`` — total states saved per interval (Table 1 bottom row)."""
@@ -105,7 +143,8 @@ class RecoveryLineIntervalModel:
 
     def completion_probabilities(self) -> np.ndarray:
         """``q_i`` — probability the next line is completed by ``P_i``'s RP."""
-        return absorption_by_process(self.params)
+        return absorption_by_process(self.params,
+                                     phase_type=self._counting_phase_type)
 
     # ------------------------------------------------------------------ simulation
     def simulate(self, n_intervals: int, seed: Optional[int] = None
@@ -151,4 +190,4 @@ class RecoveryLineIntervalModel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "simplified" if self.uses_simplified_chain else "full"
         return (f"RecoveryLineIntervalModel({self.params.describe()}, chain={kind}, "
-                f"states={self.n_states})")
+                f"backend={self.analytic_backend}, states={self.n_states})")

@@ -130,9 +130,10 @@ class SimplifiedChain:
         mapping = np.empty(space.n_states, dtype=int)
         mapping[space.entry_index] = self.entry_index
         mapping[space.absorbing_index] = self.absorbing_index
-        for index in space.intermediate_indices():
-            u = space.count_ones(space.mask_of_index(index))
-            mapping[index] = self.index_of_u(u)
+        # Intermediate state index = mask + 1 and S̄_u sits at index u + 1, so
+        # the map over all intermediates is one vectorised popcount.
+        masks = space.intermediate_masks()
+        mapping[masks + 1] = space.popcounts(masks) + 1
         sizes = np.bincount(mapping, minlength=self.n_states)
         return mapping, sizes
 

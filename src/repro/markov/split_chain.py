@@ -40,7 +40,6 @@ from repro.core.parameters import SystemParameters
 from repro.markov.dtmc import AbsorbingDTMC
 from repro.markov.generator import build_phase_type
 from repro.markov.state_space import AsyncStateSpace
-from repro.util.linalg import solve_linear
 
 __all__ = ["SplitTag", "SplitChainYd", "expected_rp_counts", "absorption_by_process"]
 
@@ -214,12 +213,23 @@ class SplitChainYd:
 
 # --------------------------------------------------------------------- shortcuts
 
-def _occupancy_times(params: SystemParameters) -> Tuple[np.ndarray, AsyncStateSpace]:
-    """Expected total time spent in each transient CTMC state before absorption."""
-    ph = build_phase_type(params)
-    # τ = α (−T)^{-1}  (row vector of expected sojourn times per transient state)
-    tau = solve_linear(-ph.T.T, ph.alpha)
-    return tau, AsyncStateSpace(params.n)
+def _occupancy_times(params: SystemParameters, *, backend: str = "auto",
+                     phase_type=None) -> Tuple[np.ndarray, AsyncStateSpace]:
+    """Expected total time spent in each transient CTMC state before absorption.
+
+    ``τ = α (−T)^{-1}`` — one transpose solve against the transient operator,
+    which auto-selects the dense or sparse-LU backend by state-space size, so
+    the occupancy vector (and everything derived from it: ``E[L_i]``, ``q_i``)
+    stays computable far past the dense n≈10 wall.
+
+    ``phase_type`` lets a caller that already built the *full-chain* phase
+    type (e.g. :class:`~repro.markov.recovery_line_interval.RecoveryLineIntervalModel`)
+    reuse it — and its cached factorisation/occupancy — instead of paying a
+    fresh generator assembly and solve.
+    """
+    if phase_type is None:
+        phase_type = build_phase_type(params, backend=backend)
+    return phase_type.occupancy(), AsyncStateSpace(params.n)
 
 
 def _rp_completes_line(space: AsyncStateSpace, state_index: int, process: int) -> bool:
@@ -231,8 +241,25 @@ def _rp_completes_line(space: AsyncStateSpace, state_index: int, process: int) -
         not space.bit(mask, process)
 
 
+def _absorption_from_occupancy(tau: np.ndarray, space: AsyncStateSpace,
+                               params: SystemParameters) -> np.ndarray:
+    """``q_i`` from an already-computed occupancy vector.
+
+    An RP by P_i completes the line only from the entry state or from the
+    single mask that lacks exactly bit i (see _rp_completes_line), so the sum
+    over all transient states collapses to two occupancy lookups per process.
+    """
+    q = np.empty(params.n)
+    for i in range(params.n):
+        almost_full = space.full_mask & ~(1 << i)
+        q[i] = (tau[space.entry_index]
+                + tau[space.index_of_mask(almost_full)]) * params.mu[i]
+    return q
+
+
 def expected_rp_counts(params: SystemParameters,
-                       counting: str = "interior") -> np.ndarray:
+                       counting: str = "interior", *, backend: str = "auto",
+                       phase_type=None) -> np.ndarray:
     """Mean recovery-point counts ``E[L_i]`` for every process.
 
     Parameters
@@ -241,27 +268,28 @@ def expected_rp_counts(params: SystemParameters,
         ``"interior"`` — exclude the recovery point completing the next line (the
         paper's split-chain convention); ``"all"`` — include it
         (``E[L_i] = μ_i · E[X]`` by Wald's identity).
+    backend / phase_type:
+        See :func:`_occupancy_times`; one occupancy solve yields both the
+        counts and the interior correction ``q_i``.
     """
     if counting not in ("interior", "all"):
         raise ValueError("counting must be 'interior' or 'all'")
-    tau, space = _occupancy_times(params)
+    tau, space = _occupancy_times(params, backend=backend,
+                                  phase_type=phase_type)
     mean_x = float(tau.sum())
     counts = params.mu * mean_x
     if counting == "all":
         return counts
-    return counts - absorption_by_process(params)
+    return counts - _absorption_from_occupancy(tau, space, params)
 
 
-def absorption_by_process(params: SystemParameters) -> np.ndarray:
+def absorption_by_process(params: SystemParameters, *, backend: str = "auto",
+                          phase_type=None) -> np.ndarray:
     """``q_i`` — probability that the next recovery line is completed by ``P_i``.
 
     Every absorption of the chain is caused by some process's recovery point, so
     the returned vector sums to 1.
     """
-    tau, space = _occupancy_times(params)
-    q = np.zeros(params.n)
-    for pos, state_index in enumerate(space.transient_indices()):
-        for i in range(params.n):
-            if _rp_completes_line(space, state_index, i):
-                q[i] += tau[pos] * params.mu[i]
-    return q
+    tau, space = _occupancy_times(params, backend=backend,
+                                  phase_type=phase_type)
+    return _absorption_from_occupancy(tau, space, params)

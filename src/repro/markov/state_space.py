@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+import numpy as np
+
 __all__ = ["AsyncStateSpace"]
 
 
@@ -136,6 +138,32 @@ class AsyncStateSpace:
     def transient_indices(self) -> Iterator[int]:
         """Indices of all transient states (entry + intermediates)."""
         return iter(range(self.absorbing_index))
+
+    # ------------------------------------------------------------------ vectorized
+    def intermediate_masks(self) -> np.ndarray:
+        """All intermediate bit masks ``0 … 2^n − 2`` as one integer array.
+
+        The all-ones mask is excluded: it is the absorbing state, which has no
+        departures.  This is the mask enumeration the sparse generator builder
+        vectorises over (one numpy selection per transition rule instead of a
+        Python loop over ``2^n`` states).
+        """
+        return np.arange(self.full_mask, dtype=np.int64)
+
+    def indices_of_masks(self, masks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`index_of_mask`: all-ones masks map to absorbing."""
+        masks = np.asarray(masks, dtype=np.int64)
+        if masks.size and (masks.min() < 0 or masks.max() > self.full_mask):
+            raise ValueError(f"mask out of range for n={self.n}")
+        return np.where(masks == self.full_mask, self.absorbing_index, masks + 1)
+
+    def popcounts(self, masks: np.ndarray) -> np.ndarray:
+        """Number of one-bits of each mask (vectorised :meth:`count_ones`)."""
+        masks = np.asarray(masks, dtype=np.int64)
+        counts = np.zeros(masks.shape, dtype=np.int64)
+        for p in range(self.n):
+            counts += (masks >> p) & 1
+        return counts
 
     def tuple_of_index(self, index: int) -> Tuple[int, ...]:
         """The ``(x_1,…,x_n)`` tuple of a state (entry/absorbing give all ones)."""

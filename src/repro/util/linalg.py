@@ -7,9 +7,12 @@ and fundamental-matrix computations for absorbing chains.
 
 from __future__ import annotations
 
-from typing import Tuple
+import warnings
+from typing import Tuple, Union
 
 import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as spla
 
 __all__ = [
     "is_generator_matrix",
@@ -72,13 +75,50 @@ def embed_dtmc(Q: np.ndarray, rate: float | None = None) -> Tuple[np.ndarray, fl
     return P, G
 
 
-def solve_linear(A: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Solve ``A x = b`` with a least-squares fallback for ill-conditioned systems."""
-    A = np.asarray(A, dtype=float)
+def _condition_context(A: np.ndarray) -> str:
+    """Condition-number context for the singular-fallback warning.
+
+    The 2-norm condition number is only computed for systems small enough that
+    the SVD is negligible next to the failed solve itself.
+    """
+    context = f"shape {A.shape[0]}x{A.shape[1]}"
+    if A.shape[0] <= 2048:
+        try:
+            cond = np.linalg.cond(A)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate input
+            return context
+        context += f", cond={cond:.3e}"
+    return context
+
+
+def solve_linear(A: Union[np.ndarray, sparse.spmatrix],
+                 b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` (dense or sparse ``A``).
+
+    Singular systems fall back to a least-squares solution; because a singular
+    matrix here almost always means a malformed generator (an unreachable or
+    non-absorbing state), the fallback emits a :class:`RuntimeWarning` with the
+    condition context instead of silently returning the least-squares answer.
+    """
     b = np.asarray(b, dtype=float)
+    if sparse.issparse(A):
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", spla.MatrixRankWarning)
+                return spla.spsolve(A.tocsc(), b)
+        except (RuntimeError, spla.MatrixRankWarning):
+            # Singular sparse system: densify and take the dense fallback path
+            # below (which warns with the condition context).
+            A = A.toarray()
+    A = np.asarray(A, dtype=float)
     try:
         return np.linalg.solve(A, b)
     except np.linalg.LinAlgError:
+        warnings.warn(
+            "solve_linear: matrix is singular to working precision "
+            f"({_condition_context(A)}); falling back to a least-squares "
+            "solution — check the generator for unreachable or non-absorbing "
+            "states", RuntimeWarning, stacklevel=2)
         return np.linalg.lstsq(A, b, rcond=None)[0]
 
 
@@ -89,6 +129,12 @@ def fundamental_matrix(P_transient: np.ndarray) -> np.ndarray:
     the expected number of visits to transient state ``u`` before absorption when
     starting in ``s`` (counting the initial occupancy of ``s``).
     """
+    if sparse.issparse(P_transient):
+        n = P_transient.shape[0]
+        if P_transient.shape[1] != n:
+            raise ValueError("transient block must be square")
+        lu = spla.splu((sparse.identity(n, format="csc") - P_transient).tocsc())
+        return lu.solve(np.eye(n))
     T = np.asarray(P_transient, dtype=float)
     if T.ndim != 2 or T.shape[0] != T.shape[1]:
         raise ValueError("transient block must be square")
@@ -102,14 +148,19 @@ def expected_visits_absorbing(P_transient: np.ndarray, start: int) -> np.ndarray
     Equivalent to the row of the fundamental matrix for *start*, computed without
     forming the whole inverse.
     """
-    T = np.asarray(P_transient, dtype=float)
-    n = T.shape[0]
+    if sparse.issparse(P_transient):
+        n = P_transient.shape[0]
+        system = sparse.identity(n, format="csr") - P_transient.T
+    else:
+        T = np.asarray(P_transient, dtype=float)
+        n = T.shape[0]
+        system = np.eye(n) - T.T
     if start < 0 or start >= n:
         raise ValueError(f"start state {start} out of range [0, {n})")
     e = np.zeros(n)
     e[start] = 1.0
     # visits v satisfies v = e + v T  =>  v (I - T) = e  =>  (I - T)^T v^T = e^T
-    return solve_linear(np.eye(n) - T.T, e)
+    return solve_linear(system, e)
 
 
 def absorption_probabilities(P_transient: np.ndarray,

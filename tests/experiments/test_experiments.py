@@ -6,7 +6,10 @@ import pytest
 from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
 from repro.experiments.common import ExperimentResult
 from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure5_full_chain import run_figure5_full_chain
 from repro.experiments.figure6 import figure6_curves, run_figure6
+from repro.experiments.heterogeneous_sweep import (heterogeneous_parameters,
+                                                   run_heterogeneous_sweep)
 from repro.experiments.prp_costs import run_prp_costs
 from repro.experiments.sync_loss import run_sync_loss, run_sync_loss_validation
 from repro.experiments.table1 import PAPER_TABLE1, run_table1
@@ -88,6 +91,64 @@ class TestFigure5:
     def test_rejects_single_process(self):
         with pytest.raises(ValueError):
             run_figure5(n_values=(1,), rho_values=(1.0,))
+
+
+class TestFigure5FullChain:
+    def test_full_chain_crosses_into_sparse_and_agrees(self):
+        result = run_figure5_full_chain(n_values=(4, 10), rho_values=(1.0,))
+        labels = [row.label for row in result.rows]
+        assert labels == ["n=4 [dense]", "n=10 [sparse]"]
+        assert max(result.column("max rel err")) < 1e-6
+        # Same qualitative shape as Figure 5: E[X] grows with n.
+        ex = result.column("E[X] rho=1")
+        assert ex[1] > ex[0]
+
+    def test_matches_plain_figure5_values(self):
+        full = run_figure5_full_chain(n_values=(4, 6), rho_values=(0.5, 2.0))
+        lumped = run_figure5(n_values=(4, 6), rho_values=(0.5, 2.0))
+        for row_full, row_lumped in zip(full.rows, lumped.rows):
+            for rho in ("0.5", "2"):
+                assert row_full.get(f"E[X] rho={rho}") == pytest.approx(
+                    row_lumped.get(f"E[X] rho={rho}"), rel=1e-8)
+
+    def test_rejects_single_process(self):
+        with pytest.raises(ValueError):
+            run_figure5_full_chain(n_values=(1,), rho_values=(1.0,))
+
+
+class TestHeterogeneousSweep:
+    def test_parameter_family_shapes(self):
+        params = heterogeneous_parameters(5, mu_gradient=2.0, locality=1.0)
+        assert params.n == 5
+        assert params.mu[0] == pytest.approx(1.0)
+        assert params.mu[-1] == pytest.approx(2.0)
+        # Interaction rate decays with process distance.
+        assert params.lam[0, 1] > params.lam[0, 4]
+        with pytest.raises(ValueError):
+            heterogeneous_parameters(3, mu_gradient=0.0)
+        with pytest.raises(ValueError):
+            heterogeneous_parameters(3, locality=-1.0)
+
+    def test_symmetric_limit_recovers_lumped_chain(self):
+        from repro.markov.simplified import SimplifiedChain
+
+        params = heterogeneous_parameters(6, mu_gradient=1.0, locality=0.0,
+                                          lam_base=0.4)
+        model_mean = run_heterogeneous_sweep(n=6, mu_gradients=(1.0,),
+                                             lam_base=0.4,
+                                             locality=0.0).rows[0].get("E[X]")
+        truth = SimplifiedChain(n=6, mu=1.0, lam=0.4).mean_interval()
+        assert params.is_symmetric()
+        assert model_mean == pytest.approx(truth, rel=1e-8)
+
+    def test_gradient_shortens_interval_and_unbalances_completion(self):
+        result = run_heterogeneous_sweep(n=7, mu_gradients=(1.0, 3.0))
+        ex = result.column("E[X]")
+        ratios = result.column("q max/min")
+        # Raising some mu_i shortens the interval, and the completion split
+        # concentrates on the fast-checkpointing processes.
+        assert ex[1] < ex[0]
+        assert ratios[1] > ratios[0] >= 1.0
 
 
 class TestFigure6:

@@ -93,6 +93,101 @@ class TestErlangCase:
         assert np.all(samples > 0.0)
 
 
+class TestSurvivalTailPrecision:
+    """ISSUE satellite: sf computed directly, not as the cancelling 1 - cdf."""
+
+    def test_deep_tail_matches_closed_form(self, erlang2_ph):
+        # Erlang(2, 3): S(t) = (1 + 3t) e^{-3t}.  At t = 40 that is ~9e-51,
+        # far below the double-precision epsilon of 1, so any 1 - cdf
+        # formulation returns exactly 0 (or a negative round-off).
+        for t in (20.0, 40.0, 80.0):
+            exact = (1.0 + 3.0 * t) * np.exp(-3.0 * t)
+            value = erlang2_ph.sf(t)
+            assert value > 0.0
+            assert value == pytest.approx(exact, rel=1e-9)
+
+    def test_deep_tail_exponential(self, exponential_ph):
+        assert exponential_ph.sf(200.0) == pytest.approx(np.exp(-400.0),
+                                                         rel=1e-9)
+
+    def test_one_minus_cdf_would_cancel(self, erlang2_ph):
+        # The regression this satellite fixes: the subtraction form is 0 here.
+        t = 40.0
+        assert 1.0 - erlang2_ph.cdf(t) == 0.0
+        assert erlang2_ph.sf(t) > 1e-60
+
+    def test_vector_and_scalar_forms_agree(self, erlang2_ph):
+        times = np.array([0.0, 1.0, 30.0, 60.0])
+        vector = np.asarray(erlang2_ph.sf(times))
+        for t, value in zip(times, vector):
+            assert erlang2_ph.sf(float(t)) == pytest.approx(value, rel=1e-12,
+                                                            abs=0.0)
+
+
+def random_phase_type(rng: np.random.Generator, order: int) -> PhaseType:
+    """A random well-posed PH(alpha, T) with guaranteed absorption."""
+    T = rng.uniform(0.0, 1.0, size=(order, order))
+    np.fill_diagonal(T, 0.0)
+    exit_rates = rng.uniform(0.05, 1.0, size=order)
+    np.fill_diagonal(T, -(T.sum(axis=1) + exit_rates))
+    alpha = rng.dirichlet(np.ones(order))
+    return PhaseType(alpha=alpha, T=T)
+
+
+class TestExpmStatesPaths:
+    """ISSUE satellite: the uniform-grid cached-step fast path, the per-time
+    path and the Chapman-Kolmogorov ODE all agree on random chains."""
+
+    @pytest.mark.parametrize("seed,order", [(0, 2), (1, 4), (2, 7), (3, 12)])
+    def test_uniform_fast_path_matches_per_time_path(self, seed, order):
+        ph = random_phase_type(np.random.default_rng(seed), order)
+        uniform = np.linspace(0.0, 5.0, 21)       # triggers the cached step
+        # Evaluating one time at a time forces the per-time expm path.
+        pointwise = np.array([ph.pdf(float(t)) for t in uniform])
+        assert np.allclose(ph.pdf(uniform), pointwise, rtol=1e-9, atol=1e-12)
+        pointwise_sf = np.array([ph.sf(float(t)) for t in uniform])
+        assert np.allclose(ph.sf(uniform), pointwise_sf, rtol=1e-9,
+                           atol=1e-12)
+
+    @pytest.mark.parametrize("seed,order", [(4, 3), (5, 8)])
+    def test_shuffled_grid_matches_sorted_grid(self, seed, order):
+        ph = random_phase_type(np.random.default_rng(seed), order)
+        rng = np.random.default_rng(seed + 100)
+        times = np.sort(rng.uniform(0.0, 4.0, size=9))
+        shuffled = times[rng.permutation(times.size)]
+        sorted_pdf = np.asarray(ph.pdf(times))
+        shuffled_pdf = np.asarray(ph.pdf(shuffled))
+        order_back = np.argsort(shuffled, kind="stable")
+        assert np.allclose(shuffled_pdf[order_back], sorted_pdf, rtol=1e-9)
+
+    @pytest.mark.parametrize("seed,order", [(6, 3), (7, 6), (8, 10)])
+    def test_both_paths_match_ode_cross_check(self, seed, order):
+        ph = random_phase_type(np.random.default_rng(seed), order)
+        # Embed T in a full generator with an explicit absorbing state.
+        H = np.zeros((order + 1, order + 1))
+        H[:order, :order] = ph.T
+        H[:order, order] = ph.exit_vector
+        pi0 = np.concatenate([ph.alpha, [0.0]])
+        times = np.linspace(0.0, 3.0, 7)
+        pi = transient_distribution(H, pi0, times)
+        assert np.allclose(pi[:, order], ph.cdf(times), atol=1e-7)
+        assert np.allclose(pi[:, :order].sum(axis=1), ph.sf(times), atol=1e-7)
+
+    def test_sparse_backend_agrees_with_ode(self):
+        from scipy import sparse as sp
+
+        ph_dense = random_phase_type(np.random.default_rng(9), 6)
+        ph_sparse = PhaseType(alpha=ph_dense.alpha,
+                              T=sp.csr_matrix(ph_dense.T))
+        H = np.zeros((7, 7))
+        H[:6, :6] = np.asarray(ph_dense.T)
+        H[:6, 6] = ph_dense.exit_vector
+        pi0 = np.concatenate([ph_dense.alpha, [0.0]])
+        times = np.linspace(0.0, 2.0, 9)
+        pi = transient_distribution(sp.csr_matrix(H), pi0, times)
+        assert np.allclose(pi[:, 6], ph_sparse.cdf(times), atol=1e-7)
+
+
 class TestChapmanKolmogorov:
     def test_ode_matches_phase_type_cdf(self, params_case1):
         from repro.markov.generator import build_phase_type

@@ -1,0 +1,270 @@
+"""Tests for the TransientOperator backends and the sparse generator path.
+
+Pins the ISSUE acceptance criterion: dense and sparse backends agree on
+pdf/cdf/moments to <= 1e-8 for n <= 8, and the backend auto-selection policy
+routes small chains dense and large chains sparse.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.parameters import SystemParameters
+from repro.markov.ctmc import PhaseType
+from repro.markov.generator import (build_generator, build_generator_sparse,
+                                    build_phase_type)
+from repro.markov.operators import (DENSE_STATE_LIMIT, DenseTransientOperator,
+                                    SparseTransientOperator, as_operator,
+                                    select_backend)
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.markov.simplified import SimplifiedChain
+from repro.markov.state_space import AsyncStateSpace
+
+
+def heterogeneous_params(n: int) -> SystemParameters:
+    """A deliberately non-exchangeable system (mu gradient + locality decay)."""
+    mu = np.linspace(1.0, 2.0, n)
+    idx = np.arange(n)
+    lam = 0.5 / (1.0 + np.abs(idx[:, None] - idx[None, :]))
+    np.fill_diagonal(lam, 0.0)
+    return SystemParameters(mu=mu, lam=lam)
+
+
+class TestSparseGenerator:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_matches_dense_builder(self, n):
+        params = heterogeneous_params(n)
+        dense, _ = build_generator(params)
+        sp, space = build_generator_sparse(params)
+        assert sp.shape == dense.shape
+        assert np.max(np.abs(sp.toarray() - dense)) < 1e-12
+        assert space.n_states == (1 << n) + 1
+
+    def test_symmetric_case_matches_dense(self, params_case1):
+        dense, _ = build_generator(params_case1)
+        sp, _ = build_generator_sparse(params_case1)
+        assert np.max(np.abs(sp.toarray() - dense)) < 1e-12
+
+    def test_nonzero_count_is_subquadratic(self):
+        # O(n^2 * 2^n) nonzeros, not (2^n + 1)^2 — the point of CSR assembly.
+        params = heterogeneous_params(10)
+        sp, space = build_generator_sparse(params)
+        assert sp.nnz < space.n_states * (10 * 11)
+        assert sp.nnz < space.n_states ** 2 / 40
+
+    def test_zero_rate_pairs_produce_no_entries(self):
+        params = SystemParameters.from_pair_rates([1.0, 1.0, 1.0],
+                                                  [(0, 1, 1.0)])
+        sp, space = build_generator_sparse(params)
+        H = sp.toarray()
+        src = space.index_of_mask(0b101)
+        assert H[src, space.index_of_mask(0b000)] == 0.0
+
+    def test_absorbing_row_is_empty(self):
+        sp, space = build_generator_sparse(heterogeneous_params(4))
+        assert np.max(np.abs(sp.toarray()[space.absorbing_index])) == 0.0
+
+
+class TestBackendSelection:
+    def test_select_backend_policy(self):
+        assert select_backend(DENSE_STATE_LIMIT) == "dense"
+        assert select_backend(DENSE_STATE_LIMIT + 1) == "sparse"
+        assert select_backend(10, "sparse") == "sparse"
+        assert select_backend(10 ** 6, "dense") == "dense"
+        with pytest.raises(ValueError):
+            select_backend(10, "quantum")
+
+    def test_build_phase_type_auto_small_is_dense(self, params_case2):
+        ph = build_phase_type(params_case2, backend="auto")
+        assert not ph.is_sparse and ph.backend == "dense"
+
+    def test_build_phase_type_auto_large_is_sparse(self):
+        ph = build_phase_type(heterogeneous_params(10), backend="auto")
+        assert ph.is_sparse and ph.backend == "sparse"
+
+    def test_model_reports_analytic_backend(self, params_case1):
+        lumped = RecoveryLineIntervalModel(params_case1)
+        assert lumped.analytic_backend == "lumped"
+        full = RecoveryLineIntervalModel(params_case1, prefer_simplified=False)
+        assert full.analytic_backend == "dense"
+        big = RecoveryLineIntervalModel(heterogeneous_params(10))
+        assert big.analytic_backend == "sparse"
+        with pytest.raises(ValueError):
+            RecoveryLineIntervalModel(params_case1, backend="quantum")
+
+    def test_forced_dense_stays_dense_above_auto_threshold(self):
+        # Regression: a forced dense build at n=10 (order 1024 > the auto
+        # threshold) must evaluate with the dense operator, not silently
+        # convert to sparse.
+        ph = build_phase_type(heterogeneous_params(10), backend="dense")
+        assert not ph.is_sparse
+        assert ph.backend == "dense"
+        assert isinstance(ph.operator, DenseTransientOperator)
+
+    def test_model_counts_honour_forced_backend(self, params_case2):
+        # expected_rp_counts / completion_probabilities must reuse the model's
+        # phase type (and therefore its forced backend), not rebuild on auto.
+        model = RecoveryLineIntervalModel(params_case2, backend="sparse")
+        assert model._counting_phase_type is model.phase_type
+        assert model.phase_type.is_sparse
+        auto = RecoveryLineIntervalModel(params_case2)
+        assert np.allclose(model.completion_probabilities(),
+                           auto.completion_probabilities(), atol=1e-9)
+        assert np.allclose(model.expected_rp_counts("interior"),
+                           auto.expected_rp_counts("interior"), atol=1e-9)
+
+    def test_as_operator_dispatch(self):
+        T = np.array([[-2.0, 1.0], [0.5, -1.0]])
+        assert isinstance(as_operator(T), DenseTransientOperator)
+        assert isinstance(as_operator(sparse.csr_matrix(T)),
+                          SparseTransientOperator)
+        assert isinstance(as_operator(T, backend="sparse"),
+                          SparseTransientOperator)
+        assert isinstance(as_operator(sparse.csr_matrix(T), backend="dense"),
+                          DenseTransientOperator)
+        op = as_operator(T)
+        assert as_operator(op) is op
+
+
+class TestDenseSparseAgreement:
+    """ISSUE acceptance: agreement to <= 1e-8 on pdf/cdf/moments for n <= 8."""
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_pdf_cdf_moments_agree(self, n):
+        params = heterogeneous_params(n)
+        dense = build_phase_type(params, backend="dense")
+        sp = build_phase_type(params, backend="sparse")
+        uniform = np.linspace(0.0, 4.0, 17)
+        irregular = np.array([0.0, 0.013, 0.4, 0.4, 2.7, 1.1])
+        for times in (uniform, irregular):
+            assert np.max(np.abs(dense.pdf(times) - sp.pdf(times))) < 1e-8
+            assert np.max(np.abs(dense.cdf(times) - sp.cdf(times))) < 1e-8
+            assert np.max(np.abs(dense.sf(times) - sp.sf(times))) < 1e-8
+        for k in (1, 2, 3):
+            assert sp.moment(k) == pytest.approx(dense.moment(k), rel=1e-8)
+        assert np.max(np.abs(dense.occupancy() - sp.occupancy())) < 1e-8
+
+    def test_exit_vector_and_matvec_agree(self):
+        params = heterogeneous_params(5)
+        dense = build_phase_type(params, backend="dense").operator
+        sp = build_phase_type(params, backend="sparse").operator
+        assert np.allclose(dense.exit_vector(), sp.exit_vector())
+        v = np.linspace(-1.0, 1.0, dense.order)
+        assert np.allclose(dense.matvec(v), sp.matvec(v))
+        assert np.allclose(dense.rmatvec(v), sp.rmatvec(v))
+        assert np.allclose(sp.to_dense(), dense.to_dense())
+
+    def test_solve_roundtrip(self):
+        params = heterogeneous_params(6)
+        for backend in ("dense", "sparse"):
+            op = build_phase_type(params, backend=backend).operator
+            b = np.sin(np.arange(op.order))
+            assert np.allclose(op.matvec(op.solve(b)), b, atol=1e-9)
+            assert np.allclose(op.rmatvec(op.solve_transpose(b)), b, atol=1e-9)
+
+
+class TestKrylovSolves:
+    """Above SPARSE_LU_LIMIT the solves go iterative — check they stay exact."""
+
+    def test_large_system_solve_matches_lumped_truth(self):
+        # n=12 symmetric: 4096 transient states (> SPARSE_LU_LIMIT), and the
+        # lumped 14-state chain provides an independent exact value.
+        params = SystemParameters.symmetric(12, 1.0, 2.0 * 12 / (12 * 11))
+        ph = build_phase_type(params, backend="sparse")
+        assert ph.order == 4096
+        truth = SimplifiedChain(n=12, mu=1.0,
+                                lam=2.0 * 12 / (12 * 11)).mean_interval()
+        assert ph.mean() == pytest.approx(truth, rel=1e-8)
+
+    def test_large_system_occupancy_sums_to_mean(self):
+        params = SystemParameters.symmetric(12, 1.0, 1.0 / 11)
+        ph = build_phase_type(params, backend="sparse")
+        tau = ph.occupancy()
+        assert float(tau.sum()) == pytest.approx(ph.mean(), rel=1e-8)
+        assert np.all(tau > -1e-12)
+
+
+class TestSingularDiagnosability:
+    """A malformed (non-absorbing) generator warns instead of silently
+    returning inf/nan from the cached LU paths."""
+
+    def _singular_ph(self, to_sparse):
+        # State 1 never exits: T is singular but passes PH validation.
+        T = np.array([[-1.0, 1.0], [0.0, 0.0]])
+        if to_sparse:
+            T = sparse.csr_matrix(T)
+        return PhaseType(alpha=np.array([1.0, 0.0]), T=T)
+
+    def test_dense_moment_warns(self):
+        ph = self._singular_ph(False)
+        with pytest.warns(RuntimeWarning, match="singular"):
+            ph.mean()
+
+    def test_sparse_moment_warns(self):
+        ph = self._singular_ph(True)
+        with pytest.warns(RuntimeWarning, match="singular"):
+            ph.mean()
+
+
+class TestSparsePhaseTypeBehaviour:
+    def test_validation_rejects_bad_sparse_T(self):
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0]),
+                      T=sparse.csr_matrix(np.array([[1.0]])))
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0, 0.0]),
+                      T=sparse.csr_matrix(np.array([[-1.0, -0.5],
+                                                    [0.0, -1.0]])))
+        with pytest.raises(ValueError):
+            PhaseType(alpha=np.array([1.0, 0.0]),
+                      T=sparse.csr_matrix(np.array([[-1.0, 2.0],
+                                                    [0.0, -1.0]])))
+
+    def test_sparse_sampling_matches_analytic_mean(self, rng):
+        params = heterogeneous_params(3)
+        ph = build_phase_type(params, backend="sparse")
+        samples = ph.sample(3000, rng)
+        assert samples.mean() == pytest.approx(ph.mean(), rel=0.1)
+
+    def test_negative_times_rejected(self):
+        ph = build_phase_type(heterogeneous_params(3), backend="sparse")
+        with pytest.raises(ValueError):
+            ph.pdf([-0.5])
+
+
+class TestVectorizedStateSpace:
+    def test_intermediate_masks_exclude_full(self):
+        space = AsyncStateSpace(4)
+        masks = space.intermediate_masks()
+        assert masks.shape == (15,)
+        assert masks.max() == space.full_mask - 1
+
+    def test_indices_of_masks_matches_scalar(self):
+        space = AsyncStateSpace(4)
+        masks = np.arange(space.full_mask + 1)
+        vectorized = space.indices_of_masks(masks)
+        scalar = [space.index_of_mask(int(m)) for m in masks]
+        assert list(vectorized) == scalar
+        with pytest.raises(ValueError):
+            space.indices_of_masks(np.array([space.full_mask + 1]))
+
+    def test_popcounts_matches_scalar(self):
+        space = AsyncStateSpace(5)
+        masks = np.arange(space.full_mask + 1)
+        assert list(space.popcounts(masks)) == \
+            [space.count_ones(int(m)) for m in masks]
+
+
+class TestLargeNFacade:
+    """End-to-end: the façade handles n=11 heterogeneous (dense is 2049²)."""
+
+    def test_full_pipeline_at_n11(self):
+        params = heterogeneous_params(11)
+        model = RecoveryLineIntervalModel(params)
+        assert model.analytic_backend == "sparse"
+        mean = model.mean_interval()
+        assert np.isfinite(mean) and mean > 0.0
+        q = model.completion_probabilities()
+        assert q.sum() == pytest.approx(1.0, abs=1e-6)
+        counts = model.expected_rp_counts(counting="all")
+        assert np.allclose(counts, params.mu * mean, rtol=1e-6)

@@ -1,5 +1,7 @@
 """Runner determinism, backends, sharding and the ``python -m repro`` CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -105,6 +107,18 @@ class TestDeterminism:
                               workers=3, **params)
         assert _rows(serial) == _rows(pooled)
 
+    @pytest.mark.parametrize("name,params", [
+        ("figure5_full_chain", {"n_values": (4, 6), "rho_values": (1.0,)}),
+        ("heterogeneous_sweep", {"n": 6, "mu_gradients": (1.0, 2.0)}),
+    ])
+    def test_sparse_scenarios_serial_matches_process_pool(self, name, params):
+        # ISSUE acceptance: the two new analytic scenarios are bit-identical
+        # across backends (their grid cells fan out through ctx.map).
+        serial = run_scenario(name, seed=123, **params)
+        pooled = run_scenario(name, seed=123, backend="process", workers=2,
+                              **params)
+        assert _rows(serial) == _rows(pooled)
+
     def test_worker_count_does_not_change_results(self):
         two = run_scenario("table1", simulate=True, seed=5, reps=2_500,
                            backend="process", workers=2)
@@ -149,6 +163,32 @@ class TestCLI:
                          "-p", "cases=(1,)", "--seed", "4"]) == 0
         out = capsys.readouterr().out
         assert "table1 case 1" in out and "table1 case 2" not in out
+
+    def test_list_names_new_sparse_scenarios(self, capsys):
+        # ISSUE acceptance: both large-n scenarios appear in `repro list`.
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5_full_chain" in out
+        assert "heterogeneous_sweep" in out
+
+    def test_output_writes_json_envelope(self, capsys, tmp_path):
+        # ISSUE satellite: --output persists params/seed/backend/elapsed + rows.
+        path = tmp_path / "figure6.json"
+        assert cli_main(["run", "figure6", "--seed", "9",
+                         "-p", "sample_times=(0.0,1.0)", "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"result written to {path}" in out
+        with open(path, encoding="utf-8") as handle:
+            envelope = json.load(handle)
+        assert envelope["scenario"] == "figure6"
+        assert envelope["seed"] == 9
+        assert envelope["backend"] == "serial"
+        assert envelope["params"]["sample_times"] == [0.0, 1.0]
+        assert envelope["elapsed_seconds"] >= 0.0
+        result = envelope["result"]
+        assert result["name"] == "figure6_interval_density"
+        assert result["columns"] and result["rows"]
+        assert set(result["rows"][0]) == {"label", "values"}
 
     def test_unknown_scenario_exits_nonzero(self):
         with pytest.raises(SystemExit):

@@ -1,7 +1,10 @@
 """Unit tests for repro.util.linalg."""
 
+import warnings
+
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.util.linalg import (
     absorption_probabilities,
@@ -107,5 +110,44 @@ class TestAbsorbingChains:
     def test_solve_linear_falls_back_for_singular(self):
         A = np.array([[1.0, 1.0], [1.0, 1.0]])
         b = np.array([2.0, 2.0])
-        x = solve_linear(A, b)
+        with pytest.warns(RuntimeWarning, match="singular"):
+            x = solve_linear(A, b)
         assert np.allclose(A @ x, b)
+
+    def test_singular_fallback_warns_with_condition_context(self):
+        # ISSUE satellite: the lstsq fallback must be diagnosable, not silent.
+        A = np.array([[1.0, 2.0], [2.0, 4.0]])
+        b = np.array([1.0, 2.0])
+        with pytest.warns(RuntimeWarning) as record:
+            solve_linear(A, b)
+        message = str(record[0].message)
+        assert "cond=" in message and "2x2" in message
+        assert "generator" in message
+
+    def test_regular_solve_does_not_warn(self):
+        A = np.array([[2.0, 1.0], [1.0, 3.0]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            solve_linear(A, np.array([1.0, 2.0]))
+
+    def test_sparse_solve_matches_dense(self):
+        A = np.array([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]])
+        b = np.array([1.0, -2.0, 0.5])
+        x = solve_linear(sparse.csr_matrix(A), b)
+        assert np.allclose(x, np.linalg.solve(A, b))
+
+    def test_sparse_singular_falls_back_with_warning(self):
+        A = sparse.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        b = np.array([2.0, 2.0])
+        with pytest.warns(RuntimeWarning, match="singular"):
+            x = solve_linear(A, b)
+        assert np.allclose(A @ x, b)
+
+    def test_sparse_fundamental_and_visits_match_dense(self):
+        T = np.array([[0.2, 0.3], [0.1, 0.4]])
+        dense_n = fundamental_matrix(T)
+        sparse_n = fundamental_matrix(sparse.csr_matrix(T))
+        assert np.allclose(dense_n, sparse_n)
+        dense_v = expected_visits_absorbing(T, start=0)
+        sparse_v = expected_visits_absorbing(sparse.csr_matrix(T), start=0)
+        assert np.allclose(dense_v, sparse_v)
