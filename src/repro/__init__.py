@@ -16,7 +16,11 @@ The package provides:
   (:mod:`repro.experiments`);
 * a scenario registry and parallel experiment runner with serial/process-pool
   backends and a CLI — ``python -m repro list`` / ``python -m repro run <name>``
-  (:mod:`repro.runner`).
+  (:mod:`repro.runner`);
+* a content-addressed result store and paper-figure report pipeline —
+  ``python -m repro report --all`` renders Figure 5, Figure 6, Table 1 and the
+  heterogeneous sweep into a provenance-stamped ``REPORT.md``
+  (:mod:`repro.report`).
 
 Quickstart
 ----------
@@ -47,9 +51,11 @@ from repro.markov import (
     RecoveryLineIntervalModel,
     SimplifiedChain,
 )
+from repro.report import ResultStore, generate_report
 from repro.runner import (
     ExperimentRunner,
     ProcessPoolBackend,
+    RunRecord,
     ScenarioSpec,
     SerialBackend,
     list_scenarios,
@@ -75,8 +81,11 @@ __all__ = [
     "SimplifiedChain",
     "ExperimentRunner",
     "ProcessPoolBackend",
+    "ResultStore",
+    "RunRecord",
     "ScenarioSpec",
     "SerialBackend",
+    "generate_report",
     "list_scenarios",
     "run_scenario",
     "scenario",

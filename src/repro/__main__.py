@@ -1,4 +1,4 @@
-"""``python -m repro`` — list and run registered experiment scenarios.
+"""``python -m repro`` — list, run and report on experiment scenarios.
 
 Examples
 --------
@@ -9,6 +9,9 @@ Examples
     python -m repro run table1 -p simulate=true --reps 20000 \\
         --backend process --workers 8
     python -m repro run validation --reps 200 --seed 7
+    python -m repro run figure5_full_chain --store .repro-store   # resumable
+    python -m repro report --all --out reports/
+    python -m repro report table1 figure6 --out reports/
 """
 
 from __future__ import annotations
@@ -19,9 +22,9 @@ import inspect
 import json
 import os
 import sys
-import time
 from typing import Dict, List, Optional, Sequence
 
+from repro._version import __version__
 from repro.runner import (
     ExperimentRunner,
     get_scenario,
@@ -92,7 +95,52 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="float digits in the rendered table (default 4)")
     run_cmd.add_argument("-o", "--output", metavar="PATH", default=None,
                          help="persist the result as JSON (envelope with "
-                              "params, seed, backend and elapsed time)")
+                              "params, seed, backend, repro version and "
+                              "elapsed time)")
+    run_cmd.add_argument("--force", action="store_true",
+                         help="overwrite an existing --output file")
+    run_cmd.add_argument("--recompute", action="store_true",
+                         help="execute the scenario even when the --store "
+                              "holds this cell (the result is re-written "
+                              "through)")
+    run_cmd.add_argument("--store", metavar="DIR", default=None,
+                         help="result-store directory: serve the run from "
+                              "the cache when this (scenario, params, seed, "
+                              "reps) cell was already computed, write it "
+                              "through otherwise")
+
+    report_cmd = sub.add_parser(
+        "report", help="render paper figures/tables and a REPORT.md")
+    report_cmd.add_argument("scenarios", nargs="*", metavar="scenario",
+                            help="scenarios to include (see 'python -m repro "
+                                 "list'); required unless --all is given")
+    report_cmd.add_argument("--all", action="store_true", dest="all_scenarios",
+                            help="include every registered scenario, paper "
+                                 "artifacts first")
+    report_cmd.add_argument("--out", metavar="DIR", default="reports",
+                            help="output directory for REPORT.md, figures/, "
+                                 "tables/ and the result store "
+                                 "(default: reports)")
+    report_cmd.add_argument("--store", metavar="DIR", default=None,
+                            help="result-store directory "
+                                 "(default: <out>/store); already-computed "
+                                 "cells are reloaded, not re-run")
+    report_cmd.add_argument("--backend", choices=("serial", "process"),
+                            default="serial",
+                            help="execution backend for missing cells "
+                                 "(default: serial)")
+    report_cmd.add_argument("--workers", type=int, default=None,
+                            help="worker processes for --backend process")
+    report_cmd.add_argument("--reps", type=int, default=None,
+                            help="Monte-Carlo replication budget override")
+    report_cmd.add_argument("--seed", type=int, default=DEFAULT_CLI_SEED,
+                            help=f"root seed (default {DEFAULT_CLI_SEED}; "
+                                 "-1 draws fresh entropy)")
+    report_cmd.add_argument("--force", action="store_true",
+                            help="recompute every cell even on a cache hit")
+    report_cmd.add_argument("--digits", type=int, default=6,
+                            help="significant digits in report tables "
+                                 "(default 6)")
     return parser
 
 
@@ -126,13 +174,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # be persisted is wasted work.
         if os.path.isdir(args.output):
             raise SystemExit(f"--output path is a directory: {args.output}")
+        if os.path.exists(args.output) and not args.force:
+            raise SystemExit(f"--output file exists: {args.output} "
+                             "(pass --force to overwrite)")
         directory = os.path.dirname(os.path.abspath(args.output))
         if not os.path.isdir(directory):
             raise SystemExit(f"--output directory does not exist: {directory}")
         if not os.access(directory, os.W_OK):
             raise SystemExit(f"--output directory is not writable: {directory}")
+    store = None
+    if args.store is not None:
+        from repro.report import ResultStore
+        store = ResultStore(args.store)
     backend = make_backend(args.backend, args.workers)
-    runner = ExperimentRunner(backend, seed=seed, reps=args.reps)
+    runner = ExperimentRunner(backend, seed=seed, reps=args.reps, store=store)
     load_builtin_scenarios()
     try:
         spec = get_scenario(args.scenario)
@@ -146,20 +201,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                                            **params})
     except TypeError as exc:
         raise SystemExit(f"bad scenario parameters for {spec.name!r}: {exc}")
-    start = time.perf_counter()
-    result = runner.run(spec, **params)
-    elapsed = time.perf_counter() - start
+    record = runner.run_record(spec, force=args.recompute, **params)
+    result = record.result
     print(result.render(args.digits))
+    source = "store cache" if record.cached else f"{record.elapsed_seconds:.2f}s"
     print(f"\n[scenario={args.scenario} backend={backend.describe()} "
-          f"seed={seed} reps={args.reps if args.reps is not None else 'default'}]")
+          f"seed={seed} reps={args.reps if args.reps is not None else 'default'} "
+          f"({source})]")
+    if record.cached:
+        print(f"[cache hit in {args.store} — scenario not re-executed; "
+              "pass --recompute to force a fresh run]")
     if args.output is not None:
         effective = {**dict(spec.defaults), **params}
         try:
-            _write_json(args.output, args, spec.name, effective, seed,
-                        backend.describe(), elapsed, result)
+            _write_json(args.output, args, spec.name, effective, seed, record)
         except OSError as exc:
             raise SystemExit(f"cannot write --output file: {exc}")
         print(f"[result written to {args.output}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers requires --backend process")
+    if args.reps is not None and args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    if not args.all_scenarios and not args.scenarios:
+        raise SystemExit("name at least one scenario, or pass --all")
+    if args.all_scenarios and args.scenarios:
+        raise SystemExit("--all and explicit scenario names are exclusive")
+    from repro.report import generate_report
+    load_builtin_scenarios()
+    if args.scenarios:
+        # Fail on unknown names before any cell is computed.
+        for name in args.scenarios:
+            try:
+                get_scenario(name)
+            except KeyError as exc:
+                raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+    seed: Optional[int] = None if args.seed == -1 else args.seed
+    summary = generate_report(
+        None if args.all_scenarios else args.scenarios,
+        out_dir=args.out,
+        store=args.store,
+        backend=args.backend,
+        workers=args.workers,
+        seed=seed,
+        reps=args.reps,
+        force=args.force,
+        digits=args.digits,
+    )
+    print(f"report written to {summary.report_path}")
+    print(f"[{summary.computed} scenario(s) computed, {summary.cache_hits} "
+          f"served from the store at {summary.store_root}]")
+    for path in summary.artifact_paths:
+        print(f"  - {os.path.relpath(path, args.out)}")
     return 0
 
 
@@ -176,20 +272,29 @@ def _jsonable(value):
 
 def _write_json(path: str, args: argparse.Namespace, scenario_name: str,
                 params: Dict[str, object], seed: Optional[int],
-                backend_description: str, elapsed: float, result) -> None:
-    """Persist the run as a JSON envelope around ``ExperimentResult.to_dict``."""
+                record) -> None:
+    """Persist the run as a JSON envelope around ``ExperimentResult.to_dict``.
+
+    ``backend``/``elapsed_seconds`` describe the run that *computed* the
+    result — on a ``--store`` cache hit that is the original run, which is
+    why the envelope also carries an explicit ``cached`` flag.
+    """
+    from repro.report.store import strict_jsonable
     envelope = {
         "scenario": scenario_name,
         "params": _jsonable(params),
         "seed": seed,
-        "reps": args.reps,
-        "backend": backend_description,
+        "reps": record.reps,
+        "backend": record.backend,
         "workers": args.workers,
-        "elapsed_seconds": elapsed,
-        "result": result.to_dict(),
+        "elapsed_seconds": record.elapsed_seconds,
+        "cached": record.cached,
+        "version": __version__,
+        "result": record.result.to_dict(),
     }
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(envelope, handle, indent=2, sort_keys=True)
+        json.dump(strict_jsonable(envelope), handle, indent=2, sort_keys=True,
+                  allow_nan=False)
         handle.write("\n")
 
 
@@ -197,6 +302,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args.verbose)
+    if args.command == "report":
+        return _cmd_report(args)
     return _cmd_run(args)
 
 

@@ -1,3 +1,9 @@
-"""Single source of truth for the package version."""
+"""Single source of truth for the package version.
 
-__version__ = "1.0.0"
+The version participates in the :class:`~repro.report.store.ResultStore`
+content address: every stored artifact is stamped with it, and a version
+bump invalidates cached cells (results produced by different code never
+shadow each other).
+"""
+
+__version__ = "1.1.0"

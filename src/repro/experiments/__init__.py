@@ -10,6 +10,11 @@ Every module registers its entry point with the scenario registry
 which ``python -m repro list`` / ``python -m repro run <name>`` (or
 :func:`repro.runner.run_scenario`) run any experiment, serially or across a
 process pool.  The ``run_*`` functions remain as thin compatibility wrappers.
+
+Scenarios whose output *is* a paper artifact additionally declare a renderer
+(``@scenario(..., renderer="figure5")``); ``python -m repro report`` routes
+their results through :mod:`repro.report.figures` into figure/table files
+plus a provenance-stamped ``REPORT.md``.
 """
 
 from repro.experiments.common import ExperimentResult, ExperimentRow

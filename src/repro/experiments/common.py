@@ -65,6 +65,27 @@ class ExperimentResult:
             "notes": self.notes,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The round trip is exact: ``ExperimentResult.from_dict(r.to_dict())``
+        compares equal to ``r`` field by field, which is what lets the
+        :class:`~repro.report.store.ResultStore` hand back stored runs as
+        first-class results.
+        """
+        result = cls(
+            name=str(payload["name"]),
+            paper_reference=str(payload["paper_reference"]),
+            columns=list(payload["columns"]),
+            notes=str(payload.get("notes", "")),
+        )
+        for row in payload["rows"]:
+            result.add_row(str(row["label"]),
+                           **{str(k): float(v)
+                              for k, v in row["values"].items()})
+        return result
+
     def render(self, float_digits: int = 4) -> str:
         table = AsciiTable(["case", *self.columns], float_digits=float_digits)
         for row in self.rows:

@@ -23,7 +23,8 @@ __all__ = ["run_figure5"]
 
 @scenario("figure5",
           description="Figure 5: E[X] versus the number of processes",
-          paper_reference="Figure 5 (mean value of X vs. the number of processes)")
+          paper_reference="Figure 5 (mean value of X vs. the number of processes)",
+          renderer="figure5")
 def figure5_scenario(ctx: ExecutionContext, *,
                      n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                      rho_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),

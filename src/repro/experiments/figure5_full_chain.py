@@ -51,7 +51,8 @@ def _full_chain_cell(cell: _FullChainCell) -> tuple:
 @scenario("figure5_full_chain",
           description="Figure 5 extension: E[X] vs n on the sparse full chain",
           paper_reference="Figure 5 (full-chain large-n cross-check of the "
-                          "lumped symmetric chain)")
+                          "lumped symmetric chain)",
+          renderer="figure5_full_chain")
 def figure5_full_chain_scenario(ctx: ExecutionContext, *,
                                 n_values: Sequence[int] = (6, 8, 10, 12),
                                 rho_values: Sequence[float] = (0.5, 1.0, 2.0),

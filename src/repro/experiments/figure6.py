@@ -23,7 +23,8 @@ __all__ = ["run_figure6", "figure6_curves"]
 
 @scenario("figure6",
           description="Figure 6: the density f_X(t) of the recovery-line interval",
-          paper_reference="Figure 6 (the density function of X)")
+          paper_reference="Figure 6 (the density function of X)",
+          renderer="figure6")
 def figure6_scenario(ctx: ExecutionContext, *,
                      sample_times: Sequence[float] = (0.0, 0.2, 0.4, 0.8, 1.2,
                                                       1.6, 2.0)

@@ -88,7 +88,8 @@ def _sweep_cell(cell: _SweepCell) -> tuple:
 @scenario("heterogeneous_sweep",
           description="Per-process mu/lambda gradients on the sparse full chain",
           paper_reference="Section 2.3 extension (heterogeneous rates beyond "
-                          "the lumped chain's reach)")
+                          "the lumped chain's reach)",
+          renderer="heterogeneous_sweep")
 def heterogeneous_sweep_scenario(ctx: ExecutionContext, *,
                                  n: int = 10,
                                  mu_gradients: Sequence[float] = (1.0, 1.5,

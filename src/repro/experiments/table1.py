@@ -44,7 +44,8 @@ DEFAULT_INTERVALS = 20_000
 @scenario("table1",
           description="Table 1: E[X] and E[L_i] for the five parameter cases",
           paper_reference="Table 1 (mean values of X and L for constant rho)",
-          default_reps=DEFAULT_INTERVALS)
+          default_reps=DEFAULT_INTERVALS,
+          renderer="table")
 def table1_scenario(ctx: ExecutionContext, *, simulate: bool = False
                     ) -> ExperimentResult:
     """Regenerate Table 1.

@@ -1,0 +1,72 @@
+"""Artifact persistence and paper-figure reporting (``repro.report``).
+
+This package turns experiment runs from throwaway stdout into durable,
+resumable artifacts:
+
+``store``
+    :class:`ResultStore` — a content-addressed artifact directory.  Every
+    run is keyed by SHA-256 over (scenario, canonicalised params, seed,
+    replication budget, code version); the
+    :class:`~repro.runner.runner.ExperimentRunner` writes results through
+    it and serves cache hits without re-executing, which is what lets an
+    interrupted large-n sweep *resume* instead of recompute.
+``figures``
+    The renderer registry mapping scenarios to paper artifacts (Figure 5,
+    Figure 6, Table 1, the heterogeneous sweep) with a headless matplotlib
+    backend when available and a dependency-free SVG fallback otherwise.
+``svg``
+    The fallback chart renderer itself (pure Python, no third-party deps).
+``markdown``
+    Markdown tables and the self-contained ``REPORT.md`` document with a
+    provenance header (versions, seed, backends, figure backend).
+``pipeline``
+    :func:`generate_report` — the glue behind ``python -m repro report``:
+    run missing cells through the store, render declared artifacts, emit
+    the report.
+
+Quickstart
+----------
+>>> from repro.report import generate_report
+>>> summary = generate_report(["table1"], out_dir="reports")  # doctest: +SKIP
+>>> summary.report_path                                       # doctest: +SKIP
+'reports/REPORT.md'
+"""
+
+from repro.report.figures import (
+    Artifact,
+    figure_backend,
+    register_renderer,
+    render_artifacts,
+    renderer_names,
+)
+from repro.report.markdown import (
+    ReportSection,
+    render_report,
+    report_provenance,
+    result_to_markdown_table,
+)
+from repro.report.pipeline import (
+    ReportSummary,
+    default_scenario_order,
+    generate_report,
+)
+from repro.report.store import ResultStore, StoreRecord, canonical_params, store_key
+
+__all__ = [
+    "Artifact",
+    "ReportSection",
+    "ReportSummary",
+    "ResultStore",
+    "StoreRecord",
+    "canonical_params",
+    "default_scenario_order",
+    "figure_backend",
+    "generate_report",
+    "register_renderer",
+    "render_artifacts",
+    "render_report",
+    "renderer_names",
+    "report_provenance",
+    "result_to_markdown_table",
+    "store_key",
+]

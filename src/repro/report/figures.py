@@ -1,0 +1,289 @@
+"""Renderers turning :class:`ExperimentResult` objects into paper artifacts.
+
+A *renderer* is a registered function ``(result, out_dir, basename) ->
+[Artifact]``; scenarios declare which renderer applies to them via
+``ScenarioSpec.renderer`` (:mod:`repro.runner.registry`), and the report
+pipeline (:mod:`repro.report.pipeline`) calls :func:`render_artifacts` with
+whatever the runner produced — fresh or cache-served, the rendering is
+identical because it only sees the result.
+
+Two figure backends are supported transparently:
+
+* **matplotlib** (when importable) — PNG output via the headless ``Agg``
+  canvas, never a GUI backend;
+* **builtin SVG** (:mod:`repro.report.svg`) — dependency-free fallback, so
+  the report command works on a bare numpy/scipy install.
+
+:func:`figure_backend` reports which one is active; the report's provenance
+block records it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.report.svg import (PALETTE, LineChart, render_line_chart_svg)
+
+__all__ = [
+    "Artifact",
+    "figure_backend",
+    "register_renderer",
+    "render_artifacts",
+    "renderer_names",
+]
+
+#: Lazily resolved matplotlib availability.  Kept out of module import so
+#: that ``import repro`` neither pays the matplotlib import cost nor touches
+#: any global matplotlib state; rendering itself draws on an explicit Agg
+#: canvas per figure rather than switching the process-wide backend.
+_HAVE_MPL: Optional[bool] = None
+
+
+def _matplotlib_available() -> bool:
+    global _HAVE_MPL
+    if _HAVE_MPL is None:
+        _HAVE_MPL = importlib.util.find_spec("matplotlib") is not None
+    return _HAVE_MPL
+
+
+def figure_backend() -> str:
+    """The active figure backend: ``"matplotlib"`` or ``"builtin-svg"``."""
+    return "matplotlib" if _matplotlib_available() else "builtin-svg"
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One rendered output file plus how the report should present it."""
+
+    path: str
+    kind: str            # "figure" | "table"
+    caption: str
+
+
+#: ``(result, out_dir, basename, digits) -> [Artifact]``; figure renderers
+#: may ignore *digits*, table renderers honour it.
+Renderer = Callable[[ExperimentResult, str, str, int], List[Artifact]]
+
+_RENDERERS: Dict[str, Renderer] = {}
+
+
+def register_renderer(name: str) -> Callable[[Renderer], Renderer]:
+    """Register a renderer under *name* (the value scenarios declare)."""
+
+    def decorate(func: Renderer) -> Renderer:
+        _RENDERERS[name] = func
+        return func
+
+    return decorate
+
+
+def renderer_names() -> List[str]:
+    """All registered renderer names, sorted."""
+    return sorted(_RENDERERS)
+
+
+def render_artifacts(renderer: Optional[str], result: ExperimentResult,
+                     out_dir: str, basename: str,
+                     digits: int = 6) -> List[Artifact]:
+    """Run the named renderer; ``None`` renders nothing (table stays inline)."""
+    if renderer is None:
+        return []
+    try:
+        func = _RENDERERS[renderer]
+    except KeyError:
+        known = ", ".join(renderer_names()) or "(none)"
+        raise KeyError(f"unknown renderer {renderer!r}; known: {known}") \
+            from None
+    return func(result, out_dir, basename, digits)
+
+
+# --------------------------------------------------------------------------
+# shared chart emission
+# --------------------------------------------------------------------------
+
+def _emit_line_chart(chart: LineChart, out_dir: str, basename: str,
+                     caption: str) -> Artifact:
+    """Write *chart* with the active backend and return its artifact."""
+    if len(chart.series) > len(PALETTE):
+        # Same failure on both backends; without this the matplotlib path
+        # would die on a bare IndexError at PALETTE[idx].
+        raise ValueError(f"at most {len(PALETTE)} series per chart; "
+                         "fold the rest or split the figure")
+    figures_dir = os.path.join(out_dir, "figures")
+    os.makedirs(figures_dir, exist_ok=True)
+    if _matplotlib_available():
+        path = os.path.join(figures_dir, f"{basename}.png")
+        _render_matplotlib(chart, path)
+    else:
+        path = os.path.join(figures_dir, f"{basename}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_line_chart_svg(chart))
+    return Artifact(path=path, kind="figure", caption=caption)
+
+
+def _render_matplotlib(chart: LineChart, path: str) -> None:  # pragma: no cover
+    # Draw on an explicit Agg canvas: headless, and it leaves the process-wide
+    # matplotlib backend (a notebook's inline backend, say) untouched.
+    from matplotlib.backends.backend_agg import FigureCanvasAgg
+    from matplotlib.figure import Figure
+
+    fig = Figure(figsize=(7.6, 4.4), dpi=150)
+    FigureCanvasAgg(fig)
+    ax = fig.add_subplot()
+    fig.patch.set_facecolor("#fcfcfb")
+    ax.set_facecolor("#fcfcfb")
+    for idx, series in enumerate(chart.series):
+        ax.plot(chart.x, series.y, color=PALETTE[idx], linewidth=2,
+                marker="o", markersize=5, markeredgecolor="#fcfcfb",
+                markeredgewidth=1.0, label=series.label)
+    if chart.log_y:
+        ax.set_yscale("log")
+    ax.set_title(chart.title, loc="left", fontsize=12, fontweight="semibold",
+                 color="#0b0b0b")
+    ax.set_xlabel(chart.x_label, color="#52514e")
+    ax.set_ylabel(chart.y_label, color="#52514e")
+    ax.grid(True, color="#e7e6e2", linewidth=0.8)
+    ax.set_axisbelow(True)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color("#b5b4ae")
+    ax.tick_params(colors="#52514e", labelsize=9)
+    if len(chart.series) > 1:
+        ax.legend(frameon=False, fontsize=9, labelcolor="#52514e")
+    fig.tight_layout()
+    fig.savefig(path)
+
+
+def _label_number(label: str, prefix: str) -> float:
+    """Extract the number following *prefix* from a row label like ``n=12``."""
+    match = re.search(re.escape(prefix) + r"([-+0-9.eE]+)", label)
+    if match is None:
+        raise ValueError(f"row label {label!r} carries no {prefix!r} value")
+    return float(match.group(1))
+
+
+# --------------------------------------------------------------------------
+# paper renderers
+# --------------------------------------------------------------------------
+
+def _mean_interval_vs_n(result: ExperimentResult, out_dir: str, basename: str,
+                        caption: str) -> List[Artifact]:
+    """Shared shape of Figure 5 variants: E[X] vs n, one line per rho."""
+    n_values = [_label_number(row.label, "n=") for row in result.rows]
+    chart = LineChart(
+        title=caption,
+        subtitle=result.paper_reference,
+        x_label="number of processes n",
+        y_label="E[X] (log scale)",
+        x=n_values,
+        log_y=True,
+    )
+    for column in result.columns:
+        if not column.startswith("E[X] rho="):
+            continue
+        rho = column.split("rho=", 1)[1]
+        chart.add_series(f"ρ = {rho}", result.column(column))
+    return [_emit_line_chart(chart, out_dir, basename, caption)]
+
+
+@register_renderer("figure5")
+def render_figure5(result: ExperimentResult, out_dir: str,
+                   basename: str, digits: int = 6) -> List[Artifact]:
+    """Figure 5: mean recovery-line interval vs number of processes."""
+    return _mean_interval_vs_n(result, out_dir, basename,
+                               "Figure 5 — mean interval E[X] vs n")
+
+
+@register_renderer("figure5_full_chain")
+def render_figure5_full_chain(result: ExperimentResult, out_dir: str,
+                              basename: str,
+                              digits: int = 6) -> List[Artifact]:
+    """Figure 5 on the full 2^n chain (sparse backend, large n)."""
+    return _mean_interval_vs_n(
+        result, out_dir, basename,
+        "Figure 5 (full chain) — E[X] vs n, sparse backend")
+
+
+@register_renderer("figure6")
+def render_figure6(result: ExperimentResult, out_dir: str,
+                   basename: str, digits: int = 6) -> List[Artifact]:
+    """Figure 6: the interval density f_X(t), one line per paper case."""
+    times = []
+    density_columns = []
+    for column in result.columns:
+        match = re.fullmatch(r"f\(([-+0-9.eE]+)\)", column)
+        if match:
+            times.append(float(match.group(1)))
+            density_columns.append(column)
+    if not density_columns:
+        raise ValueError("figure6 renderer found no f(t) columns")
+    chart = LineChart(
+        title="Figure 6 — density f_X(t) of the recovery-line interval",
+        subtitle=result.paper_reference,
+        x_label="t",
+        y_label="f_X(t)",
+        x=times,
+    )
+    for row in result.rows:
+        label = row.label.split(" mu=", 1)[0]     # "case 1 mu=(...)" -> "case 1"
+        chart.add_series(label, [row.get(c) for c in density_columns])
+    caption = "Figure 6 — interval density, three paper cases"
+    return [_emit_line_chart(chart, out_dir, basename, caption)]
+
+
+@register_renderer("heterogeneous_sweep")
+def render_heterogeneous_sweep(result: ExperimentResult, out_dir: str,
+                               basename: str,
+                               digits: int = 6) -> List[Artifact]:
+    """Heterogeneous sweep: interval statistics and completion imbalance."""
+    gradients = [_label_number(row.label, "gradient=") for row in result.rows]
+    stats = LineChart(
+        title="Heterogeneous sweep — interval statistics vs μ gradient",
+        subtitle=result.paper_reference,
+        x_label="checkpoint-rate gradient g",
+        y_label="value",
+        x=gradients,
+    )
+    for column in ("E[X]", "std[X]", "E[sum L]"):
+        if column in result.columns:
+            stats.add_series(column, result.column(column))
+    artifacts = [_emit_line_chart(
+        stats, out_dir, basename,
+        "Heterogeneous sweep — E[X], std[X], E[Σ L] vs gradient")]
+    if "q max/min" in result.columns:
+        imbalance = LineChart(
+            title="Heterogeneous sweep — completion imbalance vs μ gradient",
+            subtitle="max q_i / min q_i of the line-completion probabilities",
+            x_label="checkpoint-rate gradient g",
+            y_label="q max/min",
+            x=gradients,
+        )
+        imbalance.add_series("q max/min", result.column("q max/min"))
+        artifacts.append(_emit_line_chart(
+            imbalance, out_dir, f"{basename}_imbalance",
+            "Heterogeneous sweep — line-completion imbalance vs gradient"))
+    return artifacts
+
+
+@register_renderer("table")
+def render_table(result: ExperimentResult, out_dir: str,
+                 basename: str, digits: int = 6) -> List[Artifact]:
+    """Standalone markdown table file (e.g. Table 1)."""
+    from repro.report.markdown import result_to_markdown_table
+    tables_dir = os.path.join(out_dir, "tables")
+    os.makedirs(tables_dir, exist_ok=True)
+    path = os.path.join(tables_dir, f"{basename}.md")
+    lines = [f"# {result.name}", "", f"Reproduces: {result.paper_reference}",
+             "", result_to_markdown_table(result, digits)]
+    if result.notes:
+        lines += ["", f"*{result.notes}*"]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return [Artifact(path=path, kind="table",
+                     caption=f"{result.name} (standalone table)")]

@@ -1,0 +1,282 @@
+"""The content-addressed result store.
+
+Every experiment run is a *cell*: a scenario name plus its canonicalised
+parameters, root seed, replication budget and the code version that produced
+it.  :class:`ResultStore` addresses cells by the SHA-256 of that canonical
+identity, so
+
+* re-running an identical cell is a **cache hit** — the stored
+  :class:`~repro.experiments.common.ExperimentResult` is reloaded instead of
+  recomputed, which is what lets interrupted large-n sweeps resume;
+* any change to the parameters, the seed, the budget or the package version
+  yields a **different key**, so stale results can never shadow fresh ones.
+
+The execution backend is deliberately *not* part of the key: the runner
+guarantees bit-identical results across serial and process-pool execution
+(see :mod:`repro.runner.runner`), so a cell computed on one backend is valid
+for all of them.  The backend that actually produced a record is still kept
+in its metadata for provenance.
+
+On-disk layout (all JSON, human-diffable)::
+
+    <root>/
+        index.jsonl                     append-only run log (metadata only)
+        objects/<scenario>/<key>.json   full envelope incl. the result
+
+Writes are atomic (temp file + ``os.replace``), so a killed sweep never
+leaves a truncated object behind; at worst the index lags the objects, and
+the index is only advisory — lookups go straight to the object files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Iterator, List, Optional
+
+from repro._version import __version__
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ResultStore", "StoreRecord", "canonical_params", "store_key",
+           "strict_jsonable"]
+
+#: Bumped when the envelope layout changes incompatibly.
+STORE_FORMAT = 1
+
+
+def strict_jsonable(value):
+    """Recursively replace non-finite floats with ``"inf"``-style strings.
+
+    Strict JSON has no NaN/Infinity literals, and ``json.dump`` would emit
+    Python-only tokens that jq/browsers reject.  String stand-ins keep the
+    files standard; ``float("inf")``/``float("nan")`` parse them right back
+    (which is what :meth:`ExperimentResult.from_dict` does).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)                       # 'inf' / '-inf' / 'nan'
+    if isinstance(value, dict):
+        return {k: strict_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [strict_jsonable(v) for v in value]
+    return value
+
+
+def canonical_params(value):
+    """Reduce a parameter value to a canonical JSON-stable form.
+
+    Tuples become lists, numpy scalars become Python scalars, mapping keys
+    become strings — so ``(1, 2)`` and ``[1, 2]`` (or ``np.float64(0.5)`` and
+    ``0.5``) address the same cell, and the canonical form survives a JSON
+    round trip unchanged.
+    """
+    if isinstance(value, dict):
+        return {str(k): canonical_params(v) for k, v in sorted(value.items(),
+                                                               key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [canonical_params(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):    # numpy scalars
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"parameter value {value!r} ({type(value).__name__}) is "
+                    "not storable; use JSON-representable scenario parameters")
+
+
+def store_key(scenario: str, params: Dict[str, object],
+              seed: Optional[int], reps: Optional[int],
+              version: str = __version__) -> str:
+    """SHA-256 content address of one ``(scenario, params, seed, reps)`` cell.
+
+    The digest covers the canonical JSON of the full identity, including
+    *version*, so results produced by different releases of the code never
+    collide.
+    """
+    identity = {
+        "scenario": scenario,
+        "params": canonical_params(dict(params)),
+        # seed/reps go through the same canonicalisation as params so that
+        # numpy integers (np.int64 from an arange sweep, say) key — and
+        # serialize — identically to plain ints.
+        "seed": canonical_params(seed),
+        "reps": canonical_params(reps),
+        "version": version,
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One stored run: the result plus the metadata that addressed it."""
+
+    key: str
+    scenario: str
+    params: Dict[str, object]
+    seed: Optional[int]
+    reps: Optional[int]
+    backend: str
+    elapsed_seconds: float
+    version: str
+    created_at: str
+    result: ExperimentResult
+
+    def to_envelope(self) -> Dict[str, object]:
+        """The full JSON object file, result included."""
+        return {
+            "format": STORE_FORMAT,
+            "key": self.key,
+            "scenario": self.scenario,
+            "params": self.params,
+            "seed": self.seed,
+            "reps": self.reps,
+            "backend": self.backend,
+            "elapsed_seconds": self.elapsed_seconds,
+            "version": self.version,
+            "created_at": self.created_at,
+            "result": self.result.to_dict(),
+        }
+
+    def metadata(self) -> Dict[str, object]:
+        """The ``index.jsonl`` line: everything except the result rows."""
+        meta = self.to_envelope()
+        del meta["result"]
+        return meta
+
+    @classmethod
+    def from_envelope(cls, envelope: Dict[str, object]) -> "StoreRecord":
+        return cls(
+            key=str(envelope["key"]),
+            scenario=str(envelope["scenario"]),
+            params=dict(envelope["params"]),
+            seed=envelope["seed"],
+            reps=envelope["reps"],
+            backend=str(envelope["backend"]),
+            elapsed_seconds=float(envelope["elapsed_seconds"]),
+            version=str(envelope["version"]),
+            created_at=str(envelope["created_at"]),
+            result=ExperimentResult.from_dict(envelope["result"]),
+        )
+
+
+class ResultStore:
+    """Content-addressed artifact directory for experiment results.
+
+    The three-method surface the runner's persistence hook consumes is
+    :meth:`key` / :meth:`get` / :meth:`put`; everything else is inspection
+    convenience.  A store is cheap to construct — directories are created
+    lazily on first write, so pointing one at a read-only location is fine
+    as long as only lookups happen.
+
+    >>> store = ResultStore("reports/store")                # doctest: +SKIP
+    >>> runner = ExperimentRunner(seed=7, store=store)      # doctest: +SKIP
+    >>> runner.run("table1")   # computed, then written through
+    >>> runner.run("table1")   # served from the store, not re-run
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, "index.jsonl")
+
+    def object_path(self, key: str, scenario: str) -> str:
+        return os.path.join(self.root, "objects", scenario, f"{key}.json")
+
+    # ------------------------------------------------------------------ hook surface
+    def key(self, scenario: str, params: Dict[str, object],
+            seed: Optional[int], reps: Optional[int]) -> str:
+        """Content address of the cell under the *current* code version."""
+        return store_key(scenario, params, seed, reps)
+
+    def get(self, key: str, scenario: Optional[str] = None
+            ) -> Optional[StoreRecord]:
+        """Load a stored record by key, or ``None`` when absent.
+
+        ``scenario`` narrows the lookup to one object subdirectory; without
+        it every scenario directory is scanned (keys are globally unique, so
+        the first match is the only match).
+        """
+        for path in self._candidate_paths(key, scenario):
+            if os.path.isfile(path):
+                with open(path, "r", encoding="utf-8") as handle:
+                    return StoreRecord.from_envelope(json.load(handle))
+        return None
+
+    def put(self, scenario: str, params: Dict[str, object],
+            seed: Optional[int], reps: Optional[int], *, backend: str,
+            elapsed_seconds: float, result: ExperimentResult) -> StoreRecord:
+        """Persist one run atomically and append it to the index."""
+        record = StoreRecord(
+            key=self.key(scenario, params, seed, reps),
+            scenario=scenario,
+            params=canonical_params(dict(params)),
+            seed=canonical_params(seed),
+            reps=canonical_params(reps),
+            backend=backend,
+            elapsed_seconds=float(elapsed_seconds),
+            version=__version__,
+            created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            result=result,
+        )
+        path = self.object_path(record.key, scenario)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._write_atomic(path, record.to_envelope())
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(strict_jsonable(record.metadata()),
+                                    sort_keys=True, allow_nan=False) + "\n")
+        return record
+
+    # ------------------------------------------------------------------ inspection
+    def contains(self, key: str) -> bool:
+        return any(os.path.isfile(p) for p in self._candidate_paths(key, None))
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Iterate the index metadata lines, oldest first."""
+        if not os.path.isfile(self.index_path):
+            return
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def __len__(self) -> int:
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return 0
+        return sum(name.endswith(".json")
+                   for _, _, files in os.walk(objects) for name in files)
+
+    # ------------------------------------------------------------------ internals
+    def _candidate_paths(self, key: str, scenario: Optional[str]) -> List[str]:
+        if scenario is not None:
+            return [self.object_path(key, scenario)]
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return []
+        return [os.path.join(objects, sub, f"{key}.json")
+                for sub in sorted(os.listdir(objects))]
+
+    @staticmethod
+    def _write_atomic(path: str, payload: Dict[str, object]) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(strict_jsonable(payload), handle, indent=2,
+                          sort_keys=True, allow_nan=False)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,240 @@
+"""Dependency-free SVG line charts — the fallback figure backend.
+
+The report pipeline prefers matplotlib when it is importable
+(:mod:`repro.report.figures`); this module is the fallback that keeps
+``python -m repro report`` fully functional on a bare numpy/scipy install.
+It renders a deliberately small vocabulary — multi-series line charts with
+linear or logarithmic y axes — as standalone ``.svg`` files that GitHub and
+any browser display inline.
+
+Styling follows a fixed design: categorical series colors assigned in a
+fixed order (never cycled past the palette), 2px lines with 8px markers,
+a recessive grid, text in neutral ink rather than series colors, and a
+legend whenever more than one series is drawn.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ChartSeries", "LineChart", "render_line_chart_svg"]
+
+#: Fixed categorical hue order (validated light-mode palette); series beyond
+#: the palette length are an error at the call site, not a cycled hue.
+PALETTE = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+           "#e87ba4", "#008300", "#4a3aa7", "#e34948")
+
+SURFACE = "#fcfcfb"
+GRID = "#e7e6e2"
+AXIS = "#b5b4ae"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+FONT = "system-ui, 'Segoe UI', Helvetica, Arial, sans-serif"
+
+WIDTH, HEIGHT = 760, 440
+MARGIN_LEFT, MARGIN_RIGHT = 70, 24
+MARGIN_TOP, MARGIN_BOTTOM = 78, 58
+
+
+@dataclass(frozen=True)
+class ChartSeries:
+    """One polyline: a label plus y values aligned with the chart's x grid."""
+
+    label: str
+    y: Sequence[float]
+
+
+@dataclass
+class LineChart:
+    """Declarative description of a multi-series line chart."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x: Sequence[float]
+    series: List[ChartSeries] = field(default_factory=list)
+    log_y: bool = False
+    subtitle: str = ""
+
+    def add_series(self, label: str, y: Sequence[float]) -> None:
+        self.series.append(ChartSeries(label=label, y=list(y)))
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Round tick positions on a 1-2-5 ladder covering ``[lo, hi]``."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(target, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= target:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * span:
+        ticks.append(0.0 if abs(value) < 1e-12 * span else value)
+        value += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    """Decade ticks covering a strictly positive ``[lo, hi]``."""
+    ticks = [10.0 ** e for e in range(math.floor(math.log10(lo)),
+                                      math.ceil(math.log10(hi)) + 1)]
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value != 0.0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+        return f"{value:.0e}".replace("e+0", "e").replace("e-0", "e-")
+    text = f"{value:.6g}"
+    return text
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_line_chart_svg(chart: LineChart) -> str:
+    """Render *chart* to a standalone SVG document string."""
+    if not chart.series:
+        raise ValueError("a chart needs at least one series")
+    if len(chart.series) > len(PALETTE):
+        raise ValueError(f"at most {len(PALETTE)} series per chart; "
+                         "fold the rest or split the figure")
+
+    xs = [float(v) for v in chart.x]
+    ys = [float(v) for s in chart.series for v in s.y
+          if math.isfinite(float(v))]
+    if not ys:
+        raise ValueError("no finite y values to plot")
+
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if chart.log_y:
+        positive = [v for v in ys if v > 0.0]
+        if not positive:
+            raise ValueError("log-scale chart needs positive values")
+        y_lo, y_hi = min(positive), max(positive)
+        if y_lo == y_hi:                 # constant series: pad a decade around
+            y_lo, y_hi = y_lo / 10.0, y_hi * 10.0
+        y_ticks = _log_ticks(y_lo, y_hi)
+        y_lo, y_hi = min(y_ticks[0], y_lo), max(y_ticks[-1], y_hi)
+
+        def y_pos(v: float) -> Optional[float]:
+            if v <= 0.0 or not math.isfinite(v):
+                return None
+            frac = (math.log10(v) - math.log10(y_lo)) / \
+                   (math.log10(y_hi) - math.log10(y_lo))
+            return HEIGHT - MARGIN_BOTTOM - frac * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+    else:
+        y_lo, y_hi = min(ys + [0.0]) if min(ys) >= 0.0 else min(ys), max(ys)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        y_ticks = _nice_ticks(y_lo, y_hi)
+        y_lo = min(y_lo, y_ticks[0])
+        y_hi = max(y_hi, y_ticks[-1])
+
+        def y_pos(v: float) -> Optional[float]:
+            if not math.isfinite(v):
+                return None
+            frac = (v - y_lo) / (y_hi - y_lo)
+            return HEIGHT - MARGIN_BOTTOM - frac * (HEIGHT - MARGIN_TOP - MARGIN_BOTTOM)
+
+    def x_pos(v: float) -> float:
+        frac = (v - x_lo) / (x_hi - x_lo)
+        return MARGIN_LEFT + frac * (WIDTH - MARGIN_LEFT - MARGIN_RIGHT)
+
+    x_ticks = [t for t in _nice_ticks(x_lo, x_hi, target=7)
+               if x_lo - 1e-9 <= t <= x_hi + 1e-9]
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" role="img" '
+        f'aria-label="{_escape(chart.title)}">')
+    parts.append(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>')
+    parts.append(f'<text x="{MARGIN_LEFT}" y="26" font-family="{FONT}" '
+                 f'font-size="16" font-weight="600" fill="{TEXT_PRIMARY}">'
+                 f'{_escape(chart.title)}</text>')
+    if chart.subtitle:
+        parts.append(f'<text x="{MARGIN_LEFT}" y="44" font-family="{FONT}" '
+                     f'font-size="12" fill="{TEXT_SECONDARY}">'
+                     f'{_escape(chart.subtitle)}</text>')
+
+    # Legend: one row of swatches under the title (only with >= 2 series; a
+    # single series is named by the title).
+    if len(chart.series) > 1:
+        x_cursor = MARGIN_LEFT
+        legend_y = 60 if chart.subtitle else 48
+        for idx, series in enumerate(chart.series):
+            color = PALETTE[idx]
+            parts.append(f'<rect x="{x_cursor}" y="{legend_y - 9}" width="14" '
+                         f'height="4" rx="2" fill="{color}"/>')
+            label = _escape(series.label)
+            parts.append(f'<text x="{x_cursor + 19}" y="{legend_y}" '
+                         f'font-family="{FONT}" font-size="12" '
+                         f'fill="{TEXT_SECONDARY}">{label}</text>')
+            x_cursor += 19 + 7 * len(series.label) + 22
+
+    # Grid + y axis labels (recessive).
+    for tick in y_ticks:
+        y = y_pos(tick)
+        if y is None or not (MARGIN_TOP - 1 <= y <= HEIGHT - MARGIN_BOTTOM + 1):
+            continue
+        parts.append(f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+                     f'x2="{WIDTH - MARGIN_RIGHT}" y2="{y:.1f}" '
+                     f'stroke="{GRID}" stroke-width="1"/>')
+        parts.append(f'<text x="{MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+                     f'font-family="{FONT}" font-size="11" text-anchor="end" '
+                     f'fill="{TEXT_SECONDARY}">{_fmt(tick)}</text>')
+
+    # x axis baseline, ticks and labels.
+    base_y = HEIGHT - MARGIN_BOTTOM
+    parts.append(f'<line x1="{MARGIN_LEFT}" y1="{base_y}" '
+                 f'x2="{WIDTH - MARGIN_RIGHT}" y2="{base_y}" '
+                 f'stroke="{AXIS}" stroke-width="1"/>')
+    for tick in x_ticks:
+        x = x_pos(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{base_y}" x2="{x:.1f}" '
+                     f'y2="{base_y + 4}" stroke="{AXIS}" stroke-width="1"/>')
+        parts.append(f'<text x="{x:.1f}" y="{base_y + 18}" '
+                     f'font-family="{FONT}" font-size="11" text-anchor="middle" '
+                     f'fill="{TEXT_SECONDARY}">{_fmt(tick)}</text>')
+    parts.append(f'<text x="{(MARGIN_LEFT + WIDTH - MARGIN_RIGHT) / 2:.1f}" '
+                 f'y="{HEIGHT - 16}" font-family="{FONT}" font-size="12" '
+                 f'text-anchor="middle" fill="{TEXT_SECONDARY}">'
+                 f'{_escape(chart.x_label)}</text>')
+    mid_y = (MARGIN_TOP + HEIGHT - MARGIN_BOTTOM) / 2
+    parts.append(f'<text x="18" y="{mid_y:.1f}" font-family="{FONT}" '
+                 f'font-size="12" text-anchor="middle" fill="{TEXT_SECONDARY}" '
+                 f'transform="rotate(-90 18 {mid_y:.1f})">'
+                 f'{_escape(chart.y_label)}</text>')
+
+    # Series polylines + markers (2px lines, 8px markers).
+    for idx, series in enumerate(chart.series):
+        color = PALETTE[idx]
+        points: List[Tuple[float, float]] = []
+        for xv, yv in zip(xs, series.y):
+            y = y_pos(float(yv))
+            if y is not None:
+                points.append((x_pos(xv), y))
+        if not points:
+            continue
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(f'<polyline points="{path}" fill="none" stroke="{color}" '
+                     f'stroke-width="2" stroke-linejoin="round" '
+                     f'stroke-linecap="round"/>')
+        for x, y in points:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                         f'fill="{color}" stroke="{SURFACE}" stroke-width="1.5"/>')
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

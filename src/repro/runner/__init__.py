@@ -20,7 +20,16 @@ experiment layer into three pieces:
     into fixed-size tasks whose seeds are spawned *in the driver*, so serial
     and parallel runs of the same seed are bit-for-bit identical.
 
-The CLI (``python -m repro``) lists and runs registered scenarios.
+The runner also carries the persistence seam of the reporting layer: attach a
+:class:`~repro.report.store.ResultStore` (``ExperimentRunner(store=...)``) and
+every run is written through to a content-addressed artifact directory, with
+cache hits on already-computed ``(scenario, params, seed, reps)`` cells served
+back without re-execution (:class:`~repro.runner.runner.RunRecord` reports
+which happened).
+
+The CLI (``python -m repro``) lists scenarios (``list``), runs one (``run``),
+and renders the paper artifacts plus a provenance-stamped ``REPORT.md``
+(``report``).
 """
 
 from repro.runner.backends import (
@@ -37,11 +46,13 @@ from repro.runner.registry import (
     load_builtin_scenarios,
     register_scenario,
     scenario,
+    unregister_scenario,
 )
 from repro.runner.runner import (
     DEFAULT_SHARD_SIZE,
     ExecutionContext,
     ExperimentRunner,
+    RunRecord,
     run_scenario,
     seed_to_int,
     shard_counts,
@@ -54,6 +65,7 @@ __all__ = [
     "ExecutionContext",
     "ExperimentRunner",
     "ProcessPoolBackend",
+    "RunRecord",
     "ScenarioSpec",
     "SerialBackend",
     "get_scenario",
@@ -65,4 +77,5 @@ __all__ = [
     "scenario",
     "seed_to_int",
     "shard_counts",
+    "unregister_scenario",
 ]

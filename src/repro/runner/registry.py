@@ -54,6 +54,12 @@ class ScenarioSpec:
         scenarios, where ``--reps`` is ignored).
     defaults:
         Default keyword parameters merged under any caller overrides.
+    renderer:
+        Name of the :mod:`repro.report` renderer that turns this scenario's
+        result into paper artifacts (``"figure5"``, ``"figure6"``,
+        ``"table"``, …).  ``None`` means the generic rendering — an inline
+        markdown table in ``REPORT.md`` — which every scenario gets anyway;
+        declared renderers *additionally* emit figure/table files.
     """
 
     name: str
@@ -62,6 +68,7 @@ class ScenarioSpec:
     paper_reference: str = ""
     default_reps: Optional[int] = None
     defaults: Mapping[str, object] = field(default_factory=dict)
+    renderer: Optional[str] = None
 
     @property
     def uses_replications(self) -> bool:
@@ -91,7 +98,7 @@ def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
 
 
 def scenario(name: str, *, description: str = "", paper_reference: str = "",
-             default_reps: Optional[int] = None,
+             default_reps: Optional[int] = None, renderer: Optional[str] = None,
              **defaults: object) -> Callable[[Callable], Callable]:
     """Decorator registering *func* as scenario *name*; returns *func* unchanged."""
 
@@ -104,6 +111,7 @@ def scenario(name: str, *, description: str = "", paper_reference: str = "",
             paper_reference=paper_reference,
             default_reps=default_reps,
             defaults=dict(defaults),
+            renderer=renderer,
         ))
         return func
 

@@ -1,0 +1,74 @@
+"""Markdown link check over README.md and docs/.
+
+Every relative link (and image) in the documentation must resolve to a file
+that exists in the repository; in-page anchors must match a heading of the
+target document.  External http(s) links are only syntax-checked — CI must
+not depend on third-party servers being up.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+#: The documentation set under link check.
+DOC_FILES = ["README.md", "ROADMAP.md", "CHANGES.md",
+             "docs/INDEX.md", "docs/ARCHITECTURE.md",
+             "docs/RUNNER.md", "docs/ANALYTIC.md"]
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _github_anchor(heading: str) -> str:
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _links(path: str):
+    with open(path, encoding="utf-8") as handle:
+        text = _CODE_FENCE.sub("", handle.read())
+    return _LINK.findall(text)
+
+
+def _anchors(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return {_github_anchor(h) for h in _HEADING.findall(handle.read())}
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_relative_links_resolve(doc):
+    doc_path = os.path.join(REPO_ROOT, doc)
+    assert os.path.isfile(doc_path), f"documented file {doc} is missing"
+    base = os.path.dirname(doc_path)
+    broken = []
+    for target in _links(doc_path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, anchor = target.partition("#")
+        resolved = doc_path if not target else \
+            os.path.normpath(os.path.join(base, target))
+        if target and not os.path.exists(resolved):
+            broken.append(f"{target} (file missing)")
+            continue
+        if anchor and resolved.endswith(".md") and \
+                anchor not in _anchors(resolved):
+            broken.append(f"{target}#{anchor} (no such heading)")
+    assert not broken, f"{doc} has broken links: {broken}"
+
+
+def test_readme_scenario_table_is_complete():
+    """Every registered scenario is documented in the README table."""
+    import sys
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.runner import list_scenarios, load_builtin_scenarios
+    load_builtin_scenarios()
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as handle:
+        readme = handle.read()
+    missing = [spec.name for spec in list_scenarios()
+               if f"`{spec.name}`" not in readme]
+    assert not missing, f"README scenario table lacks: {missing}"
