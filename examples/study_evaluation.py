@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Declarative evaluation through the `repro.api` facade.
+
+This walks the unified front door end to end:
+
+1. declare *what* to evaluate as a `StudySpec` (system + metrics + budget);
+2. evaluate it through all three engines — exact phase-type analysis,
+   batched Monte-Carlo, and the discrete-event kernel — and compare;
+3. fan a parameter sweep out through the facade, with a result store
+   attached so a re-run is pure cache hits;
+4. show that the spec predicts its own store address (`canonical_key`).
+
+Run with:  python examples/study_evaluation.py
+"""
+
+import tempfile
+
+import repro
+
+
+def main() -> None:
+    # 1. Declare the study: a symmetric five-process system, the paper's
+    #    headline metrics, a Monte-Carlo budget and a fixed seed.
+    spec = repro.StudySpec(
+        system=repro.SystemSpec.symmetric(n=5, mu=1.0, lam=0.5),
+        metrics=("mean", "variance", "rp_counts"),
+        reps=20_000, seed=7)
+
+    # 2. One entry point, three engines.
+    exact = repro.evaluate(spec, method="analytic")
+    mc = repro.evaluate(spec, method="mc")
+    des = repro.evaluate(spec, method="des")
+    print(f"analytic ({exact.backend:9s}): E[X] = {exact.mean:.4f}")
+    print(f"mc       ({mc.backend:9s}): E[X] = {mc.mean:.4f} "
+          f"± {mc.stderr:.4f}  ({mc.n_samples} intervals)")
+    print(f"des      ({des.backend:9s}): E[X] = {des.mean:.4f} "
+          f"± {des.stderr:.4f}")
+    assert exact.agrees_with(mc) and exact.agrees_with(des)
+    print("three-way agreement within the stated tolerance ✓")
+
+    # 3. A sweep: same declaration plus axes.  With a store attached the
+    #    second evaluation is served entirely from the cache.
+    sweep = repro.StudySpec(
+        system=repro.SystemSpec.symmetric(3, 1.0, 1.0),
+        metrics=("mean", "std"), seed=7,
+        sweep={"lam": (0.5, 1.0, 2.0), "n": (3, 4, 5)})
+    with tempfile.TemporaryDirectory() as tmp:
+        result = repro.evaluate(sweep, store=tmp)
+        print()
+        print(result.to_experiment_result().render())
+        again = repro.evaluate(sweep, store=tmp)
+        print(f"\nre-run: {again.cache_hits}/{len(again.cells)} cells "
+              "served from the store")
+
+    # 4. Specs are content-addressed: the key below is exactly the store
+    #    cell a store-attached evaluation reads and writes.
+    print(f"\ncanonical key (mc): {spec.canonical_key('mc')[:16]}…")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,11 @@ The package provides:
   (:mod:`repro.markov`, :mod:`repro.analysis`);
 * an experiment harness regenerating every table and figure of the paper
   (:mod:`repro.experiments`);
+* a unified evaluation facade: declarative :class:`~repro.api.StudySpec`\\ s
+  evaluated through one :func:`repro.evaluate` entry point across the
+  analytic, Monte-Carlo and discrete-event engines, with auto method
+  selection, sweeps, and store-backed caching — ``python -m repro eval``
+  (:mod:`repro.api`);
 * a scenario registry and parallel experiment runner with serial/process-pool
   backends and a CLI — ``python -m repro list`` / ``python -m repro run <name>``
   (:mod:`repro.runner`);
@@ -30,9 +35,19 @@ Quickstart
 >>> model = RecoveryLineIntervalModel(params)
 >>> round(model.mean_interval(), 3)
 2.5
+
+Or, through the facade:
+
+>>> import repro
+>>> spec = repro.StudySpec(system=repro.SystemSpec.table1_case(1),
+...                        metrics=("mean",),
+...                        options={"prefer_simplified": False})
+>>> round(repro.evaluate(spec, method="analytic").mean, 3)
+2.5
 """
 
 from repro._version import __version__
+from repro.api import Evaluation, StudyResult, StudySpec, SystemSpec, evaluate
 from repro.core import (
     CheckpointKind,
     EventKind,
@@ -66,6 +81,11 @@ from repro.runner import (
 __all__ = [
     "__version__",
     "CheckpointKind",
+    "Evaluation",
+    "StudyResult",
+    "StudySpec",
+    "SystemSpec",
+    "evaluate",
     "EventKind",
     "HistoryDiagram",
     "Interaction",

@@ -1,4 +1,4 @@
-"""``python -m repro`` — list, run and report on experiment scenarios.
+"""``python -m repro`` — list, run, evaluate and report on scenarios.
 
 Examples
 --------
@@ -9,7 +9,10 @@ Examples
     python -m repro run table1 -p simulate=true --reps 20000 \\
         --backend process --workers 8
     python -m repro run validation --reps 200 --seed 7
+    python -m repro run heterogeneous_sweep --params sweep.json   # kwargs file
     python -m repro run figure5_full_chain --store .repro-store   # resumable
+    python -m repro eval study.json                                # StudySpec
+    python -m repro eval study.json --method mc --store .repro-store
     python -m repro report --all --out reports/
     python -m repro report table1 figure6 --out reports/
 """
@@ -61,6 +64,25 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
     return params
 
 
+def _load_json_object(path: str, what: str) -> Dict[str, object]:
+    """Load a JSON object from *path* with CLI-grade error messages.
+
+    Shared by ``run --params`` (scenario kwargs) and ``eval`` (StudySpec
+    payloads), so both accept exactly the same files.
+    """
+    if not os.path.isfile(path):
+        raise SystemExit(f"{what} file not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot read {what} file {path}: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"{what} file {path} must hold a JSON object, "
+                         f"got {type(payload).__name__}")
+    return payload
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -91,6 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("-p", "--param", action="append", default=[],
                          metavar="KEY=VALUE",
                          help="scenario parameter override (repeatable)")
+    run_cmd.add_argument("--params", metavar="FILE", default=None,
+                         help="JSON file of scenario keyword parameters "
+                              "(-p overrides win over file entries)")
     run_cmd.add_argument("--digits", type=int, default=4,
                          help="float digits in the rendered table (default 4)")
     run_cmd.add_argument("-o", "--output", metavar="PATH", default=None,
@@ -108,6 +133,42 @@ def _build_parser() -> argparse.ArgumentParser:
                               "the cache when this (scenario, params, seed, "
                               "reps) cell was already computed, write it "
                               "through otherwise")
+
+    eval_cmd = sub.add_parser(
+        "eval", help="evaluate a declarative StudySpec file through the "
+                     "unified facade (repro.api)")
+    eval_cmd.add_argument("spec", metavar="SPEC.json",
+                          help="JSON StudySpec file (see docs/ARCHITECTURE.md "
+                               "for the schema)")
+    eval_cmd.add_argument("--method", default="auto",
+                          choices=("auto", "analytic", "mc", "des"),
+                          help="evaluation engine (default: auto — selected "
+                               "by state-space size and requested metrics)")
+    eval_cmd.add_argument("--backend", choices=("serial", "process"),
+                          default="serial", help="execution backend for "
+                                                 "stochastic shards and sweep "
+                                                 "cells (default: serial)")
+    eval_cmd.add_argument("--workers", type=int, default=None,
+                          help="worker processes for --backend process")
+    eval_cmd.add_argument("--reps", type=int, default=None,
+                          help="override the spec's stochastic budget")
+    eval_cmd.add_argument("--seed", type=int, default=None,
+                          help="override the spec's root seed "
+                               "(-1 draws fresh entropy)")
+    eval_cmd.add_argument("--store", metavar="DIR", default=None,
+                          help="result-store directory: cells already "
+                               "evaluated under the same canonical key are "
+                               "reloaded, not recomputed")
+    eval_cmd.add_argument("--recompute", action="store_true",
+                          help="evaluate even when the --store holds the "
+                               "cell (re-written through)")
+    eval_cmd.add_argument("--digits", type=int, default=6,
+                          help="float digits in the rendered table "
+                               "(default 6)")
+    eval_cmd.add_argument("-o", "--output", metavar="PATH", default=None,
+                          help="persist spec + evaluation(s) as JSON")
+    eval_cmd.add_argument("--force", action="store_true",
+                          help="overwrite an existing --output file")
 
     report_cmd = sub.add_parser(
         "report", help="render paper figures/tables and a REPORT.md")
@@ -163,25 +224,30 @@ def _cmd_list(verbose: bool) -> int:
     return 0
 
 
+def _check_output_path(path: Optional[str], force: bool) -> None:
+    """Fail before the run, not after it: a long sweep whose result cannot
+    be persisted is wasted work."""
+    if path is None:
+        return
+    if os.path.isdir(path):
+        raise SystemExit(f"--output path is a directory: {path}")
+    if os.path.exists(path) and not force:
+        raise SystemExit(f"--output file exists: {path} "
+                         "(pass --force to overwrite)")
+    directory = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(directory):
+        raise SystemExit(f"--output directory does not exist: {directory}")
+    if not os.access(directory, os.W_OK):
+        raise SystemExit(f"--output directory is not writable: {directory}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.workers is not None and args.backend != "process":
         raise SystemExit("--workers requires --backend process")
     if args.reps is not None and args.reps < 1:
         raise SystemExit("--reps must be >= 1")
     seed: Optional[int] = None if args.seed == -1 else args.seed
-    if args.output is not None:
-        # Fail before the run, not after it: a long sweep whose result cannot
-        # be persisted is wasted work.
-        if os.path.isdir(args.output):
-            raise SystemExit(f"--output path is a directory: {args.output}")
-        if os.path.exists(args.output) and not args.force:
-            raise SystemExit(f"--output file exists: {args.output} "
-                             "(pass --force to overwrite)")
-        directory = os.path.dirname(os.path.abspath(args.output))
-        if not os.path.isdir(directory):
-            raise SystemExit(f"--output directory does not exist: {directory}")
-        if not os.access(directory, os.W_OK):
-            raise SystemExit(f"--output directory is not writable: {directory}")
+    _check_output_path(args.output, args.force)
     store = None
     if args.store is not None:
         from repro.report import ResultStore
@@ -193,7 +259,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = get_scenario(args.scenario)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
-    params = _parse_params(args.param)
+    params: Dict[str, object] = {}
+    if args.params is not None:
+        params.update(_load_json_object(args.params, "--params"))
+    params.update(_parse_params(args.param))
+    if spec.internal and not params:
+        raise SystemExit(
+            f"scenario {spec.name!r} is internal infrastructure and needs "
+            "caller-supplied parameters (--params/-p); for the facade's "
+            "'evaluate' scenario, prefer `python -m repro eval SPEC.json`")
     # Validate overrides against the scenario signature up front, so a typo'd
     # -p name fails cleanly without masking TypeErrors from the run itself.
     try:
@@ -201,7 +275,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                                            **params})
     except TypeError as exc:
         raise SystemExit(f"bad scenario parameters for {spec.name!r}: {exc}")
-    record = runner.run_record(spec, force=args.recompute, **params)
+    try:
+        record = runner.run_record(spec, force=args.recompute, **params)
+    except ValueError as exc:
+        # Internal scenarios validate their payload contract themselves;
+        # surface that as a clean CLI error instead of a traceback.
+        if spec.internal:
+            raise SystemExit(
+                f"scenario {spec.name!r} rejected its parameters: {exc}")
+        raise
     result = record.result
     print(result.render(args.digits))
     source = "store cache" if record.cached else f"{record.elapsed_seconds:.2f}s"
@@ -221,6 +303,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers requires --backend process")
+    if args.reps is not None and args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    _check_output_path(args.output, args.force)
+    from dataclasses import replace
+
+    from repro.api import StudySpec, evaluate_record
+    from repro.report.store import strict_jsonable
+
+    payload = _load_json_object(args.spec, "spec")
+    try:
+        spec = StudySpec.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"bad StudySpec in {args.spec}: {exc}")
+    for flag, axis in (("reps", "reps"), ("seed", "seed")):
+        if getattr(args, flag) is not None and axis in spec.sweep:
+            raise SystemExit(
+                f"--{flag} conflicts with the spec's {axis!r} sweep axis; "
+                "edit the spec or drop the flag")
+    if args.reps is not None:
+        spec = replace(spec, reps=args.reps)
+    if args.seed is not None:
+        spec = replace(spec, seed=None if args.seed == -1 else args.seed)
+
+    store = None
+    if args.store is not None:
+        from repro.report import ResultStore
+        store = ResultStore(args.store)
+    try:
+        result = evaluate_record(spec, method=args.method,
+                                 backend=args.backend, workers=args.workers,
+                                 store=store, force=args.recompute)
+    except (ArithmeticError, KeyError, ValueError) as exc:
+        raise SystemExit(f"evaluation failed: {exc}")
+
+    if spec.is_sweep:
+        print(result.to_experiment_result().render(args.digits))
+    else:
+        print(result.cells[0].evaluation.to_experiment_result()
+              .render(args.digits))
+    methods = ", ".join(sorted({c.method for c in result.cells}))
+    cache_note = f"; {result.cache_hits} served from the store" \
+        if args.store is not None else ""
+    seed_note = f"seeds={list(spec.sweep['seed'])}" \
+        if "seed" in spec.sweep else f"seed={spec.seed}"
+    print(f"\n[{len(result.cells)} cell(s) via {methods}{cache_note}; "
+          f"{seed_note}]")
+    if result.cache_hits and not args.recompute:
+        print(f"[cache hits in {args.store} — pass --recompute to force "
+              "fresh evaluations]")
+    if args.output is not None:
+        evaluations = [cell.evaluation.to_dict() for cell in result.cells]
+        envelope = {
+            "spec": spec.to_dict(),
+            "method": args.method,
+            "version": __version__,
+            "evaluations": evaluations,
+        }
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(strict_jsonable(envelope), handle, indent=2,
+                          sort_keys=True, allow_nan=False)
+                handle.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write --output file: {exc}")
+        print(f"[evaluation written to {args.output}]")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.workers is not None and args.backend != "process":
         raise SystemExit("--workers requires --backend process")
@@ -233,12 +386,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import generate_report
     load_builtin_scenarios()
     if args.scenarios:
-        # Fail on unknown names before any cell is computed.
+        # Fail on unknown (or non-renderable internal) names before any
+        # cell is computed.
         for name in args.scenarios:
             try:
-                get_scenario(name)
+                spec = get_scenario(name)
             except KeyError as exc:
                 raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+            if spec.internal:
+                raise SystemExit(
+                    f"scenario {name!r} is internal infrastructure and has "
+                    "no report rendering; evaluate it with `python -m repro "
+                    "eval SPEC.json`")
     seed: Optional[int] = None if args.seed == -1 else args.seed
     summary = generate_report(
         None if args.all_scenarios else args.scenarios,
@@ -304,6 +463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args.verbose)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "eval":
+        return _cmd_eval(args)
     return _cmd_run(args)
 
 

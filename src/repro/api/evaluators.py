@@ -1,0 +1,360 @@
+"""The evaluation engines behind :func:`repro.api.evaluate`.
+
+Three registered :class:`Evaluator` implementations compute the same
+:class:`~repro.api.evaluation.Evaluation` from a
+:class:`~repro.api.spec.StudySpec`:
+
+``analytic``
+    :class:`~repro.markov.recovery_line_interval.RecoveryLineIntervalModel` —
+    exact phase-type moments, densities and counts (lumped, dense or sparse
+    chain, resolved automatically).
+``mc``
+    :class:`~repro.markov.montecarlo.ModelSimulator` — the paper's own
+    methodology: batched direct sampling of the competing Poisson processes.
+``des``
+    :class:`~repro.sim.interval_sampler.DESIntervalSampler` — the same
+    observable measured on the discrete-event kernel with named random
+    streams; an independent stochastic cross-check of ``mc``.
+
+The stochastic engines split their budget into the runner's fixed-size
+shards, each with a driver-spawned seed (:meth:`Evaluator.tasks`), so
+evaluations are bit-identical across serial and process-pool backends — and
+:func:`repro.api.facade.evaluate_in_context` can flatten the shards of many
+cells into one backend fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.evaluation import Evaluation
+from repro.api.spec import StudySpec, SystemSpec
+from repro.markov.montecarlo import (ModelSimulator, SimulatedIntervals,
+                                     concatenate_intervals)
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.runner import ExecutionContext, seed_to_int
+
+__all__ = [
+    "AUTO_FULL_CHAIN_MAX_N",
+    "AnalyticEvaluator",
+    "DiscreteEventEvaluator",
+    "Evaluator",
+    "MonteCarloEvaluator",
+    "UnsupportedMetricError",
+    "get_evaluator",
+    "list_methods",
+    "register_evaluator",
+    "resolve_method",
+]
+
+
+class UnsupportedMetricError(ValueError):
+    """A requested metric is outside the chosen engine's capabilities."""
+
+
+#: Largest process count for which the full ``2^n``-state chain is considered
+#: auto-selectable (the sparse backend stays comfortably tractable here; see
+#: docs/ANALYTIC.md).  Beyond it, symmetric systems still run analytically
+#: through the lumped chain when the metrics allow, everything else falls
+#: back to Monte-Carlo.
+AUTO_FULL_CHAIN_MAX_N = 14
+
+#: Metrics the stochastic samplers cannot estimate (no density estimation —
+#: the empirical cdf/sf are fine, a kernel-free pdf is not).
+_STOCHASTIC_UNSUPPORTED = frozenset({"pdf"})
+
+#: Metrics the lumped symmetric chain can serve without building the full
+#: chain (the count metrics need full-chain occupancy).
+_LUMPED_METRICS = frozenset({"mean", "variance", "std", "pdf", "cdf", "sf"})
+
+
+@dataclass(frozen=True)
+class SampleTask:
+    """One picklable stochastic work item: a shard of a cell's budget."""
+
+    system: Dict[str, object]
+    n_intervals: int
+    seed: np.random.SeedSequence
+    max_events: int
+    engine: str
+
+
+def sample_shard(task: SampleTask) -> SimulatedIntervals:
+    """Worker entry point shared by the ``mc`` and ``des`` engines."""
+    params = SystemSpec.from_dict(task.system).build()
+    if task.engine == "mc":
+        return ModelSimulator(params, seed=task.seed).sample_intervals(
+            task.n_intervals, max_events_per_interval=task.max_events)
+    from repro.sim.interval_sampler import DESIntervalSampler
+    sampler = DESIntervalSampler(params, seed=seed_to_int(task.seed),
+                                 max_events_per_interval=task.max_events)
+    return sampler.sample_intervals(task.n_intervals)
+
+
+class Evaluator:
+    """Protocol-with-defaults every evaluation engine implements.
+
+    Deterministic engines override :meth:`evaluate` directly; stochastic
+    engines implement the :meth:`tasks` / :meth:`assemble` pair so the facade
+    can fan the shards of many cells through one backend ``map`` while
+    :meth:`evaluate` remains the single-cell convenience composition.
+    """
+
+    #: Registry key and the ``method=`` name users write.
+    name: str = "abstract"
+
+    #: Whether results depend on the seed/budget (drives the store identity:
+    #: stochastic cells key on their replication budget, exact ones do not).
+    stochastic: bool = False
+
+    def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[SampleTask]:
+        """Picklable work items for *spec* (empty for deterministic engines)."""
+        return []
+
+    def assemble(self, spec: StudySpec,
+                 outputs: Sequence[object]) -> Evaluation:
+        """Combine the mapped task outputs into the evaluation."""
+        raise NotImplementedError
+
+    def evaluate(self, spec: StudySpec,
+                 ctx: Optional[ExecutionContext] = None) -> Evaluation:
+        """Evaluate one cell (tasks through the context's backend).
+
+        Without a context one is built from the spec's own seed/reps, so
+        direct engine use honours the declared seed policy exactly like the
+        facade path does.
+        """
+        if ctx is None:
+            ctx = ExecutionContext(seed=spec.seed, reps=spec.reps)
+        return self.assemble(spec, ctx.map(sample_shard, self.tasks(spec, ctx)))
+
+
+class AnalyticEvaluator(Evaluator):
+    """Exact phase-type evaluation via :class:`RecoveryLineIntervalModel`."""
+
+    name = "analytic"
+
+    def assemble(self, spec: StudySpec,
+                 outputs: Sequence[object]) -> Evaluation:
+        return self.evaluate(spec)
+
+    def evaluate(self, spec: StudySpec,
+                 ctx: Optional[ExecutionContext] = None) -> Evaluation:
+        options = dict(spec.options)
+        model = RecoveryLineIntervalModel(
+            spec.system.build(),
+            prefer_simplified=bool(options.get("prefer_simplified", True)),
+            backend=str(options.get("backend", "auto")))
+        # E[X] is always computed (cheap next to the factorisation, which is
+        # cached on the model): Evaluation.mean and agrees_with() rely on it
+        # regardless of the requested metric set.
+        metrics: Dict[str, float] = {"mean": model.mean_interval()}
+        if spec.wants("variance"):
+            metrics["variance"] = model.interval_variance()
+        if spec.wants("std"):
+            metrics["std"] = model.interval_std()
+        # E[X] and the dispersion metrics are strictly positive for every
+        # valid parameterisation; a non-finite or non-positive value means
+        # the fundamental-matrix solve lost all precision (E[X] beyond
+        # ~1e15 at extreme communication densities overflows float64), and
+        # garbage must not masquerade as an exact result.
+        bad = {name: value for name, value in metrics.items()
+               if not np.isfinite(value) or value <= 0.0}
+        if bad:
+            raise ArithmeticError(
+                f"analytic solve lost precision for {spec.system.to_dict()}: "
+                f"{bad}; the interval metrics are positive by construction, "
+                "so this parameterisation is outside float64 range — reduce "
+                "the communication density or use a stochastic engine")
+        rp_counts = None
+        if spec.wants("rp_counts"):
+            rp_counts = tuple(float(v) for v in
+                              model.expected_rp_counts(counting=spec.counting))
+        completion = None
+        if spec.wants("completion_probabilities"):
+            completion = tuple(float(v)
+                               for v in model.completion_probabilities())
+        distributions: Dict[str, Tuple[float, ...]] = {}
+        if spec.times and any(spec.wants(m) for m in ("pdf", "cdf", "sf")):
+            grid = np.asarray(spec.times, dtype=float)
+            distributions["times"] = tuple(spec.times)
+            if spec.wants("pdf"):
+                distributions["pdf"] = tuple(np.atleast_1d(model.pdf(grid)))
+            if spec.wants("cdf"):
+                distributions["cdf"] = tuple(np.atleast_1d(model.cdf(grid)))
+            if spec.wants("sf"):
+                distributions["sf"] = tuple(np.atleast_1d(model.survival(grid)))
+        return Evaluation(method=self.name, backend=model.analytic_backend,
+                          n_processes=model.params.n, metrics=metrics,
+                          rp_counts=rp_counts,
+                          completion_probabilities=completion,
+                          distributions=distributions, rel_tol=spec.rel_tol)
+
+
+class _StochasticEvaluator(Evaluator):
+    """Shared shard/assemble machinery of the ``mc`` and ``des`` engines."""
+
+    stochastic = True
+
+    #: ``Evaluation.backend`` label; subclasses override.
+    backend_label = "stochastic"
+
+    def _check_metrics(self, spec: StudySpec) -> None:
+        unsupported = sorted(_STOCHASTIC_UNSUPPORTED & set(spec.metrics))
+        if unsupported:
+            raise UnsupportedMetricError(
+                f"the {self.name!r} engine cannot estimate {unsupported}; "
+                "use method='analytic' for densities")
+
+    def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[SampleTask]:
+        """Fixed-size shards with driver-spawned seeds, in spawn order.
+
+        The shard layout depends only on the budget (never on the backend or
+        worker count) and the seeds are spawned here, in the driver — the
+        same determinism contract as :mod:`repro.experiments.sampling`.
+        """
+        self._check_metrics(spec)
+        reps = ctx.reps_or(spec.effective_reps())
+        sizes = ctx.shards_for(reps)
+        seeds = ctx.spawn_seeds(len(sizes))
+        system = spec.system.to_dict()
+        max_events = int(spec.options.get("max_events_per_interval",
+                                          10_000_000))
+        return [SampleTask(system=system, n_intervals=size, seed=seed,
+                           max_events=max_events, engine=self.name)
+                for size, seed in zip(sizes, seeds)]
+
+    def assemble(self, spec: StudySpec,
+                 outputs: Sequence[SimulatedIntervals]) -> Evaluation:
+        sample = concatenate_intervals(list(outputs))
+        lengths = sample.lengths
+        # The mean is always reported (Evaluation.mean / agrees_with depend
+        # on it), as is its standard error.
+        metrics: Dict[str, float] = {"mean": sample.mean_interval()}
+        if spec.wants("variance"):
+            metrics["variance"] = float(lengths.var(ddof=1)) \
+                if sample.n_samples > 1 else 0.0
+        if spec.wants("std"):
+            metrics["std"] = float(lengths.std(ddof=1)) \
+                if sample.n_samples > 1 else 0.0
+        metrics["stderr_mean"] = sample.interval_stderr()
+        rp_counts = None
+        if spec.wants("rp_counts"):
+            rp_counts = tuple(float(v)
+                              for v in sample.mean_rp_counts(spec.counting))
+        completion = None
+        if spec.wants("completion_probabilities"):
+            completion = tuple(float(v)
+                               for v in sample.completion_frequencies())
+        distributions: Dict[str, Tuple[float, ...]] = {}
+        if spec.times and any(spec.wants(m) for m in ("cdf", "sf")):
+            grid = np.asarray(spec.times, dtype=float)
+            sorted_lengths = np.sort(lengths)
+            ecdf = np.searchsorted(sorted_lengths, grid,
+                                   side="right") / sample.n_samples
+            distributions["times"] = tuple(spec.times)
+            if spec.wants("cdf"):
+                distributions["cdf"] = tuple(ecdf)
+            if spec.wants("sf"):
+                distributions["sf"] = tuple(1.0 - ecdf)
+        return Evaluation(method=self.name, backend=self.backend_label,
+                          n_processes=sample.n_processes, metrics=metrics,
+                          rp_counts=rp_counts,
+                          completion_probabilities=completion,
+                          distributions=distributions,
+                          n_samples=sample.n_samples, rel_tol=spec.rel_tol)
+
+
+class MonteCarloEvaluator(_StochasticEvaluator):
+    """Batched model-level Monte-Carlo (:class:`ModelSimulator`)."""
+
+    name = "mc"
+    backend_label = "model-mc"
+
+
+class DiscreteEventEvaluator(_StochasticEvaluator):
+    """Discrete-event measurement (:class:`DESIntervalSampler`)."""
+
+    name = "des"
+    backend_label = "des-engine"
+
+
+_EVALUATORS: Dict[str, Evaluator] = {}
+
+
+def register_evaluator(evaluator: Evaluator) -> Evaluator:
+    """Register an engine under ``evaluator.name`` (an extension point)."""
+    _EVALUATORS[evaluator.name] = evaluator
+    return evaluator
+
+
+register_evaluator(AnalyticEvaluator())
+register_evaluator(MonteCarloEvaluator())
+register_evaluator(DiscreteEventEvaluator())
+
+
+def list_methods() -> List[str]:
+    """The registered engine names, sorted (plus the ``auto`` selector)."""
+    return sorted(_EVALUATORS)
+
+
+def get_evaluator(method: str) -> Evaluator:
+    """Look up a registered engine; unknown names list the alternatives."""
+    try:
+        return _EVALUATORS[method]
+    except KeyError:
+        known = ", ".join(sorted(_EVALUATORS))
+        raise KeyError(f"unknown evaluation method {method!r}; known methods: "
+                       f"auto, {known}") from None
+
+
+def _system_is_symmetric(system: SystemSpec) -> bool:
+    if system.kind == "symmetric":
+        return True
+    if system.kind == "heterogeneous":
+        return float(system.args["mu_gradient"]) == 1.0 \
+            and float(system.args["locality"]) == 0.0
+    return system.build().is_symmetric()
+
+
+def resolve_method(spec: StudySpec, method: str = "auto") -> str:
+    """Resolve ``auto`` to a concrete engine and validate explicit choices.
+
+    The auto rule (documented in docs/ARCHITECTURE.md):
+
+    1. ``n <= AUTO_FULL_CHAIN_MAX_N`` — the full chain is tractable, every
+       metric is exact: **analytic**.
+    2. larger but symmetric, and only lumped-servable metrics requested
+       (moments/distributions, no per-process counts): **analytic** via the
+       lumped ``n + 2``-state chain.
+    3. otherwise **mc** — unless a density was requested, which no sampler
+       can estimate; that is an error asking for an explicit method.
+    """
+    if method in (None, "auto"):
+        n = spec.system.n
+        if n <= AUTO_FULL_CHAIN_MAX_N:
+            return "analytic"
+        # The lumped shortcut only applies when the evaluator is actually
+        # allowed to take it: options forcing the full chain would make
+        # "analytic" build 2^n states here, which is exactly what the size
+        # cut-off above exists to prevent.
+        if _system_is_symmetric(spec.system) \
+                and set(spec.metrics) <= _LUMPED_METRICS \
+                and bool(spec.options.get("prefer_simplified", True)):
+            return "analytic"
+        unsupported = sorted(_STOCHASTIC_UNSUPPORTED & set(spec.metrics))
+        if unsupported:
+            raise UnsupportedMetricError(
+                f"metrics {unsupported} need the analytic engine, but the "
+                f"state space of n={n} is beyond the auto-selection limit "
+                f"({AUTO_FULL_CHAIN_MAX_N}); pass method='analytic' "
+                "explicitly to force it")
+        return "mc"
+    name = str(method)
+    evaluator = get_evaluator(name)
+    if isinstance(evaluator, _StochasticEvaluator):
+        evaluator._check_metrics(spec)
+    return name

@@ -1,0 +1,354 @@
+"""The one front door: ``repro.evaluate(spec, method=...)``.
+
+The facade composes the pieces the rest of the package already provides —
+the declarative :class:`~repro.api.spec.StudySpec`, the engine registry of
+:mod:`repro.api.evaluators`, and the
+:class:`~repro.runner.runner.ExperimentRunner` — into a single entry point:
+
+* ``method="auto"`` resolves to an engine by state-space size and requested
+  metrics (:func:`~repro.api.evaluators.resolve_method`);
+* every cell runs as the internal registered ``evaluate`` scenario, so an
+  attached :class:`~repro.report.store.ResultStore` gives caching and resume
+  for free, and the cell's store key is exactly
+  :meth:`StudySpec.canonical_key`;
+* sweep axes expand into grid cells; each cell's stochastic shards fan out
+  through the execution backend, so ``backend="process"`` parallelises a
+  sweep end to end with bit-identical results.
+
+Scenario code that already *has* an :class:`ExecutionContext` (it is being
+run by the runner) uses :func:`evaluate_in_context` instead, which flattens
+the shards of many cells into one backend ``map`` — the same task layout the
+pre-facade experiment modules used, which is what keeps their stored results
+bit-identical across the migration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.api.evaluation import Evaluation
+from repro.api.evaluators import get_evaluator, resolve_method, sample_shard
+from repro.api.spec import EVALUATE_SCENARIO_NAME, StudySpec
+from repro.experiments.common import ExperimentResult
+from repro.runner import ExecutionContext, ExperimentRunner, scenario
+
+__all__ = ["CellResult", "StudyResult", "evaluate", "evaluate_in_context",
+           "evaluate_record"]
+
+
+# --------------------------------------------------------------------- scenario
+@scenario(EVALUATE_SCENARIO_NAME,
+          description="Evaluate a declarative StudySpec through one engine",
+          paper_reference="Section 2.3 (the interval distribution, via the "
+                          "unified facade)",
+          internal=True)
+def evaluate_scenario(ctx: ExecutionContext, *,
+                      spec: Optional[Dict[str, object]] = None,
+                      method: str = "analytic") -> ExperimentResult:
+    """The facade's internal scenario: one study cell, one engine.
+
+    ``spec`` is a :meth:`StudySpec.to_dict` payload; ``method`` must already
+    be resolved (the facade never hands ``"auto"`` down).  Registered like
+    any other scenario so the runner's store hook addresses facade cells
+    exactly like hand-written experiments, but marked *internal* so generic
+    enumeration (``list``, ``report --all``) never runs it parameterless.
+    """
+    if spec is None:
+        raise ValueError(
+            "the 'evaluate' scenario needs a StudySpec: call "
+            "repro.evaluate(spec), use `python -m repro eval SPEC.json`, or "
+            "pass --params with a {'spec': {...}, 'method': ...} payload")
+    carried = sorted({"seed", "reps", "sweep"} & set(spec))
+    if carried:
+        # The runner's seed/reps slots are authoritative here (that is how
+        # the cell is keyed), and a sweep would be silently collapsed to
+        # its base cell — the facade expands sweeps *before* dispatching
+        # cells to this scenario.
+        raise ValueError(
+            f"the 'evaluate' scenario payload must not embed {carried}; "
+            "seed/reps are runner-level, and sweeps are expanded by "
+            "repro.evaluate / `python -m repro eval` before dispatch")
+    study = StudySpec.from_dict(spec)
+    evaluation = get_evaluator(method).evaluate(study, ctx)
+    return evaluation.to_experiment_result()
+
+
+# --------------------------------------------------------------------- results
+@dataclass(frozen=True)
+class CellResult:
+    """One evaluated sweep cell, with its provenance."""
+
+    spec: StudySpec
+    evaluation: Evaluation
+    method: str
+    cached: bool
+    key: Optional[str]
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """What :func:`evaluate` returns for a sweep spec."""
+
+    spec: StudySpec
+    cells: List[CellResult]
+
+    @property
+    def evaluations(self) -> List[Evaluation]:
+        return [cell.evaluation for cell in self.cells]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(cell.cached for cell in self.cells)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        """Tabulate the sweep: one row per cell, scalar metrics as columns."""
+        axes = list(self.spec.sweep)
+        scalar_columns: List[str] = []
+        for cell in self.cells:
+            for name in cell.evaluation.metrics:
+                if name not in scalar_columns:
+                    scalar_columns.append(name)
+        result = ExperimentResult(
+            name="api_study_sweep",
+            paper_reference="repro.api facade sweep",
+            columns=scalar_columns,
+            notes=f"sweep axes: {', '.join(axes)}" if axes else "",
+        )
+        for cell in self.cells:
+            label = _cell_label(self.spec, cell.spec) + f" [{cell.method}]"
+            values = {name: cell.evaluation.metrics.get(name, float("nan"))
+                      for name in scalar_columns}
+            result.add_row(label, **values)
+        return result
+
+
+def _cell_label(parent: StudySpec, cell: StudySpec) -> str:
+    """Human label of a cell: the swept axis values that identify it."""
+    parts = []
+    for axis in parent.sweep:
+        if axis == "reps":
+            parts.append(f"reps={cell.effective_reps()}")
+        elif axis == "seed":
+            parts.append(f"seed={cell.seed}")
+        else:
+            value = cell.system.args.get(axis)
+            parts.append(f"{axis}={value:g}" if isinstance(value, float)
+                         else f"{axis}={value}")
+    return ", ".join(parts) if parts else "cell"
+
+
+# --------------------------------------------------------------------- facade
+def evaluate(spec: Union[StudySpec, Mapping[str, object]],
+             method: str = "auto", *,
+             backend=None, workers: Optional[int] = None,
+             store=None, force: bool = False
+             ) -> Union[Evaluation, StudyResult]:
+    """Evaluate a study spec (or its dict form) through one entry point.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`StudySpec` or its :meth:`~StudySpec.to_dict` payload (the
+        JSON form ``python -m repro eval`` reads from a file).
+    method:
+        ``"auto"`` (select by state-space size and metrics), ``"analytic"``,
+        ``"mc"`` or ``"des"``.
+    backend / workers:
+        Execution backend for the stochastic shards and sweep cells (same
+        semantics as everywhere else: results are backend independent).
+    store:
+        Optional :class:`~repro.report.store.ResultStore` (or path); cells
+        already evaluated under the same canonical key are reloaded, not
+        recomputed — interrupted sweeps resume.
+    force:
+        Recompute even on a cache hit (the result is re-written through).
+
+    Returns
+    -------
+    A single :class:`Evaluation` for a plain spec, a :class:`StudyResult`
+    for a spec with sweep axes.  (:func:`evaluate_record` always returns the
+    :class:`StudyResult` form, with per-cell cache provenance.)
+    """
+    result = evaluate_record(spec, method, backend=backend, workers=workers,
+                             store=store, force=force)
+    if not result.spec.is_sweep:
+        return result.cells[0].evaluation
+    return result
+
+
+def evaluate_record(spec: Union[StudySpec, Mapping[str, object]],
+                    method: str = "auto", *,
+                    backend=None, workers: Optional[int] = None,
+                    store=None, force: bool = False) -> StudyResult:
+    """Like :func:`evaluate`, but always return the full :class:`StudyResult`
+    — one :class:`CellResult` per cell with cache status and store key.
+
+    Parallelism covers both engine families: stochastic cells fan their
+    fixed-size shards through the backend (inside the runner), and
+    deterministic cells that are not served from the store are batched into
+    one backend ``map`` — so an analytic sweep with ``backend="process"``
+    computes its grid cells concurrently.
+    """
+    if not isinstance(spec, StudySpec):
+        spec = StudySpec.from_dict(spec)
+    if isinstance(store, str):
+        from repro.report.store import ResultStore
+        store = ResultStore(store)
+    import json as _json
+
+    runner = ExperimentRunner(backend, workers=workers, store=store)
+    cells: List[Optional[CellResult]] = []
+    # Deterministic cache misses, deduplicated: sweep cells whose identity
+    # coincides (e.g. a reps axis, which deterministic results ignore) are
+    # computed once and fanned back to every requesting cell.
+    pending_payloads: List[_DeterministicCell] = []
+    pending_targets: List[List[tuple]] = []      # [(cell index, cell spec)]
+    pending_by_identity: Dict[object, int] = {}
+
+    def decode(result, cell: StudySpec) -> Evaluation:
+        """Rebuild a stored/runner evaluation, restamping the cell's stated
+        tolerance: rel_tol is a spec-side annotation excluded from the cell
+        identity, so the *requesting* spec's value — not whatever the stored
+        payload happened to carry — is what the caller declared."""
+        return _dc_replace(Evaluation.from_experiment_result(result),
+                           rel_tol=cell.rel_tol)
+
+    for index, cell in enumerate(spec.cells()):
+        resolved = resolve_method(cell, method)
+        evaluator = get_evaluator(resolved)
+        if evaluator.stochastic:
+            # The runner owns stochastic cells end to end: shard fan-out,
+            # store caching, and the seed=None fresh-entropy bypass.
+            record = runner.run_record(
+                EVALUATE_SCENARIO_NAME,
+                seed=cell.seed,
+                reps=cell.effective_reps(),
+                force=force,
+                **cell.cell_params(resolved))
+            cells.append(CellResult(
+                spec=cell,
+                evaluation=decode(record.result, cell),
+                method=resolved,
+                cached=record.cached,
+                key=record.key,
+                elapsed_seconds=record.elapsed_seconds))
+            continue
+        # Deterministic cells: results do not depend on the seed, so even
+        # seedless cells cache — keyed under the canonical (seed, reps=None)
+        # identity, which is exactly StudySpec.canonical_key.  Cache misses
+        # are deferred and batched into one backend map below.
+        key = None
+        if store is not None:
+            key = store.key(EVALUATE_SCENARIO_NAME,
+                            cell.cell_params(resolved), cell.seed, None)
+            hit = None if force else store.get(key, EVALUATE_SCENARIO_NAME)
+            if hit is not None:
+                cells.append(CellResult(
+                    spec=cell,
+                    evaluation=decode(hit.result, cell),
+                    method=resolved, cached=True, key=key,
+                    elapsed_seconds=hit.elapsed_seconds))
+                continue
+        cells.append(None)
+        identity = (_json.dumps(cell.cell_params(resolved), sort_keys=True),
+                    cell.seed)
+        position = pending_by_identity.get(identity)
+        if position is None:
+            pending_by_identity[identity] = len(pending_payloads)
+            pending_payloads.append(_DeterministicCell(spec=cell,
+                                                       method=resolved))
+            pending_targets.append([(index, cell)])
+        else:
+            pending_targets[position].append((index, cell))
+
+    if pending_payloads:
+        outputs = runner.backend.map(_evaluate_deterministic_cell_timed,
+                                     pending_payloads)
+        for payload, targets, (evaluation, elapsed) in zip(
+                pending_payloads, pending_targets, outputs):
+            key = None
+            if store is not None:
+                first = payload.spec
+                key = store.key(EVALUATE_SCENARIO_NAME,
+                                first.cell_params(payload.method),
+                                first.seed, None)
+                store.put(EVALUATE_SCENARIO_NAME,
+                          first.cell_params(payload.method), first.seed,
+                          None, backend=runner.backend.describe(),
+                          elapsed_seconds=elapsed,
+                          result=evaluation.to_experiment_result())
+            for index, cell in targets:
+                cells[index] = CellResult(
+                    spec=cell,
+                    evaluation=_dc_replace(evaluation,
+                                           rel_tol=cell.rel_tol),
+                    method=payload.method,
+                    cached=False, key=key, elapsed_seconds=elapsed)
+    return StudyResult(spec=spec, cells=[cell for cell in cells
+                                         if cell is not None])
+
+
+# ----------------------------------------------------------------- in-context
+@dataclass(frozen=True)
+class _DeterministicCell:
+    """Picklable payload for deterministic engines fanned through a backend.
+
+    Specs and evaluations are plain frozen dataclasses, so they cross the
+    process boundary directly — no dict round trip on the hot path.
+    """
+
+    spec: StudySpec
+    method: str
+
+
+def _evaluate_deterministic_cell(cell: _DeterministicCell) -> Evaluation:
+    """Worker entry point: evaluate one deterministic cell."""
+    return get_evaluator(cell.method).evaluate(cell.spec)
+
+
+def _evaluate_deterministic_cell_timed(cell: _DeterministicCell):
+    """Worker entry point returning ``(Evaluation, elapsed seconds)``.
+
+    Timing happens in the worker so store provenance records the cell's own
+    compute time, not the batch's.
+    """
+    start = time.perf_counter()
+    evaluation = _evaluate_deterministic_cell(cell)
+    return evaluation, time.perf_counter() - start
+
+
+def evaluate_in_context(ctx: ExecutionContext,
+                        specs: Iterable[StudySpec],
+                        method: str = "analytic") -> List[Evaluation]:
+    """Evaluate many cells inside an already-running scenario.
+
+    All cells must resolve to the *same* engine.  Deterministic cells are
+    fanned out one-per-task; stochastic cells contribute their fixed-size
+    shards — seeds spawned per cell, in cell order, from the context's root
+    sequence — to a single flat backend ``map``, exactly the task/seed
+    layout of :func:`repro.experiments.sampling.sample_interval_cases`.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    names = {resolve_method(s, method) for s in specs}
+    if len(names) != 1:
+        raise ValueError(f"evaluate_in_context needs one engine per call, "
+                         f"got {sorted(names)}")
+    resolved = names.pop()
+    evaluator = get_evaluator(resolved)
+    if not evaluator.stochastic:
+        payloads = [_DeterministicCell(spec=s, method=resolved)
+                    for s in specs]
+        return ctx.map(_evaluate_deterministic_cell, payloads)
+    tasks = []
+    bounds = [0]
+    for s in specs:
+        tasks.extend(evaluator.tasks(s, ctx))
+        bounds.append(len(tasks))
+    outputs = ctx.map(sample_shard, tasks)
+    return [evaluator.assemble(s, outputs[lo:hi])
+            for s, lo, hi in zip(specs, bounds, bounds[1:])]

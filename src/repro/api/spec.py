@@ -1,0 +1,461 @@
+"""Declarative study specifications: what to evaluate, not how.
+
+A :class:`StudySpec` names a system (via :class:`SystemSpec`), the metrics of
+the recovery-line interval distribution to compute, the stochastic budget and
+seed policy, and optional sweep axes.  It is frozen, canonically serializable
+(:meth:`StudySpec.to_dict` / :meth:`StudySpec.from_dict` round-trip exactly),
+and content-addressable: :meth:`StudySpec.canonical_key` is *the same* SHA-256
+cell key the :class:`~repro.report.store.ResultStore` computes for the
+facade's internal ``evaluate`` scenario, so a spec evaluated through
+:func:`repro.api.evaluate` with a store attached can predict its own cache
+address — and cache hits survive any detour through JSON.
+
+The specs deliberately reuse the store's canonicalisation
+(:func:`~repro.report.store.canonical_params`): tuples and lists, numpy and
+Python scalars, and differently-ordered dicts all collapse to one canonical
+form before hashing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.parameters import SystemParameters
+from repro.report.store import canonical_params, store_key
+
+__all__ = [
+    "DEFAULT_EVAL_REPS",
+    "EVALUATE_SCENARIO_NAME",
+    "KNOWN_METRICS",
+    "StudySpec",
+    "SystemSpec",
+]
+
+#: Name of the facade's internal registered scenario; part of every spec's
+#: store identity (see :meth:`StudySpec.canonical_key`).
+EVALUATE_SCENARIO_NAME = "evaluate"
+
+#: Default stochastic budget (intervals sampled) when a spec requests a
+#: stochastic method but does not state ``reps``.
+DEFAULT_EVAL_REPS = 20_000
+
+#: Metric vocabulary.  ``mean``/``variance``/``std`` are moments of the
+#: interval ``X``; ``rp_counts`` is the per-process ``E[L_i]`` vector;
+#: ``completion_probabilities`` is the ``q_i`` vector; ``pdf``/``cdf``/``sf``
+#: are the distribution of ``X`` evaluated on the spec's ``times`` grid.
+KNOWN_METRICS = ("mean", "variance", "std", "rp_counts",
+                 "completion_probabilities", "pdf", "cdf", "sf")
+
+#: Distribution metrics require a ``times`` grid.
+DISTRIBUTION_METRICS = ("pdf", "cdf", "sf")
+
+#: Engine tuning knobs a spec may carry.  Validated strictly: options are
+#: part of the cell's store identity, so a silently-ignored typo would both
+#: mis-route the evaluation and mint a key no correct spec ever matches.
+KNOWN_OPTIONS = ("prefer_simplified", "backend", "max_events_per_interval")
+
+
+def _coerce_number(value, name: str, *, integer: bool = False):
+    """Normalise a numeric field so equal numbers share one canonical form.
+
+    ``mu=1`` and ``mu=1.0`` must address the same cell, so rate-like fields
+    are always floats and count-like fields always ints.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got a bool")
+    if hasattr(value, "item") and callable(value.item):   # numpy scalars
+        value = value.item()
+    if integer:
+        if float(value) != int(value):
+            raise ValueError(f"{name} must be an integer, got {value!r}")
+        return int(value)
+    return float(value)
+
+
+def _coerce_vector(values, name: str) -> Tuple[float, ...]:
+    return tuple(_coerce_number(v, f"{name}[{i}]") for i, v in enumerate(values))
+
+
+def _coerce_matrix(rows, name: str) -> Tuple[Tuple[float, ...], ...]:
+    return tuple(_coerce_vector(row, f"{name}[{i}]") for i, row in enumerate(rows))
+
+
+#: Per-kind field tables: name -> coercion.  Every kind maps onto one of the
+#: existing :class:`SystemParameters` builders (or the heterogeneous family of
+#: :func:`repro.experiments.heterogeneous_sweep.heterogeneous_parameters`),
+#: so a declared system is guaranteed to be *the same* system every engine
+#: analyses.
+_SYSTEM_KINDS: Dict[str, Dict[str, str]] = {
+    "symmetric": {"n": "int", "mu": "float", "lam": "float"},
+    "explicit": {"mu": "vector", "lam": "matrix"},
+    "three_process": {"mu": "vector", "lam_12_23_31": "vector"},
+    "table1_case": {"case": "int"},
+    "figure6_case": {"case": "int"},
+    "heterogeneous": {"n": "int", "mu_base": "float", "mu_gradient": "float",
+                      "lam_base": "float", "locality": "float"},
+}
+
+_HETEROGENEOUS_DEFAULTS = {"mu_base": 1.0, "mu_gradient": 1.0,
+                           "lam_base": 0.5, "locality": 1.0}
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A declarative description of one stochastic system.
+
+    ``kind`` selects a builder; ``args`` are its (canonically normalised)
+    keyword arguments:
+
+    ``symmetric``
+        ``n``, ``mu``, ``lam`` — :meth:`SystemParameters.symmetric`.
+    ``explicit``
+        ``mu`` (length-n vector), ``lam`` (n×n matrix) — the raw constructor.
+    ``three_process``
+        ``mu`` (3 rates), ``lam_12_23_31`` — the paper's Table 1 form.
+    ``table1_case`` / ``figure6_case``
+        ``case`` — the paper's numbered parameter cases.
+    ``heterogeneous``
+        ``n``, ``mu_base``, ``mu_gradient``, ``lam_base``, ``locality`` — the
+        geometric-gradient / locality-decay family of the heterogeneous sweep.
+    """
+
+    kind: str
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SYSTEM_KINDS:
+            known = ", ".join(sorted(_SYSTEM_KINDS))
+            raise ValueError(f"unknown system kind {self.kind!r}; "
+                             f"known kinds: {known}")
+        fields = _SYSTEM_KINDS[self.kind]
+        args = dict(self.args)
+        if self.kind == "heterogeneous":
+            for name, default in _HETEROGENEOUS_DEFAULTS.items():
+                args.setdefault(name, default)
+        unknown = sorted(set(args) - set(fields))
+        if unknown:
+            raise ValueError(f"system kind {self.kind!r} does not take "
+                             f"{unknown}; expected {sorted(fields)}")
+        missing = sorted(set(fields) - set(args))
+        if missing:
+            raise ValueError(f"system kind {self.kind!r} is missing {missing}")
+        coerced: Dict[str, object] = {}
+        for name, form in fields.items():
+            value = args[name]
+            if form == "int":
+                coerced[name] = _coerce_number(value, name, integer=True)
+            elif form == "float":
+                coerced[name] = _coerce_number(value, name)
+            elif form == "vector":
+                coerced[name] = _coerce_vector(value, name)
+            else:
+                coerced[name] = _coerce_matrix(value, name)
+        object.__setattr__(self, "args", coerced)
+
+    # ------------------------------------------------------------------ factories
+    @classmethod
+    def symmetric(cls, n: int, mu: float, lam: float) -> "SystemSpec":
+        return cls("symmetric", {"n": n, "mu": mu, "lam": lam})
+
+    @classmethod
+    def explicit(cls, params: SystemParameters) -> "SystemSpec":
+        """Pin down an arbitrary :class:`SystemParameters` value."""
+        return cls("explicit", {"mu": params.mu.tolist(),
+                                "lam": params.lam.tolist()})
+
+    @classmethod
+    def table1_case(cls, case: int) -> "SystemSpec":
+        return cls("table1_case", {"case": case})
+
+    @classmethod
+    def figure6_case(cls, case: int) -> "SystemSpec":
+        return cls("figure6_case", {"case": case})
+
+    @classmethod
+    def heterogeneous(cls, n: int, **kwargs) -> "SystemSpec":
+        return cls("heterogeneous", {"n": n, **kwargs})
+
+    # ------------------------------------------------------------------ building
+    def build(self) -> SystemParameters:
+        """Materialise the declared system as :class:`SystemParameters`."""
+        args = dict(self.args)
+        if self.kind == "symmetric":
+            return SystemParameters.symmetric(args["n"], args["mu"], args["lam"])
+        if self.kind == "explicit":
+            return SystemParameters(mu=list(args["mu"]),
+                                    lam=[list(row) for row in args["lam"]])
+        if self.kind == "three_process":
+            return SystemParameters.three_process(args["mu"],
+                                                  args["lam_12_23_31"])
+        if self.kind == "table1_case":
+            from repro.workloads.generators import paper_table1_case
+            return paper_table1_case(args["case"])
+        if self.kind == "figure6_case":
+            from repro.workloads.generators import paper_figure6_case
+            return paper_figure6_case(args["case"])
+        # heterogeneous
+        from repro.experiments.heterogeneous_sweep import heterogeneous_parameters
+        return heterogeneous_parameters(args["n"], mu_base=args["mu_base"],
+                                        mu_gradient=args["mu_gradient"],
+                                        lam_base=args["lam_base"],
+                                        locality=args["locality"])
+
+    @property
+    def n(self) -> int:
+        """Number of processes of the declared system (without building rates)."""
+        if self.kind in ("symmetric", "heterogeneous"):
+            return int(self.args["n"])
+        if self.kind in ("table1_case", "figure6_case"):
+            return 3
+        return len(self.args["mu"])
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, **canonical_params(dict(self.args))}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SystemSpec":
+        payload = dict(payload)
+        kind = str(payload.pop("kind"))
+        return cls(kind, payload)
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash would TypeError on the dict field;
+        # hash the canonical JSON instead, so equal specs hash equal.
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """One declarative evaluation request (or a sweep of them).
+
+    Attributes
+    ----------
+    system:
+        The :class:`SystemSpec` under study.
+    metrics:
+        Which quantities to compute (see :data:`KNOWN_METRICS`).
+    times:
+        Evaluation grid for the distribution metrics (``pdf``/``cdf``/``sf``).
+    counting:
+        Counting convention for ``rp_counts``: ``"all"`` (the completing
+        recovery point included — the paper's Table 1 convention) or
+        ``"interior"``.
+    reps:
+        Stochastic budget (intervals sampled) for the ``mc``/``des`` engines;
+        ``None`` means :data:`DEFAULT_EVAL_REPS`.  Ignored by ``analytic``.
+    seed:
+        Root seed.  ``None`` requests fresh entropy, which also opts the
+        evaluation out of result-store caching (unreproducible runs are never
+        cached — the same policy the runner applies everywhere).
+    rel_tol:
+        The stated relative tolerance within which stochastic estimates are
+        expected to agree with the analytic values (documented in the result;
+        enforced by cross-engine tests, not by the evaluators themselves).
+    options:
+        Engine tuning knobs that *do* affect results and are therefore part
+        of the identity: ``prefer_simplified`` / ``backend`` for the analytic
+        chain, ``max_events_per_interval`` for the samplers.
+    sweep:
+        Optional sweep axes: mapping from a system-arg name (or ``"reps"`` /
+        ``"seed"``) to the sequence of values to fan out over.  A spec with
+        sweep axes is expanded by :meth:`cells` into the cross product;
+        axes iterate in canonical name-sorted order (so a spec and its JSON
+        round trip enumerate identically), values in their given order.
+    """
+
+    system: SystemSpec
+    metrics: Tuple[str, ...] = ("mean", "variance", "std")
+    times: Tuple[float, ...] = ()
+    counting: str = "all"
+    reps: Optional[int] = None
+    seed: Optional[int] = None
+    rel_tol: float = 0.05
+    options: Mapping[str, object] = field(default_factory=dict)
+    sweep: Mapping[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        metrics = tuple(str(m) for m in self.metrics)
+        unknown = sorted(set(metrics) - set(KNOWN_METRICS))
+        if unknown:
+            raise ValueError(f"unknown metrics {unknown}; "
+                             f"known metrics: {', '.join(KNOWN_METRICS)}")
+        if not metrics:
+            raise ValueError("at least one metric is required")
+        times = tuple(_coerce_number(t, "times") for t in self.times)
+        needs_grid = [m for m in metrics if m in DISTRIBUTION_METRICS]
+        if needs_grid and not times:
+            raise ValueError(f"metrics {needs_grid} need a 'times' grid")
+        if self.counting not in ("all", "interior"):
+            raise ValueError("counting must be 'all' or 'interior'")
+        if self.reps is not None and int(self.reps) < 1:
+            raise ValueError("reps must be >= 1")
+        unknown_options = sorted(set(map(str, dict(self.options)))
+                                 - set(KNOWN_OPTIONS))
+        if unknown_options:
+            raise ValueError(f"unknown options {unknown_options}; "
+                             f"known options: {', '.join(KNOWN_OPTIONS)}")
+        # Axis order is canonicalised (sorted by name) so that a spec and
+        # its JSON round trip — whose dict form is key-sorted — enumerate
+        # cells() in the same order.
+        sweep = {str(k): tuple(v)
+                 for k, v in sorted(dict(self.sweep).items(),
+                                    key=lambda kv: str(kv[0]))}
+        for axis, values in sweep.items():
+            if not values:
+                raise ValueError(f"sweep axis {axis!r} has no values")
+        object.__setattr__(self, "metrics", metrics)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "reps",
+                           None if self.reps is None else int(self.reps))
+        object.__setattr__(self, "seed",
+                           None if self.seed is None else int(self.seed))
+        object.__setattr__(self, "rel_tol", float(self.rel_tol))
+        object.__setattr__(self, "options",
+                           canonical_params(dict(self.options)))
+        object.__setattr__(self, "sweep", sweep)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def is_sweep(self) -> bool:
+        return bool(self.sweep)
+
+    def effective_reps(self) -> int:
+        """The stochastic budget with the default applied."""
+        return DEFAULT_EVAL_REPS if self.reps is None else self.reps
+
+    def wants(self, metric: str) -> bool:
+        return metric in self.metrics
+
+    # ------------------------------------------------------------------ sweeps
+    def cells(self) -> Iterator["StudySpec"]:
+        """Expand the sweep axes into single-cell specs (cross product).
+
+        Axes iterate in canonical (name-sorted) order; within an axis,
+        values keep their given order — so the cell sequence is fully
+        deterministic, backend independent, and identical for a spec and
+        its JSON round trip.
+        """
+        if not self.sweep:
+            yield self
+            return
+        axes = list(self.sweep.items())
+        for combo in product(*(values for _axis, values in axes)):
+            cell = self
+            system_args = dict(self.system.args)
+            system_dirty = False
+            for (axis, _values), value in zip(axes, combo):
+                if axis == "reps":
+                    cell = replace(cell, reps=value, sweep={})
+                elif axis == "seed":
+                    cell = replace(cell, seed=value, sweep={})
+                elif axis in _SYSTEM_KINDS[self.system.kind]:
+                    system_args[axis] = value
+                    system_dirty = True
+                else:
+                    raise ValueError(
+                        f"sweep axis {axis!r} is neither 'reps', 'seed' nor a "
+                        f"field of system kind {self.system.kind!r}")
+            if system_dirty:
+                cell = replace(cell, system=SystemSpec(self.system.kind,
+                                                       system_args), sweep={})
+            elif cell.sweep:
+                cell = replace(cell, sweep={})
+            yield cell
+
+    def cell_count(self) -> int:
+        total = 1
+        for values in self.sweep.values():
+            total *= len(values)
+        return total
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-stable representation (round-trips exactly)."""
+        payload: Dict[str, object] = {
+            "system": self.system.to_dict(),
+            "metrics": list(self.metrics),
+            "counting": self.counting,
+            "rel_tol": self.rel_tol,
+        }
+        if self.times:
+            payload["times"] = list(self.times)
+        if self.reps is not None:
+            payload["reps"] = self.reps
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self.options:
+            payload["options"] = dict(self.options)
+        if self.sweep:
+            payload["sweep"] = {k: list(v) for k, v in self.sweep.items()}
+        return canonical_params(payload)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StudySpec":
+        payload = dict(payload)
+        known = {"system", "metrics", "times", "counting", "reps", "seed",
+                 "rel_tol", "options", "sweep"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown StudySpec fields {unknown}; "
+                             f"expected a subset of {sorted(known)}")
+        if "system" not in payload:
+            raise ValueError("a StudySpec needs a 'system' entry")
+        return cls(
+            system=SystemSpec.from_dict(payload["system"]),
+            metrics=tuple(payload.get("metrics", ("mean", "variance", "std"))),
+            times=tuple(payload.get("times", ())),
+            counting=str(payload.get("counting", "all")),
+            reps=payload.get("reps"),
+            seed=payload.get("seed"),
+            rel_tol=payload.get("rel_tol", 0.05),
+            options=dict(payload.get("options", {})),
+            sweep=dict(payload.get("sweep", {})),
+        )
+
+    # ------------------------------------------------------------------ identity
+    def cell_params(self, method: str) -> Dict[str, object]:
+        """The scenario-parameter dict of this cell's runner/store identity.
+
+        This is exactly what :func:`repro.api.evaluate` hands to
+        :meth:`ExperimentRunner.run_record` for the internal ``evaluate``
+        scenario.  ``seed`` and ``reps`` are carried *inside* the spec (they
+        are part of its serialised form), so the runner-level seed/reps slots
+        of the store key stay at the spec's own values; ``rel_tol`` is a
+        documentation annotation that affects no computed number, so it is
+        excluded from the identity — retightening a tolerance must not
+        invalidate a numerically identical cache.
+        """
+        if self.is_sweep:
+            raise ValueError("a sweep spec has no single cell identity; "
+                             "expand it with cells() first")
+        spec_dict = self.to_dict()
+        # seed/reps sit in the runner-level key slots, not inside the params.
+        spec_dict.pop("seed", None)
+        spec_dict.pop("reps", None)
+        spec_dict.pop("rel_tol", None)
+        return {"spec": spec_dict, "method": str(method)}
+
+    def canonical_key(self, method: str = "auto") -> str:
+        """The :class:`~repro.report.store.ResultStore` cell key of this spec.
+
+        Resolves ``method="auto"`` first (so auto-selected and explicitly
+        named evaluations of the same engine share one cache cell), then
+        hashes the identical identity the store hashes when the facade runs
+        with a store attached.
+        """
+        from repro.api.evaluators import get_evaluator, resolve_method
+        resolved = resolve_method(self, method)
+        reps = self.effective_reps() if get_evaluator(resolved).stochastic \
+            else None
+        return store_key(EVALUATE_SCENARIO_NAME, self.cell_params(resolved),
+                         self.seed, reps)
+
+    def __hash__(self) -> int:
+        # Mapping fields (options/sweep) defeat the dataclass-generated
+        # hash; use the canonical serialised form so equal specs hash equal
+        # (e.g. for deduping sweep cells in a set).
+        return hash(json.dumps(self.to_dict(), sort_keys=True))

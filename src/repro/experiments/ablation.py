@@ -27,7 +27,7 @@ from repro.core.recovery_line import (
     LatestRPRecoveryLineDetector,
 )
 from repro.experiments.common import ExperimentResult
-from repro.markov.generator import build_generator, build_phase_type
+from repro.markov.generator import build_generator
 from repro.markov.montecarlo import ModelSimulator
 from repro.markov.ctmc import transient_distribution
 from repro.runner import ExecutionContext, run_scenario, scenario
@@ -74,7 +74,7 @@ def detector_ablation_scenario(ctx: ExecutionContext, *,
     ``ctx.reps`` scales the history length (``reps`` histories' worth of
     duration per case, still analysed as one trajectory each).
     """
-    from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
 
     total_duration = duration * ctx.reps_or(1)
     columns = ["model E[X]", "latest-RP E[X]", "exact E[X]",
@@ -91,11 +91,15 @@ def detector_ablation_scenario(ctx: ExecutionContext, *,
     tasks = [_DetectorTask(case, total_duration, ctx.spawn_seed())
              for case in cases]
     rows = ctx.map(_compare_detectors, tasks)
+    analytic_by_case = dict(zip(cases, evaluate_in_context(
+        ctx,
+        [StudySpec(system=SystemSpec.table1_case(case), metrics=("mean",),
+                   options={"prefer_simplified": False})
+         for case in cases],
+        method="analytic")))
     for case, metrics in zip(cases, rows):
-        params = paper_table1_case(case)
-        analytic = RecoveryLineIntervalModel(params,
-                                             prefer_simplified=False).mean_interval()
-        result.add_row(f"table1 case {case}", **{"model E[X]": analytic, **metrics})
+        result.add_row(f"table1 case {case}",
+                       **{"model E[X]": analytic_by_case[case].mean, **metrics})
     return result
 
 
@@ -114,23 +118,23 @@ def run_detector_ablation(cases: Sequence[int] = (1, 2),
 def solver_ablation_scenario(ctx: ExecutionContext, *, case: int = 1,
                              times: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0)
                              ) -> ExperimentResult:
-    """Solver agreement check (analytic; the backend is not used)."""
-    return run_solver_ablation(case, times)
+    """Phase-type (expm, via the facade) vs Chapman–Kolmogorov ODE ``F_X(t)``."""
+    from repro.api import StudySpec, SystemSpec, evaluate
 
-
-def run_solver_ablation(case: int = 1,
-                        times: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0)
-                        ) -> ExperimentResult:
-    """Phase-type (expm) vs Chapman–Kolmogorov (ODE) evaluation of ``F_X(t)``."""
+    case = int(case)
     params = paper_table1_case(case)
-    ph = build_phase_type(params)
     H, space = build_generator(params)
     pi0 = np.zeros(space.n_states)
     pi0[space.entry_index] = 1.0
     grid = np.asarray(times, dtype=float)
     ode = transient_distribution(H, pi0, grid)
     cdf_ode = ode[:, space.absorbing_index]
-    cdf_ph = np.asarray(ph.cdf(grid))
+    evaluation = evaluate(
+        StudySpec(system=SystemSpec.table1_case(case), metrics=("cdf",),
+                  times=tuple(float(t) for t in times),
+                  options={"prefer_simplified": False}),
+        method="analytic")
+    cdf_ph = np.asarray(evaluation.distributions["cdf"])
 
     result = ExperimentResult(
         name="ablation_density_solvers",
@@ -145,3 +149,10 @@ def run_solver_ablation(case: int = 1,
             "abs diff": float(abs(a - b)),
         })
     return result
+
+
+def run_solver_ablation(case: int = 1,
+                        times: Sequence[float] = (0.25, 0.5, 1.0, 1.5, 2.0)
+                        ) -> ExperimentResult:
+    """Solver agreement check (deprecated wrapper over ``run_scenario``)."""
+    return run_scenario("solver_ablation", case=case, times=tuple(times))

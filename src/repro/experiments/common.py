@@ -18,7 +18,12 @@ class ExperimentRow:
     values: Dict[str, float]
 
     def get(self, key: str) -> float:
-        return float(self.values[key])
+        try:
+            return float(self.values[key])
+        except KeyError:
+            available = ", ".join(sorted(self.values)) or "(none)"
+            raise KeyError(f"row {self.label!r} has no column {key!r}; "
+                           f"available columns: {available}") from None
 
 
 @dataclass
@@ -52,7 +57,9 @@ class ExperimentResult:
         for row in self.rows:
             if row.label == label:
                 return row
-        raise KeyError(f"no row labelled {label!r}")
+        known = ", ".join(repr(row.label) for row in self.rows) or "(no rows)"
+        raise KeyError(f"result {self.name!r} has no row labelled {label!r}; "
+                       f"known labels: {known}")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation (``python -m repro run --output``)."""

@@ -10,13 +10,10 @@ full chain.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
-from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
-from repro.markov.simplified import SimplifiedChain
-from repro.runner import ExecutionContext, scenario
+from repro.runner import ExecutionContext, run_scenario, scenario
 
 __all__ = ["run_figure5"]
 
@@ -30,21 +27,36 @@ def figure5_scenario(ctx: ExecutionContext, *,
                      rho_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
                      mu: float = 1.0,
                      cross_check_full_chain_up_to: int = 5) -> ExperimentResult:
-    """Regenerate the Figure 5 series (analytic; the backend is not used)."""
-    return run_figure5(n_values, rho_values, mu,
-                       cross_check_full_chain_up_to=cross_check_full_chain_up_to)
-
-
-def run_figure5(n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
-                rho_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
-                mu: float = 1.0, *, cross_check_full_chain_up_to: int = 5
-                ) -> ExperimentResult:
     """Regenerate the Figure 5 series.
 
     For each ``(n, ρ)`` the per-pair rate is ``λ = ρ·Σμ / (n(n−1))`` (so that
-    ``ρ = 2·Σ_{i<j}λ / Σμ`` matches the caption); ``E[X]`` comes from the lumped
-    symmetric chain, with a full-chain cross-check for small systems.
+    ``ρ = 2·Σ_{i<j}λ / Σμ`` matches the caption); ``E[X]`` comes from the
+    facade's analytic engine (the lumped symmetric chain), with a full-chain
+    cross-check for small systems.  Cells fan out through the backend.
     """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
+    n_values = [int(n) for n in n_values]
+    if any(n < 2 for n in n_values):
+        raise ValueError("Figure 5 needs at least two processes")
+    rho_values = [float(rho) for rho in rho_values]
+
+    def cell_spec(n: int, rho: float, *, full_chain: bool) -> StudySpec:
+        lam = rho * (mu * n) / (n * (n - 1))
+        options = {"prefer_simplified": False} if full_chain else {}
+        return StudySpec(system=SystemSpec.symmetric(n, mu, lam),
+                         metrics=("mean",), options=options)
+
+    grid = [(n, rho) for n in n_values for rho in rho_values]
+    lumped = evaluate_in_context(
+        ctx, [cell_spec(n, rho, full_chain=False) for n, rho in grid],
+        method="analytic")
+    check_grid = [(n, rho) for n, rho in grid
+                  if n <= cross_check_full_chain_up_to]
+    full = dict(zip(check_grid, evaluate_in_context(
+        ctx, [cell_spec(n, rho, full_chain=True) for n, rho in check_grid],
+        method="analytic")))
+
     columns = [f"E[X] rho={rho:g}" for rho in rho_values]
     result = ExperimentResult(
         name="figure5_mean_interval_vs_n",
@@ -54,18 +66,13 @@ def run_figure5(n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
                "curve shape (drastic increase with n) is reproduced.  Values are "
                "analytic (phase-type mean), not simulated."),
     )
+    means = dict(zip(grid, lumped))
     for n in n_values:
-        if n < 2:
-            raise ValueError("Figure 5 needs at least two processes")
         values = {}
         for rho in rho_values:
-            lam = rho * (mu * n) / (n * (n - 1))
-            chain = SimplifiedChain(n=n, mu=mu, lam=lam)
-            mean_x = chain.mean_interval()
-            if n <= cross_check_full_chain_up_to:
-                params = SystemParameters.symmetric(n, mu, lam)
-                full = RecoveryLineIntervalModel(params, prefer_simplified=False)
-                full_mean = full.mean_interval()
+            mean_x = means[(n, rho)].mean
+            if (n, rho) in full:
+                full_mean = full[(n, rho)].mean
                 if abs(full_mean - mean_x) > 1e-6 * max(1.0, mean_x):
                     raise AssertionError(
                         f"lumped and full chains disagree at n={n}, rho={rho}: "
@@ -73,3 +80,14 @@ def run_figure5(n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
             values[f"E[X] rho={rho:g}"] = mean_x
         result.add_row(f"n={n}", **values)
     return result
+
+
+def run_figure5(n_values: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+                rho_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+                mu: float = 1.0, *, cross_check_full_chain_up_to: int = 5,
+                backend=None, workers: Optional[int] = None
+                ) -> ExperimentResult:
+    """Figure 5 series (deprecated compatibility wrapper over the scenario)."""
+    return run_scenario("figure5", backend=backend, workers=workers,
+                        n_values=n_values, rho_values=rho_values, mu=mu,
+                        cross_check_full_chain_up_to=cross_check_full_chain_up_to)

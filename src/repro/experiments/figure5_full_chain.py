@@ -16,36 +16,13 @@ and process-pool runs are bit-identical by construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
-from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 from repro.markov.simplified import SimplifiedChain
 from repro.runner import ExecutionContext, run_scenario, scenario
 
 __all__ = ["run_figure5_full_chain"]
-
-
-@dataclass(frozen=True)
-class _FullChainCell:
-    """One ``(n, ρ)`` grid cell (picklable task payload)."""
-
-    n: int
-    rho: float
-    mu: float
-
-
-def _full_chain_cell(cell: _FullChainCell) -> tuple:
-    """Full-chain (auto backend) and lumped ``E[X]`` for one grid cell."""
-    lam = cell.rho * (cell.mu * cell.n) / (cell.n * (cell.n - 1))
-    params = SystemParameters.symmetric(cell.n, cell.mu, lam)
-    model = RecoveryLineIntervalModel(params, prefer_simplified=False)
-    full_mean = model.mean_interval()
-    lumped_mean = SimplifiedChain(n=cell.n, mu=cell.mu, lam=lam).mean_interval()
-    rel_err = abs(full_mean - lumped_mean) / max(lumped_mean, 1e-300)
-    return full_mean, rel_err, model.analytic_backend
 
 
 @scenario("figure5_full_chain",
@@ -65,14 +42,30 @@ def figure5_full_chain_scenario(ctx: ExecutionContext, *,
     violation raises, because it would mean the sparse backend (or the lumping
     argument) is wrong, not that the physics changed.
     """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
     n_values = [int(n) for n in n_values]
     if any(n < 2 for n in n_values):
         raise ValueError("the full-chain sweep needs at least two processes")
     rho_values = [float(rho) for rho in rho_values]
+    mu = float(mu)
 
-    cells = [_FullChainCell(n, rho, float(mu))
-             for n in n_values for rho in rho_values]
-    outputs = ctx.map(_full_chain_cell, cells)
+    def cell_lam(n: int, rho: float) -> float:
+        return rho * (mu * n) / (n * (n - 1))
+
+    grid = [(n, rho) for n in n_values for rho in rho_values]
+    evaluations = evaluate_in_context(
+        ctx,
+        [StudySpec(system=SystemSpec.symmetric(n, mu, cell_lam(n, rho)),
+                   metrics=("mean",), options={"prefer_simplified": False})
+         for n, rho in grid],
+        method="analytic")
+    outputs = []
+    for (n, rho), evaluation in zip(grid, evaluations):
+        lumped_mean = SimplifiedChain(n=n, mu=mu,
+                                      lam=cell_lam(n, rho)).mean_interval()
+        rel_err = abs(evaluation.mean - lumped_mean) / max(lumped_mean, 1e-300)
+        outputs.append((evaluation.mean, rel_err, evaluation.backend))
 
     columns = [f"E[X] rho={rho:g}" for rho in rho_values] + ["max rel err"]
     result = ExperimentResult(

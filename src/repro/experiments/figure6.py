@@ -29,8 +29,45 @@ def figure6_scenario(ctx: ExecutionContext, *,
                      sample_times: Sequence[float] = (0.0, 0.2, 0.4, 0.8, 1.2,
                                                       1.6, 2.0)
                      ) -> ExperimentResult:
-    """Regenerate Figure 6 (analytic; the backend is not used)."""
-    return run_figure6(sample_times)
+    """Regenerate Figure 6 through the facade's analytic engine.
+
+    Each paper case is one :class:`~repro.api.spec.StudySpec` requesting the
+    density and mean on the sample grid; cases fan out through the backend.
+    """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
+    sample_times = tuple(float(t) for t in sample_times)
+    cases = list(range(1, len(FIGURE6_CASES) + 1))
+    evaluations = evaluate_in_context(
+        ctx,
+        [StudySpec(system=SystemSpec.figure6_case(case),
+                   metrics=("pdf", "mean"), times=sample_times,
+                   options={"prefer_simplified": False})
+         for case in cases],
+        method="analytic")
+
+    columns = [f"f({t:g})" for t in sample_times] + ["P[direct]", "E[X]"]
+    result = ExperimentResult(
+        name="figure6_interval_density",
+        paper_reference="Figure 6 (the density function of X)",
+        columns=columns,
+        notes=("All three cases show the paper's sharp rise near t=0 caused by the "
+               "direct S_r -> S_{r+1} transition; the tail decays with the slowest "
+               "phase-type rate."),
+    )
+    for case, evaluation in zip(cases, evaluations):
+        params = paper_figure6_case(case)
+        # Probability the first event out of S_r is a recovery point (rule R4),
+        # i.e. the next line forms with no intermediate excursion at all.
+        direct = params.total_rp_rate / params.uniformization_constant()
+        densities = evaluation.distributions["pdf"]
+        values = {f"f({t:g})": float(d)
+                  for t, d in zip(sample_times, densities)}
+        values["P[direct]"] = direct
+        values["E[X]"] = evaluation.mean
+        mu, lam = FIGURE6_CASES[case - 1]
+        result.add_row(f"case {case} mu={mu} lam={lam}", **values)
+    return result
 
 
 def figure6_curves(t_max: float = 2.0, n_points: int = 81):
@@ -46,32 +83,7 @@ def figure6_curves(t_max: float = 2.0, n_points: int = 81):
 
 def run_figure6(sample_times: Sequence[float] = (0.0, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0)
                 ) -> ExperimentResult:
-    """Regenerate Figure 6 as a table of density values at sample times.
+    """Figure 6 table (deprecated compatibility wrapper over the scenario)."""
+    from repro.runner import run_scenario
 
-    Each row is one paper case; the columns give ``f_X(t)`` at the sample times
-    plus the probability that the interval closes via the direct ``S_r → S_{r+1}``
-    transition (the origin of the near-zero spike) and the mean ``E[X]``.
-    """
-    columns = [f"f({t:g})" for t in sample_times] + ["P[direct]", "E[X]"]
-    result = ExperimentResult(
-        name="figure6_interval_density",
-        paper_reference="Figure 6 (the density function of X)",
-        columns=columns,
-        notes=("All three cases show the paper's sharp rise near t=0 caused by the "
-               "direct S_r -> S_{r+1} transition; the tail decays with the slowest "
-               "phase-type rate."),
-    )
-    for case in range(1, len(FIGURE6_CASES) + 1):
-        params = paper_figure6_case(case)
-        model = RecoveryLineIntervalModel(params, prefer_simplified=False)
-        densities = model.pdf(np.asarray(sample_times, dtype=float))
-        # Probability the first event out of S_r is a recovery point (rule R4),
-        # i.e. the next line forms with no intermediate excursion at all.
-        direct = params.total_rp_rate / params.uniformization_constant()
-        values = {f"f({t:g})": float(d) for t, d in zip(sample_times, densities)}
-        values["P[direct]"] = direct
-        values["E[X]"] = model.mean_interval()
-        mu, lam = FIGURE6_CASES[case - 1]
-        label = f"case {case} mu={mu} lam={lam}"
-        result.add_row(label, **values)
-    return result
+    return run_scenario("figure6", sample_times=tuple(sample_times))

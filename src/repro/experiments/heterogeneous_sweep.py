@@ -21,14 +21,12 @@ deterministic, so serial and process-pool runs are bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
-from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 from repro.runner import ExecutionContext, run_scenario, scenario
 
 __all__ = ["heterogeneous_parameters", "run_heterogeneous_sweep"]
@@ -61,30 +59,6 @@ def heterogeneous_parameters(n: int, *, mu_base: float = 1.0,
     return SystemParameters(mu=mu, lam=lam)
 
 
-@dataclass(frozen=True)
-class _SweepCell:
-    """One gradient cell of the sweep (picklable task payload)."""
-
-    n: int
-    mu_base: float
-    mu_gradient: float
-    lam_base: float
-    locality: float
-
-
-def _sweep_cell(cell: _SweepCell) -> tuple:
-    """Interval and recovery-point statistics of one heterogeneous system."""
-    params = heterogeneous_parameters(
-        cell.n, mu_base=cell.mu_base, mu_gradient=cell.mu_gradient,
-        lam_base=cell.lam_base, locality=cell.locality)
-    model = RecoveryLineIntervalModel(params, prefer_simplified=False)
-    q = model.completion_probabilities()
-    return (model.mean_interval(), model.interval_std(),
-            model.expected_total_rp_count(counting="interior"),
-            float(q.max() / max(q.min(), 1e-300)),
-            model.analytic_backend)
-
-
 @scenario("heterogeneous_sweep",
           description="Per-process mu/lambda gradients on the sparse full chain",
           paper_reference="Section 2.3 extension (heterogeneous rates beyond "
@@ -98,11 +72,28 @@ def heterogeneous_sweep_scenario(ctx: ExecutionContext, *,
                                  lam_base: float = 0.5,
                                  locality: float = 1.0) -> ExperimentResult:
     """Sweep the checkpoint-rate gradient at fixed size and topology."""
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
     n = int(n)
     mu_gradients = [float(g) for g in mu_gradients]
-    cells = [_SweepCell(n, float(mu_base), g, float(lam_base), float(locality))
-             for g in mu_gradients]
-    outputs = ctx.map(_sweep_cell, cells)
+    evaluations = evaluate_in_context(
+        ctx,
+        [StudySpec(system=SystemSpec.heterogeneous(
+                       n, mu_base=float(mu_base), mu_gradient=g,
+                       lam_base=float(lam_base), locality=float(locality)),
+                   metrics=("mean", "std", "rp_counts",
+                            "completion_probabilities"),
+                   counting="interior",
+                   options={"prefer_simplified": False})
+         for g in mu_gradients],
+        method="analytic")
+    outputs = []
+    for evaluation in evaluations:
+        q = np.asarray(evaluation.completion_probabilities)
+        outputs.append((evaluation.mean, evaluation.metrics["std"],
+                        float(np.asarray(evaluation.rp_counts).sum()),
+                        float(q.max() / max(q.min(), 1e-300)),
+                        evaluation.backend))
 
     columns = ["E[X]", "std[X]", "E[sum L]", "q max/min"]
     result = ExperimentResult(

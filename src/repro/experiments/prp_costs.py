@@ -15,7 +15,6 @@ from typing import Sequence
 from repro.analysis.prp_overhead import PRPOverheadModel
 from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
-from repro.markov.simplified import SimplifiedChain
 from repro.runner import ExecutionContext, scenario
 
 __all__ = ["run_prp_costs"]
@@ -28,14 +27,24 @@ def prp_costs_scenario(ctx: ExecutionContext, *,
                        n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
                        mu: float = 1.0, rho: float = 1.0,
                        record_cost: float = 0.02) -> ExperimentResult:
-    """Regenerate the PRP cost table (analytic; the backend is not used)."""
-    return run_prp_costs(n_values, mu, rho, record_cost)
+    """Tabulate PRP costs versus the asynchronous baseline for growing ``n``.
 
+    The asynchronous baseline ``E[X]`` comes from the facade's analytic
+    engine (lumped symmetric chain); the PRP quantities are closed forms.
+    """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
 
-def run_prp_costs(n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
-                  mu: float = 1.0, rho: float = 1.0,
-                  record_cost: float = 0.02) -> ExperimentResult:
-    """Tabulate PRP costs versus the asynchronous baseline for growing ``n``."""
+    n_values = list(n_values)
+    multi = [n for n in n_values if n > 1]
+    async_ex_by_n = dict(zip(multi, (evaluation.mean for evaluation in
+        evaluate_in_context(
+            ctx,
+            [StudySpec(system=SystemSpec.symmetric(
+                           n, mu, rho * (mu * n) / (n * (n - 1))),
+                       metrics=("mean",))
+             for n in multi],
+            method="analytic"))))
+
     columns = ["extra time per RP", "overhead rate", "states per RP",
                "steady storage", "PRP rollback bound", "async E[X]",
                "bound / E[X]"]
@@ -52,8 +61,7 @@ def run_prp_costs(n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
         lam = rho * (mu * n) / (n * (n - 1)) if n > 1 else 0.0
         params = SystemParameters.symmetric(n, mu, lam)
         prp = PRPOverheadModel(params, record_cost=record_cost)
-        async_ex = SimplifiedChain(n=n, mu=mu, lam=lam).mean_interval() if n > 1 \
-            else 1.0 / mu
+        async_ex = async_ex_by_n[n] if n > 1 else 1.0 / mu
         bound = prp.rollback_distance_bound()
         result.add_row(f"n={n}", **{
             "extra time per RP": prp.extra_time_per_rp(),
@@ -65,3 +73,13 @@ def run_prp_costs(n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
             "bound / E[X]": bound / async_ex if async_ex > 0 else float("inf"),
         })
     return result
+
+
+def run_prp_costs(n_values: Sequence[int] = (2, 3, 4, 5, 6, 8, 10),
+                  mu: float = 1.0, rho: float = 1.0,
+                  record_cost: float = 0.02) -> ExperimentResult:
+    """PRP cost table (deprecated compatibility wrapper over the scenario)."""
+    from repro.runner import run_scenario
+
+    return run_scenario("prp_costs", n_values=tuple(n_values), mu=mu, rho=rho,
+                        record_cost=record_cost)

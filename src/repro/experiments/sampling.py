@@ -1,13 +1,13 @@
-"""Shared sharded Monte-Carlo sampling of the paper's parameter cases.
+"""Sharded Monte-Carlo sampling of the paper's parameter cases (deprecated).
 
-Both the Table 1 regeneration and the three-way validation need the same
-primitive: for each Table 1 case, sample ``n_intervals`` inter-recovery-line
-intervals through the runner backend.  The budget is split into fixed-size
-shards (:meth:`ExecutionContext.shards_for`), each shard gets a driver-spawned
-seed, and the shard outputs are merged in shard order — the seed-stream scheme
-that keeps serial and parallel runs bit-identical.  Keeping the machinery here
-means a change to the sharding or seed-ordering policy cannot diverge between
-the scenarios that rely on it.
+This was the shared sampling primitive of the Table 1 regeneration and the
+three-way validation before the :mod:`repro.api` facade existed.  Both
+scenarios now declare a :class:`~repro.api.spec.StudySpec` per case and call
+:func:`repro.api.evaluate_in_context`, whose ``mc`` engine reproduces exactly
+the task/seed layout implemented here (fixed-size shards, driver-spawned
+seeds, shard-order merge) — which is why the migration kept stored results
+bit-identical.  The module remains as a thin compatibility surface for
+external callers; new code should go through the facade.
 """
 
 from __future__ import annotations

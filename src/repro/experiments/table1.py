@@ -12,20 +12,21 @@ methodology (Monte-Carlo simulation of the model) for comparison.  The paper's
 (the recovery point that completes the next line is included) to the three decimal
 places printed in the paper.
 
-The Monte-Carlo columns are produced through the experiment runner: the interval
-budget of every case is sharded into fixed-size tasks with driver-spawned seeds,
-so ``--backend process`` reproduces the serial numbers bit for bit.
+Both the analytic and the Monte-Carlo columns are computed through the
+:mod:`repro.api` facade (one :class:`~repro.api.spec.StudySpec` per case);
+the Monte-Carlo budget is sharded into fixed-size tasks with driver-spawned
+seeds, so ``--backend process`` reproduces the serial numbers bit for bit.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.experiments.common import ExperimentResult
-from repro.experiments.sampling import sample_interval_cases
-from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 from repro.runner import ExecutionContext, run_scenario, scenario
-from repro.workloads.generators import TABLE1_CASES, paper_table1_case
+from repro.workloads.generators import TABLE1_CASES
 
 __all__ = ["run_table1", "PAPER_TABLE1"]
 
@@ -54,6 +55,8 @@ def table1_scenario(ctx: ExecutionContext, *, simulate: bool = False
     are added next to the analytic ones; ``ctx.reps`` is the per-case interval
     budget.
     """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
     n_intervals = ctx.reps_or(DEFAULT_INTERVALS)
     columns = ["E[X]", "E[L1]", "E[L2]", "E[L3]", "sum E[L]",
                "paper E[X]", "paper sum E[L]"]
@@ -69,25 +72,38 @@ def table1_scenario(ctx: ExecutionContext, *, simulate: bool = False
                "3-6% above the analytic mean."),
     )
     cases = list(range(1, len(TABLE1_CASES) + 1))
-    sampled = sample_interval_cases(ctx, cases, n_intervals) if simulate else {}
+
+    def case_spec(case: int) -> StudySpec:
+        return StudySpec(system=SystemSpec.table1_case(case),
+                         metrics=("mean", "rp_counts"), counting="all",
+                         reps=n_intervals,
+                         options={"prefer_simplified": False})
+
+    # MC first: its sharded tasks consume the context's seed stream in the
+    # same (case-ordered) layout the pre-facade sampler used.
+    sampled = {}
+    if simulate:
+        sampled = dict(zip(cases, evaluate_in_context(
+            ctx, [case_spec(case) for case in cases], method="mc")))
+    analytic = dict(zip(cases, evaluate_in_context(
+        ctx, [case_spec(case) for case in cases], method="analytic")))
+
     for case in cases:
-        params = paper_table1_case(case)
-        model = RecoveryLineIntervalModel(params, prefer_simplified=False)
-        counts = model.expected_rp_counts(counting="all")
+        counts = analytic[case].rp_counts
         paper = PAPER_TABLE1[case]
         values = {
-            "E[X]": model.mean_interval(),
+            "E[X]": analytic[case].mean,
             "E[L1]": counts[0],
             "E[L2]": counts[1],
             "E[L3]": counts[2],
-            "sum E[L]": counts.sum(),
+            "sum E[L]": float(np.asarray(counts).sum()),
             "paper E[X]": paper[0],
             "paper sum E[L]": paper[4],
         }
         if simulate:
             sim = sampled[case]
-            values["sim E[X]"] = sim.mean_interval()
-            values["sim sum E[L]"] = float(sim.mean_rp_counts("all").sum())
+            values["sim E[X]"] = sim.mean
+            values["sim sum E[L]"] = float(np.asarray(sim.rp_counts).sum())
         mu, lam = TABLE1_CASES[case - 1]
         result.add_row(f"case {case} mu={mu} lam={lam}", **values)
     return result

@@ -21,9 +21,7 @@ import numpy as np
 from repro.core.intervals import extract_intervals, summarize_intervals
 from repro.core.recovery_line import LatestRPRecoveryLineDetector
 from repro.experiments.common import ExperimentResult
-from repro.experiments.sampling import sample_interval_cases
 from repro.markov.montecarlo import ModelSimulator
-from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
 from repro.runner import ExecutionContext, run_scenario, scenario
 from repro.workloads.generators import paper_table1_case
 
@@ -60,6 +58,8 @@ def validation_scenario(ctx: ExecutionContext, *,
 
     ``ctx.reps`` is the per-case Monte-Carlo interval budget.
     """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
     n_intervals = ctx.reps_or(DEFAULT_INTERVALS)
     columns = ["analytic E[X]", "MC E[X]", "MC stderr", "history E[X]",
                "MC rel err", "history rel err"]
@@ -73,23 +73,30 @@ def validation_scenario(ctx: ExecutionContext, *,
     )
     cases = list(cases)
 
-    sampled_by_case = sample_interval_cases(ctx, cases, n_intervals)
+    def case_spec(case: int) -> StudySpec:
+        return StudySpec(system=SystemSpec.table1_case(case), metrics=("mean",),
+                         reps=n_intervals,
+                         options={"prefer_simplified": False})
+
+    # MC first, then the history seeds: the facade shards consume the seed
+    # stream in the same order the pre-facade sampler did.
+    mc_by_case = dict(zip(cases, evaluate_in_context(
+        ctx, [case_spec(case) for case in cases], method="mc")))
     history_tasks = [_HistoryTask(case, history_duration, ctx.spawn_seed())
                      for case in cases]
     history_outputs = ctx.map(_history_mean, history_tasks)
+    analytic_by_case = dict(zip(cases, evaluate_in_context(
+        ctx, [case_spec(case) for case in cases], method="analytic")))
 
     for case, (history_mean, _count) in zip(cases, history_outputs):
-        params = paper_table1_case(case)
-        analytic = RecoveryLineIntervalModel(params,
-                                             prefer_simplified=False).mean_interval()
-        sampled = sampled_by_case[case]
-        mc_mean = sampled.mean_interval()
+        analytic = analytic_by_case[case].mean
+        mc = mc_by_case[case]
         result.add_row(f"table1 case {case}", **{
             "analytic E[X]": analytic,
-            "MC E[X]": mc_mean,
-            "MC stderr": sampled.interval_stderr(),
+            "MC E[X]": mc.mean,
+            "MC stderr": mc.stderr,
             "history E[X]": history_mean,
-            "MC rel err": abs(mc_mean - analytic) / analytic,
+            "MC rel err": abs(mc.mean - analytic) / analytic,
             "history rel err": abs(history_mean - analytic) / analytic,
         })
     return result

@@ -106,6 +106,17 @@ def generate_report(scenarios: Optional[Sequence[str]] = None, *,
         names = default_scenario_order(known)
     else:
         names = list(scenarios)
+        # Internal scenarios (the facade's 'evaluate') need caller-supplied
+        # parameters and have no renderable default — refuse them up front
+        # instead of crashing after the other sections computed.
+        from repro.runner import get_scenario
+        internal = [name for name in names
+                    if name not in known and get_scenario(name).internal]
+        if internal:
+            raise ValueError(
+                f"scenario(s) {internal} are internal infrastructure and "
+                "cannot be rendered into a report; evaluate them with "
+                "`python -m repro eval`")
 
     os.makedirs(out_dir, exist_ok=True)
     if store is None:

@@ -60,6 +60,11 @@ class ScenarioSpec:
         ``"table"``, …).  ``None`` means the generic rendering — an inline
         markdown table in ``REPORT.md`` — which every scenario gets anyway;
         declared renderers *additionally* emit figure/table files.
+    internal:
+        Infrastructure scenarios (the facade's ``evaluate``) that need
+        caller-supplied parameters and therefore must not be swept up by
+        generic enumeration (``python -m repro list``, ``report --all``).
+        They stay addressable by name.
     """
 
     name: str
@@ -69,6 +74,7 @@ class ScenarioSpec:
     default_reps: Optional[int] = None
     defaults: Mapping[str, object] = field(default_factory=dict)
     renderer: Optional[str] = None
+    internal: bool = False
 
     @property
     def uses_replications(self) -> bool:
@@ -99,6 +105,7 @@ def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
 
 def scenario(name: str, *, description: str = "", paper_reference: str = "",
              default_reps: Optional[int] = None, renderer: Optional[str] = None,
+             internal: bool = False,
              **defaults: object) -> Callable[[Callable], Callable]:
     """Decorator registering *func* as scenario *name*; returns *func* unchanged."""
 
@@ -112,6 +119,7 @@ def scenario(name: str, *, description: str = "", paper_reference: str = "",
             default_reps=default_reps,
             defaults=dict(defaults),
             renderer=renderer,
+            internal=internal,
         ))
         return func
 
@@ -128,9 +136,15 @@ def get_scenario(name: str) -> ScenarioSpec:
             from None
 
 
-def list_scenarios() -> List[ScenarioSpec]:
-    """All registered scenarios, sorted by name."""
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+def list_scenarios(include_internal: bool = False) -> List[ScenarioSpec]:
+    """Registered scenarios, sorted by name.
+
+    Internal infrastructure scenarios are excluded by default so generic
+    consumers (``list``, ``report --all``) never invoke a scenario that
+    needs caller-supplied parameters.
+    """
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)
+            if include_internal or not _REGISTRY[name].internal]
 
 
 def unregister_scenario(name: str) -> None:
@@ -139,10 +153,13 @@ def unregister_scenario(name: str) -> None:
 
 
 def load_builtin_scenarios() -> None:
-    """Import :mod:`repro.experiments`, registering every built-in scenario.
+    """Import every module that registers built-in scenarios.
 
-    Idempotent: the import is cached, and re-registration of the same functions
-    is a no-op.  Kept lazy (a function, not a module-level import) so that
-    ``repro.runner`` itself never depends on the experiment layer.
+    Covers :mod:`repro.experiments` (the paper artefacts) and
+    :mod:`repro.api` (the facade's internal ``evaluate`` scenario).
+    Idempotent: the imports are cached, and re-registration of the same
+    functions is a no-op.  Kept lazy (a function, not a module-level import)
+    so that ``repro.runner`` itself never depends on the experiment layer.
     """
     import repro.experiments  # noqa: F401  (import side effect registers scenarios)
+    import repro.api          # noqa: F401  (registers the 'evaluate' scenario)

@@ -96,7 +96,9 @@ class ExecutionContext:
         self.backend = backend if backend is not None else SerialBackend()
         self.seed = seed
         self.reps = reps
-        self._root = np.random.SeedSequence(seed)
+        # Created on first spawn: for seed=None the SeedSequence gathers OS
+        # entropy, which purely analytic evaluations should never pay for.
+        self._root: Optional[np.random.SeedSequence] = None
 
     # ------------------------------------------------------------------ seeds
     def spawn_seeds(self, n: int) -> List[np.random.SeedSequence]:
@@ -107,6 +109,8 @@ class ExecutionContext:
         """
         if n < 0:
             raise ValueError("cannot spawn a negative number of seeds")
+        if self._root is None:
+            self._root = np.random.SeedSequence(self.seed)
         return list(self._root.spawn(n)) if n else []
 
     def spawn_seed(self) -> np.random.SeedSequence:
@@ -214,6 +218,9 @@ class ExperimentRunner:
         against the scenario's ``default_reps`` before keying, and
         fresh-entropy runs (effective seed ``None``) bypass the store in both
         directions — they are not reproducible, so they are never cached.
+        (Deterministic seedless *facade* cells are the one exception to that
+        policy; :func:`repro.api.facade.evaluate_record` caches them itself,
+        keyed identically to :meth:`StudySpec.canonical_key`.)
         """
         spec = self._resolve(name_or_spec)
         eff_seed = self.seed if seed is None else seed
