@@ -141,9 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="JSON StudySpec file (see docs/ARCHITECTURE.md "
                                "for the schema)")
     eval_cmd.add_argument("--method", default="auto",
-                          choices=("auto", "analytic", "mc", "des"),
+                          choices=("auto", "analytic", "mc", "des", "strategy"),
                           help="evaluation engine (default: auto — selected "
-                               "by state-space size and requested metrics)")
+                               "by system kind, state-space size and "
+                               "requested metrics)")
     eval_cmd.add_argument("--backend", choices=("serial", "process"),
                           default="serial", help="execution backend for "
                                                  "stochastic shards and sweep "

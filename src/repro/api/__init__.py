@@ -15,9 +15,16 @@ subsystem puts a single, serializable front door on all three:
 >>> repro.evaluate(spec, method="mc").mean             # doctest: +SKIP
 >>> repro.evaluate(spec, method="des").mean            # doctest: +SKIP
 
-``method="auto"`` (the default) selects an engine from the state-space size
-and the requested metrics; sweep axes fan out through the experiment runner
-with parallelism, store caching and resume for free; and
+Recovery *strategies* are first-class citizens of the same front door: a
+``strategy`` :class:`~repro.api.SystemSpec` names a checkpointing scheme plus
+a workload, and the ``strategy`` engine (:mod:`repro.api.strategy`) measures
+makespan, slowdown, rollback behaviour and Section 3's ``sync_loss`` by
+driving the :mod:`repro.recovery` runtimes — with the synchronized scheme's
+closed forms served by ``analytic`` for cross-checking.
+
+``method="auto"`` (the default) selects an engine from the system kind, the
+state-space size and the requested metrics; sweep axes fan out through the
+experiment runner with parallelism, store caching and resume for free; and
 :meth:`StudySpec.canonical_key` *is* the result-store cell key, so specs can
 predict their own cache address.  The CLI face is
 ``python -m repro eval spec.json``.
@@ -44,22 +51,30 @@ from repro.api.facade import (
 )
 from repro.api.spec import (
     DEFAULT_EVAL_REPS,
+    DEFAULT_STRATEGY_REPS,
     EVALUATE_SCENARIO_NAME,
     KNOWN_METRICS,
+    RECOVERY_SCHEMES,
+    STRATEGY_METRICS,
     StudySpec,
     SystemSpec,
 )
+from repro.api.strategy import StrategyEvaluator  # registers the engine
 
 __all__ = [
     "AnalyticEvaluator",
     "CellResult",
     "DEFAULT_EVAL_REPS",
+    "DEFAULT_STRATEGY_REPS",
     "DiscreteEventEvaluator",
     "EVALUATE_SCENARIO_NAME",
     "Evaluation",
     "Evaluator",
     "KNOWN_METRICS",
     "MonteCarloEvaluator",
+    "RECOVERY_SCHEMES",
+    "STRATEGY_METRICS",
+    "StrategyEvaluator",
     "StudyResult",
     "StudySpec",
     "SystemSpec",

@@ -1,8 +1,9 @@
 """The evaluation engines behind :func:`repro.api.evaluate`.
 
 Three registered :class:`Evaluator` implementations compute the same
-:class:`~repro.api.evaluation.Evaluation` from a
-:class:`~repro.api.spec.StudySpec`:
+:class:`~repro.api.evaluation.Evaluation` for interval-quantity systems (a
+fourth — the ``strategy`` engine measuring whole recovery-scheme runs —
+lives in :mod:`repro.api.strategy`):
 
 ``analytic``
     :class:`~repro.markov.recovery_line_interval.RecoveryLineIntervalModel` —
@@ -98,8 +99,9 @@ class Evaluator:
     """Protocol-with-defaults every evaluation engine implements.
 
     Deterministic engines override :meth:`evaluate` directly; stochastic
-    engines implement the :meth:`tasks` / :meth:`assemble` pair so the facade
-    can fan the shards of many cells through one backend ``map`` while
+    engines implement the :meth:`tasks` / :meth:`assemble` pair (and point
+    :attr:`worker` at their picklable task function) so the facade can fan
+    the work items of many cells through one backend ``map`` while
     :meth:`evaluate` remains the single-cell convenience composition.
     """
 
@@ -110,9 +112,31 @@ class Evaluator:
     #: stochastic cells key on their replication budget, exact ones do not).
     stochastic: bool = False
 
-    def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[SampleTask]:
+    #: Module-level function the backend maps over :meth:`tasks` output.
+    worker = staticmethod(sample_shard)
+
+    def validate(self, spec: StudySpec) -> None:
+        """Reject *spec* early when this engine cannot serve it (no-op here)."""
+
+    def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[object]:
         """Picklable work items for *spec* (empty for deterministic engines)."""
         return []
+
+    def cell_tasks(self, specs: Sequence[StudySpec], ctx: ExecutionContext
+                   ) -> Tuple[List[object], List[int]]:
+        """Work items for many cells sharing one context, plus slice bounds.
+
+        The default simply concatenates :meth:`tasks` per cell — each cell
+        spawns its own seeds, continuing the context's spawn counter.
+        Engines with a cross-cell seed policy (the strategy engine's common
+        random numbers) override this.
+        """
+        tasks: List[object] = []
+        bounds = [0]
+        for spec in specs:
+            tasks.extend(self.tasks(spec, ctx))
+            bounds.append(len(tasks))
+        return tasks, bounds
 
     def assemble(self, spec: StudySpec,
                  outputs: Sequence[object]) -> Evaluation:
@@ -129,13 +153,22 @@ class Evaluator:
         """
         if ctx is None:
             ctx = ExecutionContext(seed=spec.seed, reps=spec.reps)
-        return self.assemble(spec, ctx.map(sample_shard, self.tasks(spec, ctx)))
+        return self.assemble(spec, ctx.map(self.worker, self.tasks(spec, ctx)))
 
 
 class AnalyticEvaluator(Evaluator):
-    """Exact phase-type evaluation via :class:`RecoveryLineIntervalModel`."""
+    """Exact evaluation: phase-type interval model, or — for ``strategy``
+    systems — the Section 3 closed forms of the synchronized scheme."""
 
     name = "analytic"
+
+    def validate(self, spec: StudySpec) -> None:
+        if spec.system.kind == "strategy":
+            # Raises UnsupportedMetricError unless the scheme/metrics have
+            # closed forms; evaluating would raise the same error later, but
+            # resolve-time is where a bad explicit method should fail.
+            from repro.api.strategy import analytic_strategy_checks
+            analytic_strategy_checks(spec)
 
     def assemble(self, spec: StudySpec,
                  outputs: Sequence[object]) -> Evaluation:
@@ -143,6 +176,9 @@ class AnalyticEvaluator(Evaluator):
 
     def evaluate(self, spec: StudySpec,
                  ctx: Optional[ExecutionContext] = None) -> Evaluation:
+        if spec.system.kind == "strategy":
+            from repro.api.strategy import analytic_strategy_evaluation
+            return analytic_strategy_evaluation(spec)
         options = dict(spec.options)
         model = RecoveryLineIntervalModel(
             spec.system.build(),
@@ -203,11 +239,18 @@ class _StochasticEvaluator(Evaluator):
     backend_label = "stochastic"
 
     def _check_metrics(self, spec: StudySpec) -> None:
+        if spec.system.kind == "strategy":
+            raise UnsupportedMetricError(
+                f"the {self.name!r} engine samples interval quantities, not "
+                "recovery-scheme runs; evaluate 'strategy' systems with "
+                "method='strategy' (measured) or 'analytic' (closed forms)")
         unsupported = sorted(_STOCHASTIC_UNSUPPORTED & set(spec.metrics))
         if unsupported:
             raise UnsupportedMetricError(
                 f"the {self.name!r} engine cannot estimate {unsupported}; "
                 "use method='analytic' for densities")
+
+    validate = _check_metrics
 
     def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[SampleTask]:
         """Fixed-size shards with driver-spawned seeds, in spawn order.
@@ -325,6 +368,9 @@ def resolve_method(spec: StudySpec, method: str = "auto") -> str:
 
     The auto rule (documented in docs/ARCHITECTURE.md):
 
+    0. ``strategy`` systems — **analytic** when every requested metric has a
+       Section 3 closed form (synchronized scheme only), otherwise the
+       measuring **strategy** engine.
     1. ``n <= AUTO_FULL_CHAIN_MAX_N`` — the full chain is tractable, every
        metric is exact: **analytic**.
     2. larger but symmetric, and only lumped-servable metrics requested
@@ -334,6 +380,12 @@ def resolve_method(spec: StudySpec, method: str = "auto") -> str:
        can estimate; that is an error asking for an explicit method.
     """
     if method in (None, "auto"):
+        if spec.system.kind == "strategy":
+            from repro.api.strategy import ANALYTIC_STRATEGY_METRICS
+            if spec.system.scheme == "synchronized" \
+                    and set(spec.metrics) <= ANALYTIC_STRATEGY_METRICS:
+                return "analytic"
+            return "strategy"
         n = spec.system.n
         if n <= AUTO_FULL_CHAIN_MAX_N:
             return "analytic"
@@ -355,6 +407,5 @@ def resolve_method(spec: StudySpec, method: str = "auto") -> str:
         return "mc"
     name = str(method)
     evaluator = get_evaluator(name)
-    if isinstance(evaluator, _StochasticEvaluator):
-        evaluator._check_metrics(spec)
+    evaluator.validate(spec)
     return name

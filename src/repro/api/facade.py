@@ -29,7 +29,7 @@ from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.api.evaluation import Evaluation
-from repro.api.evaluators import get_evaluator, resolve_method, sample_shard
+from repro.api.evaluators import get_evaluator, resolve_method
 from repro.api.spec import EVALUATE_SCENARIO_NAME, StudySpec
 from repro.experiments.common import ExperimentResult
 from repro.runner import ExecutionContext, ExperimentRunner, scenario
@@ -154,8 +154,9 @@ def evaluate(spec: Union[StudySpec, Mapping[str, object]],
         A :class:`StudySpec` or its :meth:`~StudySpec.to_dict` payload (the
         JSON form ``python -m repro eval`` reads from a file).
     method:
-        ``"auto"`` (select by state-space size and metrics), ``"analytic"``,
-        ``"mc"`` or ``"des"``.
+        ``"auto"`` (select by system kind, state-space size and metrics),
+        ``"analytic"``, ``"mc"``, ``"des"``, or — for ``strategy`` systems —
+        ``"strategy"`` (measure a recovery scheme by running its runtime).
     backend / workers:
         Execution backend for the stochastic shards and sweep cells (same
         semantics as everywhere else: results are backend independent).
@@ -326,10 +327,14 @@ def evaluate_in_context(ctx: ExecutionContext,
     """Evaluate many cells inside an already-running scenario.
 
     All cells must resolve to the *same* engine.  Deterministic cells are
-    fanned out one-per-task; stochastic cells contribute their fixed-size
-    shards — seeds spawned per cell, in cell order, from the context's root
-    sequence — to a single flat backend ``map``, exactly the task/seed
-    layout of :func:`repro.experiments.sampling.sample_interval_cases`.
+    fanned out one-per-task; stochastic cells contribute their work items —
+    laid out by the engine's :meth:`~repro.api.evaluators.Evaluator.
+    cell_tasks` — to a single flat backend ``map``.  For ``mc``/``des`` that
+    is the fixed-size shard stream of
+    :func:`repro.experiments.sampling.sample_interval_cases` (seeds spawned
+    per cell, in cell order); the ``strategy`` engine instead shares one
+    replication seed block across the cells (common random numbers), the
+    pre-facade strategy-comparison layout.
     """
     specs = list(specs)
     if not specs:
@@ -344,11 +349,7 @@ def evaluate_in_context(ctx: ExecutionContext,
         payloads = [_DeterministicCell(spec=s, method=resolved)
                     for s in specs]
         return ctx.map(_evaluate_deterministic_cell, payloads)
-    tasks = []
-    bounds = [0]
-    for s in specs:
-        tasks.extend(evaluator.tasks(s, ctx))
-        bounds.append(len(tasks))
-    outputs = ctx.map(sample_shard, tasks)
+    tasks, bounds = evaluator.cell_tasks(specs, ctx)
+    outputs = ctx.map(evaluator.worker, tasks)
     return [evaluator.assemble(s, outputs[lo:hi])
             for s, lo, hi in zip(specs, bounds, bounds[1:])]

@@ -28,8 +28,11 @@ from repro.report.store import canonical_params, store_key
 
 __all__ = [
     "DEFAULT_EVAL_REPS",
+    "DEFAULT_STRATEGY_REPS",
     "EVALUATE_SCENARIO_NAME",
     "KNOWN_METRICS",
+    "RECOVERY_SCHEMES",
+    "STRATEGY_METRICS",
     "StudySpec",
     "SystemSpec",
 ]
@@ -42,12 +45,37 @@ EVALUATE_SCENARIO_NAME = "evaluate"
 #: stochastic method but does not state ``reps``.
 DEFAULT_EVAL_REPS = 20_000
 
-#: Metric vocabulary.  ``mean``/``variance``/``std`` are moments of the
-#: interval ``X``; ``rp_counts`` is the per-process ``E[L_i]`` vector;
-#: ``completion_probabilities`` is the ``q_i`` vector; ``pdf``/``cdf``/``sf``
-#: are the distribution of ``X`` evaluated on the spec's ``times`` grid.
+#: Default replication budget for ``strategy`` systems.  A replication here is
+#: one full recovery-scheme *run* (a whole workload driven to completion), not
+#: one sampled interval, so the sensible default is orders of magnitude below
+#: :data:`DEFAULT_EVAL_REPS`.
+DEFAULT_STRATEGY_REPS = 5
+
+#: Metric vocabulary of the interval-quantity systems.  ``mean``/``variance``/
+#: ``std`` are moments of the interval ``X``; ``rp_counts`` is the per-process
+#: ``E[L_i]`` vector; ``completion_probabilities`` is the ``q_i`` vector;
+#: ``pdf``/``cdf``/``sf`` are the distribution of ``X`` evaluated on the
+#: spec's ``times`` grid.
 KNOWN_METRICS = ("mean", "variance", "std", "rp_counts",
                  "completion_probabilities", "pdf", "cdf", "sf")
+
+#: Metric vocabulary of ``strategy`` systems: headline quantities of one
+#: recovery-scheme run, averaged over the replication budget by the
+#: ``strategy`` engine.  ``sync_loss`` is the mean waiting loss per committed
+#: recovery line (Section 3's ``CL``; measured by the ``strategy`` engine,
+#: closed-form via the ``analytic`` engine) and ``expected_wait`` is the
+#: analytic ``E[Z]``; both apply to the ``synchronized`` scheme only.
+STRATEGY_METRICS = (
+    "makespan", "slowdown", "rollbacks", "mean_rollback_distance",
+    "max_rollback_distance", "lost_work", "checkpoint_overhead",
+    "restart_overhead", "waiting_time", "recovery_lines",
+    "recovery_lines_total", "dominoes", "peak_saved_states", "total_saves",
+    "completed", "sync_loss", "expected_wait",
+)
+
+#: The paper's three checkpointing strategies, as the ``scheme`` argument of
+#: the ``strategy`` system kind.
+RECOVERY_SCHEMES = ("asynchronous", "synchronized", "pseudo")
 
 #: Distribution metrics require a ``times`` grid.
 DISTRIBUTION_METRICS = ("pdf", "cdf", "sf")
@@ -96,10 +124,22 @@ _SYSTEM_KINDS: Dict[str, Dict[str, str]] = {
     "figure6_case": {"case": "int"},
     "heterogeneous": {"n": "int", "mu_base": "float", "mu_gradient": "float",
                       "lam_base": "float", "locality": "float"},
+    "strategy": {"scheme": "str", "n": "int", "mu": "float",
+                 "mu_spread": "float", "lam": "float", "work": "float",
+                 "error_rate": "float", "checkpoint_cost": "float",
+                 "restart_cost": "float", "sync_interval": "float"},
 }
 
 _HETEROGENEOUS_DEFAULTS = {"mu_base": 1.0, "mu_gradient": 1.0,
                            "lam_base": 0.5, "locality": 1.0}
+
+#: Cost/fault defaults of the ``strategy`` kind mirror
+#: :func:`repro.workloads.generators.strategy_workload` (and therefore the
+#: pre-facade ``homogeneous_workload`` shape of the strategy-comparison
+#: experiment).  ``scheme``/``n``/``mu``/``lam``/``work`` stay required.
+_STRATEGY_DEFAULTS = {"mu_spread": 1.0, "error_rate": 0.0,
+                      "checkpoint_cost": 0.02, "restart_cost": 0.05,
+                      "sync_interval": 2.0}
 
 
 @dataclass(frozen=True)
@@ -120,6 +160,13 @@ class SystemSpec:
     ``heterogeneous``
         ``n``, ``mu_base``, ``mu_gradient``, ``lam_base``, ``locality`` — the
         geometric-gradient / locality-decay family of the heterogeneous sweep.
+    ``strategy``
+        A recovery *strategy* on a workload instead of an interval model:
+        ``scheme`` (one of :data:`RECOVERY_SCHEMES`) plus the
+        :func:`~repro.workloads.generators.strategy_workload` axes — ``n``,
+        ``mu``/``mu_spread``, ``lam``, ``work`` and the fault-timeline /
+        cost parameters ``error_rate``, ``checkpoint_cost``, ``restart_cost``,
+        ``sync_interval``.  Evaluated against :data:`STRATEGY_METRICS`.
     """
 
     kind: str
@@ -135,6 +182,9 @@ class SystemSpec:
         if self.kind == "heterogeneous":
             for name, default in _HETEROGENEOUS_DEFAULTS.items():
                 args.setdefault(name, default)
+        elif self.kind == "strategy":
+            for name, default in _STRATEGY_DEFAULTS.items():
+                args.setdefault(name, default)
         unknown = sorted(set(args) - set(fields))
         if unknown:
             raise ValueError(f"system kind {self.kind!r} does not take "
@@ -149,10 +199,19 @@ class SystemSpec:
                 coerced[name] = _coerce_number(value, name, integer=True)
             elif form == "float":
                 coerced[name] = _coerce_number(value, name)
+            elif form == "str":
+                coerced[name] = str(value)
             elif form == "vector":
                 coerced[name] = _coerce_vector(value, name)
             else:
                 coerced[name] = _coerce_matrix(value, name)
+        if self.kind == "strategy":
+            if coerced["scheme"] not in RECOVERY_SCHEMES:
+                raise ValueError(
+                    f"unknown recovery scheme {coerced['scheme']!r}; "
+                    f"known schemes: {', '.join(RECOVERY_SCHEMES)}")
+            if coerced["mu_spread"] <= 0.0:
+                raise ValueError("heterogeneity factors must be positive")
         object.__setattr__(self, "args", coerced)
 
     # ------------------------------------------------------------------ factories
@@ -178,10 +237,17 @@ class SystemSpec:
     def heterogeneous(cls, n: int, **kwargs) -> "SystemSpec":
         return cls("heterogeneous", {"n": n, **kwargs})
 
+    @classmethod
+    def strategy(cls, scheme: str, n: int, **kwargs) -> "SystemSpec":
+        """A recovery strategy on a declarative workload (see class docs)."""
+        return cls("strategy", {"scheme": scheme, "n": n, **kwargs})
+
     # ------------------------------------------------------------------ building
     def build(self) -> SystemParameters:
         """Materialise the declared system as :class:`SystemParameters`."""
         args = dict(self.args)
+        if self.kind == "strategy":
+            return self.build_workload().params
         if self.kind == "symmetric":
             return SystemParameters.symmetric(args["n"], args["mu"], args["lam"])
         if self.kind == "explicit":
@@ -203,10 +269,31 @@ class SystemSpec:
                                         lam_base=args["lam_base"],
                                         locality=args["locality"])
 
+    def build_workload(self):
+        """Materialise a ``strategy`` system as a runnable ``WorkloadSpec``."""
+        if self.kind != "strategy":
+            raise ValueError(f"system kind {self.kind!r} declares no workload; "
+                             "only 'strategy' systems do")
+        from repro.workloads.generators import strategy_workload
+        args = dict(self.args)
+        return strategy_workload(args["n"], mu=args["mu"],
+                                 mu_spread=args["mu_spread"], lam=args["lam"],
+                                 work=args["work"],
+                                 error_rate=args["error_rate"],
+                                 checkpoint_cost=args["checkpoint_cost"],
+                                 restart_cost=args["restart_cost"])
+
+    @property
+    def scheme(self) -> Optional[str]:
+        """The recovery scheme of a ``strategy`` system (``None`` otherwise)."""
+        if self.kind != "strategy":
+            return None
+        return str(self.args["scheme"])
+
     @property
     def n(self) -> int:
         """Number of processes of the declared system (without building rates)."""
-        if self.kind in ("symmetric", "heterogeneous"):
+        if self.kind in ("symmetric", "heterogeneous", "strategy"):
             return int(self.args["n"])
         if self.kind in ("table1_case", "figure6_case"):
             return 3
@@ -237,7 +324,8 @@ class StudySpec:
     system:
         The :class:`SystemSpec` under study.
     metrics:
-        Which quantities to compute (see :data:`KNOWN_METRICS`).
+        Which quantities to compute (:data:`KNOWN_METRICS` for interval
+        systems, :data:`STRATEGY_METRICS` for ``strategy`` systems).
     times:
         Evaluation grid for the distribution metrics (``pdf``/``cdf``/``sf``).
     counting:
@@ -279,10 +367,16 @@ class StudySpec:
 
     def __post_init__(self) -> None:
         metrics = tuple(str(m) for m in self.metrics)
-        unknown = sorted(set(metrics) - set(KNOWN_METRICS))
+        # Strategy systems speak the run-report vocabulary, interval systems
+        # the interval-distribution one; mixing them would hand an engine a
+        # metric it cannot possibly compute, so the spec rejects it up front.
+        vocabulary = STRATEGY_METRICS if self.system.kind == "strategy" \
+            else KNOWN_METRICS
+        unknown = sorted(set(metrics) - set(vocabulary))
         if unknown:
-            raise ValueError(f"unknown metrics {unknown}; "
-                             f"known metrics: {', '.join(KNOWN_METRICS)}")
+            raise ValueError(
+                f"unknown metrics {unknown} for system kind "
+                f"{self.system.kind!r}; known metrics: {', '.join(vocabulary)}")
         if not metrics:
             raise ValueError("at least one metric is required")
         times = tuple(_coerce_number(t, "times") for t in self.times)
@@ -324,8 +418,11 @@ class StudySpec:
         return bool(self.sweep)
 
     def effective_reps(self) -> int:
-        """The stochastic budget with the default applied."""
-        return DEFAULT_EVAL_REPS if self.reps is None else self.reps
+        """The stochastic budget with the kind-appropriate default applied."""
+        if self.reps is not None:
+            return self.reps
+        return DEFAULT_STRATEGY_REPS if self.system.kind == "strategy" \
+            else DEFAULT_EVAL_REPS
 
     def wants(self, metric: str) -> bool:
         return metric in self.metrics

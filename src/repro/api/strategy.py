@@ -1,0 +1,223 @@
+"""The ``strategy`` evaluation engine: recovery schemes as study cells.
+
+The paper's conclusion is a *trade-off* argument between synchronized,
+asynchronous and pseudo-recovery-point checkpointing.  This module makes that
+argument a first-class citizen of the declarative facade: a ``strategy``
+:class:`~repro.api.spec.SystemSpec` names a scheme plus a workload, and the
+:class:`StrategyEvaluator` drives the corresponding :mod:`repro.recovery`
+runtime over the replication budget, averaging the
+:class:`~repro.recovery.report.RunReport` quantities into the same
+:class:`~repro.api.evaluation.Evaluation` shape every other engine returns.
+
+Determinism follows the runner's contract — one task per replication, seeds
+spawned in the driver, results reduced in task order — with one strategy-
+specific refinement: when several strategy cells are evaluated *in one
+context* (:func:`repro.api.facade.evaluate_in_context`), all cells share one
+replication seed block (common random numbers), so replication ``r`` uses the
+same fault/interaction timeline under every scheme and the seed noise cancels
+out of the scheme-vs-scheme deltas.  This is exactly the pre-facade
+``strategy_comparison`` task/seed layout, which keeps its results
+bit-identical across the migration.
+
+The ``synchronized`` scheme additionally has a closed-form face: Section 3's
+``CL`` (``sync_loss``) and ``E[Z]`` (``expected_wait``), served by the
+``analytic`` engine through :func:`analytic_strategy_evaluation` so the
+measured and exact values are directly comparable — the cross-engine
+conformance suite's anchor for the new system kind.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.evaluation import Evaluation
+from repro.api.evaluators import (Evaluator, UnsupportedMetricError,
+                                  register_evaluator)
+from repro.api.spec import StudySpec, SystemSpec
+from repro.recovery.report import RunReport
+from repro.runner import ExecutionContext, seed_to_int
+
+__all__ = [
+    "ANALYTIC_STRATEGY_METRICS",
+    "StrategyEvaluator",
+    "StrategyTask",
+    "analytic_strategy_checks",
+    "analytic_strategy_evaluation",
+    "run_strategy_task",
+]
+
+#: Metrics the runtimes cannot *measure* (they are closed-form quantities of
+#: the synchronized scheme; ask the ``analytic`` engine).
+_MEASURED_UNSUPPORTED = frozenset({"expected_wait"})
+
+#: The analytic engine's strategy vocabulary (Section 3 closed forms).
+ANALYTIC_STRATEGY_METRICS = frozenset({"sync_loss", "expected_wait"})
+
+#: Per-run report getters, named exactly like the strategy metrics.  Averaging
+#: these over the replications reproduces the pre-facade ``_summarize`` of the
+#: strategy-comparison experiment float for float.
+_REPORT_GETTERS = {
+    "makespan": lambda r: r.makespan,
+    "slowdown": lambda r: r.slowdown,
+    "rollbacks": lambda r: float(r.rollback_count),
+    "mean_rollback_distance": lambda r: r.mean_rollback_distance,
+    "max_rollback_distance": lambda r: r.max_rollback_distance,
+    "lost_work": lambda r: r.lost_work_total,
+    "checkpoint_overhead": lambda r: r.checkpoint_overhead_total,
+    "restart_overhead": lambda r: r.restart_overhead_total,
+    "waiting_time": lambda r: r.waiting_time_total,
+    "recovery_lines": lambda r: float(r.recovery_lines_committed),
+    "dominoes": lambda r: float(r.domino_count),
+    "peak_saved_states": lambda r: r.peak_saved_states,
+    "total_saves": lambda r: r.total_saves,
+    "completed": lambda r: 1.0 if r.completed else 0.0,
+    "sync_loss": lambda r: r.extra.get("mean_sync_loss", 0.0),
+}
+
+#: Metrics reported as sums over the budget rather than means (no stderr).
+_SUM_METRICS = frozenset({"recovery_lines_total"})
+
+
+@dataclass(frozen=True)
+class StrategyTask:
+    """One picklable work item: a single recovery-scheme replication."""
+
+    system: Dict[str, object]     # SystemSpec.to_dict() of a strategy system
+    seed: int
+
+
+def run_strategy_task(task: StrategyTask) -> RunReport:
+    """Worker entry point: run one replication of the declared strategy."""
+    from repro.recovery import make_runtime
+    system = SystemSpec.from_dict(task.system)
+    runtime = make_runtime(system.scheme, system.build_workload(),
+                           seed=task.seed,
+                           sync_interval=float(system.args["sync_interval"]))
+    return runtime.run()
+
+
+class StrategyEvaluator(Evaluator):
+    """Measure a recovery scheme by running its runtime over the budget."""
+
+    name = "strategy"
+    stochastic = True
+    worker = staticmethod(run_strategy_task)
+
+    # ------------------------------------------------------------------ checks
+    def validate(self, spec: StudySpec) -> None:
+        if spec.system.kind != "strategy":
+            raise UnsupportedMetricError(
+                f"the 'strategy' engine evaluates 'strategy' systems only, "
+                f"got system kind {spec.system.kind!r}; interval quantities "
+                "are served by analytic/mc/des")
+        unsupported = sorted(_MEASURED_UNSUPPORTED & set(spec.metrics))
+        if unsupported:
+            raise UnsupportedMetricError(
+                f"the 'strategy' engine cannot measure {unsupported} (they "
+                "are Section 3 closed forms, served by method='analytic' for "
+                "the synchronized scheme); no single engine serves a mix of "
+                "measured and closed-form-only metrics — split them into two "
+                "specs on the same system")
+
+    # ------------------------------------------------------------------ tasks
+    def _tasks_with_seeds(self, spec: StudySpec,
+                          seeds: Sequence[int]) -> List[StrategyTask]:
+        system = spec.system.to_dict()
+        return [StrategyTask(system=system, seed=seed) for seed in seeds]
+
+    def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[StrategyTask]:
+        """One task per replication, seeds spawned in the driver."""
+        self.validate(spec)
+        reps = ctx.reps_or(spec.effective_reps())
+        seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(reps)]
+        return self._tasks_with_seeds(spec, seeds)
+
+    def cell_tasks(self, specs: Sequence[StudySpec], ctx: ExecutionContext
+                   ) -> Tuple[List[StrategyTask], List[int]]:
+        """Common random numbers across cells sharing one context.
+
+        One seed block — as long as the largest cell budget — is spawned up
+        front and sliced per cell, so replication ``r`` of every scheme runs
+        on the same fault/interaction timeline.  (A cell evaluated on its own
+        spawns the identical block from its own root seed, so single-cell and
+        many-cell layouts agree wherever they overlap.)
+        """
+        for spec in specs:
+            self.validate(spec)
+        budgets = [ctx.reps_or(spec.effective_reps()) for spec in specs]
+        seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(max(budgets))]
+        tasks: List[StrategyTask] = []
+        bounds = [0]
+        for spec, reps in zip(specs, budgets):
+            tasks.extend(self._tasks_with_seeds(spec, seeds[:reps]))
+            bounds.append(len(tasks))
+        return tasks, bounds
+
+    # ------------------------------------------------------------------ reduce
+    def assemble(self, spec: StudySpec,
+                 outputs: Sequence[RunReport]) -> Evaluation:
+        reports = list(outputs)
+        metrics: Dict[str, float] = {}
+        for name in spec.metrics:
+            if name in _SUM_METRICS:
+                # recovery_lines_total: the integer total across the budget
+                # (python sum, so it matches the pre-facade accumulation).
+                metrics[name] = float(sum(r.recovery_lines_committed
+                                          for r in reports))
+                continue
+            values = [_REPORT_GETTERS[name](r) for r in reports]
+            metrics[name] = float(np.mean(values))
+            if len(values) > 1:
+                metrics[f"stderr_{name}"] = float(
+                    np.std(values, ddof=1) / math.sqrt(len(values)))
+        return Evaluation(method=self.name, backend="recovery-runtime",
+                          n_processes=spec.system.n, metrics=metrics,
+                          n_samples=len(reports), rel_tol=spec.rel_tol)
+
+
+def analytic_strategy_checks(spec: StudySpec) -> None:
+    """Reject strategy specs outside the analytic engine's closed forms."""
+    if spec.system.scheme != "synchronized":
+        raise UnsupportedMetricError(
+            f"the analytic engine has closed forms for the 'synchronized' "
+            f"scheme only, got {spec.system.scheme!r}; measure other schemes "
+            "with method='strategy'")
+    unsupported = sorted(set(spec.metrics) - ANALYTIC_STRATEGY_METRICS)
+    if unsupported:
+        raise UnsupportedMetricError(
+            f"the analytic engine cannot compute {unsupported} for a "
+            f"strategy system; only {sorted(ANALYTIC_STRATEGY_METRICS)} have "
+            "closed forms.  Measure the rest with method='strategy' — and if "
+            "one spec mixes both families, split it into a measured spec and "
+            "a closed-form spec on the same system")
+
+
+def analytic_strategy_evaluation(spec: StudySpec) -> Evaluation:
+    """Section 3 closed forms for a ``strategy`` spec (synchronized scheme).
+
+    ``sync_loss`` is ``CL = n·E[Z] − Σ 1/μ_i`` and ``expected_wait`` is
+    ``E[Z]``, both from :class:`~repro.analysis.synchronized_loss.
+    SynchronizedLossModel` on the workload's (possibly spread) rates.
+    """
+    analytic_strategy_checks(spec)
+    system = spec.system
+    from repro.analysis.synchronized_loss import SynchronizedLossModel
+    from repro.workloads.generators import spread_rates
+    rates = spread_rates(int(system.args["n"]), float(system.args["mu"]),
+                         float(system.args["mu_spread"]))
+    model = SynchronizedLossModel(rates)
+    metrics: Dict[str, float] = {}
+    if spec.wants("sync_loss"):
+        metrics["sync_loss"] = model.expected_loss()
+    if spec.wants("expected_wait"):
+        metrics["expected_wait"] = model.expected_wait()
+    return Evaluation(method="analytic", backend="closed-form",
+                      n_processes=system.n, metrics=metrics,
+                      rel_tol=spec.rel_tol)
+
+
+register_evaluator(StrategyEvaluator())

@@ -6,9 +6,15 @@ reports the measured makespan, rollback behaviour, overheads and storage — the
 empirical counterpart of the conclusion's trade-off discussion, and the experiment
 behind the ``strategy_comparison`` example.
 
-Every (scheme, replication) pair is one task for the experiment runner, so the
+The registered scenario is expressed through the unified facade: one
+``strategy`` :class:`~repro.api.StudySpec` per scheme, evaluated by
+:func:`repro.api.evaluate_in_context` with the strategy engine.  Every
+(scheme, replication) pair remains one task for the experiment runner, so the
 whole comparison fans out across worker processes; seeds per replication are
-fixed up front, keeping the averaged metrics backend independent.
+fixed up front and shared across schemes (common random numbers), keeping the
+averaged metrics backend independent.  :func:`run_strategy_comparison` keeps
+the direct-runtime path for arbitrary :class:`WorkloadSpec` values (recovery
+blocks, acceptance models) the declarative spec does not express.
 """
 
 from __future__ import annotations
@@ -19,19 +25,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
-from repro.recovery.asynchronous import AsynchronousRuntime
-from repro.recovery.pseudo import PseudoRecoveryPointRuntime
-from repro.recovery.synchronized import SynchronizedRuntime, SyncStrategy
+from repro.recovery import make_runtime
 from repro.recovery.report import RunReport
 from repro.runner import (
     ExecutionContext,
     SerialBackend,
     make_backend,
-    run_scenario,
     scenario,
-    seed_to_int,
 )
-from repro.workloads.generators import homogeneous_workload
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["run_strategy_comparison", "run_scheme_replications"]
@@ -43,15 +44,8 @@ METRIC_COLUMNS = ("makespan", "slowdown", "rollbacks", "mean_rollback_distance",
 
 def _run_scheme(scheme: str, workload: WorkloadSpec, seed: int,
                 sync_interval: float) -> RunReport:
-    if scheme == "asynchronous":
-        return AsynchronousRuntime(workload, seed=seed).run()
-    if scheme == "pseudo":
-        return PseudoRecoveryPointRuntime(workload, seed=seed).run()
-    if scheme == "synchronized":
-        return SynchronizedRuntime(workload, seed=seed,
-                                   strategy=SyncStrategy.ELAPSED_TIME,
-                                   sync_interval=sync_interval).run()
-    raise ValueError(f"unknown scheme {scheme!r}")
+    return make_runtime(scheme, workload, seed=seed,
+                        sync_interval=sync_interval).run()
 
 
 @dataclass(frozen=True)
@@ -128,7 +122,7 @@ def _tabulate(schemes: Sequence[str], tasks: List[_SchemeRun],
 @scenario("strategy_comparison",
           description="All three recovery schemes on one workload (measured)",
           paper_reference="Sections 2-5 trade-off discussion (executable version)",
-          default_reps=5)
+          default_reps=5, renderer="strategy_tradeoff")
 def strategy_comparison_scenario(ctx: ExecutionContext, *,
                                  n: int = 3, mu: float = 1.0, lam: float = 1.0,
                                  work: float = 25.0, error_rate: float = 0.04,
@@ -137,17 +131,29 @@ def strategy_comparison_scenario(ctx: ExecutionContext, *,
                                                            "synchronized",
                                                            "pseudo")
                                  ) -> ExperimentResult:
-    """Run every scheme on a homogeneous workload; ``ctx.reps`` replications each."""
+    """Run every scheme on a homogeneous workload; ``ctx.reps`` replications each.
+
+    One ``strategy`` study cell per scheme, evaluated through the unified
+    facade.  The strategy engine shares one replication seed block across the
+    cells (common random numbers: replication r uses the same seed for every
+    scheme, so the seed noise cancels out of the scheme-vs-scheme deltas) —
+    the same task/seed layout as the pre-facade version, bit for bit.
+    """
+    from repro.api import StudySpec, SystemSpec, evaluate_in_context
+
     replications = ctx.reps_or(5)
-    workload = homogeneous_workload(n=n, mu=mu, lam=lam, work=work,
-                                    error_rate=error_rate)
-    # Common random numbers: replication r uses the same seed for every scheme,
-    # so the seed noise cancels out of the scheme-vs-scheme deltas.
-    rep_seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(replications)]
-    tasks = [_SchemeRun(scheme, workload, rep_seed, sync_interval)
-             for scheme in schemes for rep_seed in rep_seeds]
-    reports = ctx.map(_run_scheme_task, tasks)
-    return _tabulate(schemes, tasks, reports, replications)
+    specs = [StudySpec(system=SystemSpec.strategy(
+                           str(scheme), n, mu=mu, lam=lam, work=work,
+                           error_rate=error_rate, sync_interval=sync_interval),
+                       metrics=METRIC_COLUMNS + ("completed",),
+                       reps=replications)
+             for scheme in schemes]
+    evaluations = evaluate_in_context(ctx, specs, method="strategy")
+    result = _comparison_result(replications)
+    for scheme, evaluation in zip(schemes, evaluations):
+        result.add_row(str(scheme), **{name: evaluation.metrics[name]
+                                       for name in METRIC_COLUMNS})
+    return result
 
 
 def run_strategy_comparison(workload: WorkloadSpec, *, replications: int = 5,

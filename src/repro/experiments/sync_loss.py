@@ -4,47 +4,66 @@ The paper gives the closed form ``CL = n∫(1−G(t))dt − Σ1/μ_i`` but no ta
 experiment tabulates it over the dimensions the text discusses — the number of
 processes and the heterogeneity of the checkpointing rates — and cross-checks the
 analytic value against the synchronized runtime's measured waiting loss.
+
+Both scenarios speak the unified facade language: each ``(n, heterogeneity)``
+point is a ``strategy`` :class:`~repro.api.StudySpec` (synchronized scheme),
+served by the analytic engine's closed forms — and, for the validation
+scenario, by the measuring strategy engine on the same declared system, which
+is what makes the analytic/measured comparison a genuine cross-engine check.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.analysis.synchronized_loss import SynchronizedLossModel
-from repro.core.parameters import SystemParameters
 from repro.experiments.common import ExperimentResult
-from repro.processes.communication import all_pairs_rates
-from repro.recovery.synchronized import SynchronizedRuntime, SyncStrategy
-from repro.runner import ExecutionContext, scenario, seed_to_int
-from repro.workloads.spec import FaultModel, WorkloadSpec
+from repro.runner import ExecutionContext, scenario
 
 __all__ = ["run_sync_loss", "run_sync_loss_validation"]
 
 
+def _loss_system(scheme_n: int, mu: float, *, mu_spread: float = 1.0,
+                 sync_interval: float = 3.0, work: float = 400.0):
+    """The declarative system of one CL cell (zero-cost, fault-free workload).
+
+    Costs and faults are zeroed so the measured waiting loss isolates the
+    synchronisation loss the closed form describes — the same workload the
+    pre-facade validation experiment built by hand.
+    """
+    from repro.api import SystemSpec
+    return SystemSpec.strategy("synchronized", scheme_n, mu=mu,
+                               mu_spread=mu_spread, lam=0.5, work=work,
+                               error_rate=0.0, checkpoint_cost=0.0,
+                               restart_cost=0.0, sync_interval=sync_interval)
+
+
 @scenario("sync_loss",
           description="Section 3: mean computation-power loss CL vs n",
-          paper_reference="Section 3 (mean loss in computation power, eq. for CL)")
+          paper_reference="Section 3 (mean loss in computation power, eq. for CL)",
+          renderer="sync_loss")
 def sync_loss_scenario(ctx: ExecutionContext, *,
                        n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
                        mu: float = 1.0,
                        heterogeneity: Sequence[float] = (1.0, 2.0, 4.0)
                        ) -> ExperimentResult:
-    """Regenerate the CL table (analytic; the backend is not used)."""
-    return run_sync_loss(n_values, mu, heterogeneity)
-
-
-def run_sync_loss(n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
-                  mu: float = 1.0,
-                  heterogeneity: Sequence[float] = (1.0, 2.0, 4.0)
-                  ) -> ExperimentResult:
-    """Tabulate ``CL`` versus ``n`` and rate heterogeneity.
+    """Regenerate the CL table through the facade's analytic closed forms.
 
     ``heterogeneity = h`` spreads the rates geometrically between ``μ/h`` and
     ``μ·h`` (keeping the same total rate); ``h = 1`` is the homogeneous case.
+    The ``(n, h)`` grid cells fan out through the backend.
     """
+    from repro.api import StudySpec, evaluate_in_context
+
+    heterogeneity = [float(h) for h in heterogeneity]
+    if any(h <= 0.0 for h in heterogeneity):
+        raise ValueError("heterogeneity factors must be positive")
+    n_values = [int(n) for n in n_values]
+    grid = [(n, h) for n in n_values for h in heterogeneity]
+    specs = [StudySpec(system=_loss_system(n, mu, mu_spread=h),
+                       metrics=("sync_loss", "expected_wait"))
+             for n, h in grid]
+    cells = dict(zip(grid, evaluate_in_context(ctx, specs, method="analytic")))
+
     columns = [f"CL h={h:g}" for h in heterogeneity] + ["E[Z] h=1", "CL per proc h=1"]
     result = ExperimentResult(
         name="sync_loss_vs_n",
@@ -55,46 +74,27 @@ def run_sync_loss(n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
                "process dictates the commit."),
     )
     for n in n_values:
-        values = {}
-        homogeneous = SynchronizedLossModel([mu] * n)
-        for h in heterogeneity:
-            if h <= 0.0:
-                raise ValueError("heterogeneity factors must be positive")
-            if h == 1.0 or n == 1:
-                rates = np.full(n, mu)
-            else:
-                rates = np.geomspace(mu / h, mu * h, n)
-                rates *= (mu * n) / rates.sum()   # keep the same aggregate rate
-            values[f"CL h={h:g}"] = SynchronizedLossModel(rates).expected_loss()
-        values["E[Z] h=1"] = homogeneous.expected_wait()
-        values["CL per proc h=1"] = homogeneous.expected_loss() / n
+        values = {f"CL h={h:g}": cells[(n, h)].metrics["sync_loss"]
+                  for h in heterogeneity}
+        homogeneous = cells[(n, 1.0)] if 1.0 in heterogeneity else \
+            evaluate_in_context(ctx, [StudySpec(
+                system=_loss_system(n, mu),
+                metrics=("sync_loss", "expected_wait"))], method="analytic")[0]
+        values["E[Z] h=1"] = homogeneous.metrics["expected_wait"]
+        values["CL per proc h=1"] = homogeneous.metrics["sync_loss"] / n
         result.add_row(f"n={n}", **values)
     return result
 
 
-@dataclass(frozen=True)
-class _SyncLossRun:
-    """One picklable synchronized-runtime measurement task."""
+def run_sync_loss(n_values: Sequence[int] = (2, 3, 4, 6, 8, 12, 16),
+                  mu: float = 1.0,
+                  heterogeneity: Sequence[float] = (1.0, 2.0, 4.0)
+                  ) -> ExperimentResult:
+    """Tabulate ``CL`` versus ``n`` and rate heterogeneity (scenario wrapper)."""
+    from repro.runner import run_scenario
 
-    n: int
-    mu: float
-    sync_interval: float
-    work: float
-    seed: Optional[int]
-
-
-def _measure_sync_loss(task: _SyncLossRun) -> Tuple[float, int]:
-    """Run the synchronized runtime once; return (mean loss, lines committed)."""
-    params = SystemParameters(mu=[task.mu] * task.n,
-                              lam=all_pairs_rates(task.n, 0.5))
-    workload = WorkloadSpec(params=params, work_per_process=task.work,
-                            checkpoint_cost=0.0, restart_cost=0.0,
-                            faults=FaultModel(error_rate=0.0))
-    runtime = SynchronizedRuntime(workload, seed=task.seed,
-                                  strategy=SyncStrategy.ELAPSED_TIME,
-                                  sync_interval=task.sync_interval)
-    report = runtime.run()
-    return runtime.mean_sync_loss(), report.recovery_lines_committed
+    return run_scenario("sync_loss", n_values=n_values, mu=mu,
+                        heterogeneity=heterogeneity)
 
 
 @scenario("sync_loss_validation",
@@ -106,29 +106,38 @@ def sync_loss_validation_scenario(ctx: ExecutionContext, *, n: int = 3,
                                   work: float = 400.0) -> ExperimentResult:
     """Compare the analytic ``CL`` with the synchronized runtime's measurement.
 
-    ``ctx.reps`` independent runtime replications are averaged (each with its
-    own spawned seed); the default of one replication matches the original
-    single-run experiment.
+    One declared system, two engines: the strategy engine measures the mean
+    waiting loss per committed recovery line over ``ctx.reps`` replications
+    (each with its own spawned seed; the default of one replication matches
+    the original single-run experiment), the analytic engine supplies the
+    closed form.
     """
+    from repro.api import StudySpec, evaluate_in_context
+
     reps = ctx.reps_or(1)
-    tasks = [_SyncLossRun(n, mu, sync_interval, work, seed_to_int(seq))
-             for seq in ctx.spawn_seeds(reps)]
-    measurements = ctx.map(_measure_sync_loss, tasks)
-    analytic = SynchronizedLossModel([mu] * n).expected_loss()
-    measured = float(np.mean([loss for loss, _lines in measurements]))
-    lines = sum(lines for _loss, lines in measurements)
+    system = _loss_system(n, mu, sync_interval=sync_interval, work=work)
+    [measured] = evaluate_in_context(
+        ctx, [StudySpec(system=system,
+                        metrics=("sync_loss", "recovery_lines_total"),
+                        reps=reps)],
+        method="strategy")
+    [closed_form] = evaluate_in_context(
+        ctx, [StudySpec(system=system, metrics=("sync_loss",))],
+        method="analytic")
+    analytic = closed_form.metrics["sync_loss"]
+    measured_loss = measured.metrics["sync_loss"]
     result = ExperimentResult(
         name="sync_loss_validation",
         paper_reference="Section 3 (CL formula) — runtime cross-check",
         columns=["analytic CL", "measured CL", "relative error", "lines committed"],
         notes="Measured mean waiting loss per committed recovery line vs. the closed form.",
     )
-    rel = abs(measured - analytic) / analytic if analytic > 0 else 0.0
+    rel = abs(measured_loss - analytic) / analytic if analytic > 0 else 0.0
     result.add_row(f"n={n} mu={mu:g}", **{
         "analytic CL": analytic,
-        "measured CL": measured,
+        "measured CL": measured_loss,
         "relative error": rel,
-        "lines committed": float(lines),
+        "lines committed": measured.metrics["recovery_lines_total"],
     })
     return result
 

@@ -31,6 +31,8 @@ process has completed its ``work_per_process`` budget (or the safety horizon is
 hit).
 """
 
+from typing import Optional
+
 from repro.recovery.checkpoint import SavedState, CheckpointStore
 from repro.recovery.report import RunReport, ProcessReport
 from repro.recovery.base import RecoverySchemeRuntime, ProcessRuntime
@@ -51,4 +53,27 @@ __all__ = [
     "SynchronizedRuntime",
     "SyncStrategy",
     "PseudoRecoveryPointRuntime",
+    "make_runtime",
 ]
+
+
+def make_runtime(scheme: str, workload, seed: Optional[int] = None, *,
+                 sync_interval: float = 2.0) -> RecoverySchemeRuntime:
+    """Build the runtime for a named scheme — the one dispatch point.
+
+    Both the strategy evaluation engine (:mod:`repro.api.strategy`) and the
+    direct experiment path
+    (:func:`repro.experiments.strategy_comparison.run_strategy_comparison`)
+    construct runtimes through here, so a new scheme or changed runtime
+    wiring can never diverge the two.  The synchronized scheme uses the
+    elapsed-time request strategy with the given *sync_interval*.
+    """
+    if scheme == "asynchronous":
+        return AsynchronousRuntime(workload, seed=seed)
+    if scheme == "pseudo":
+        return PseudoRecoveryPointRuntime(workload, seed=seed)
+    if scheme == "synchronized":
+        return SynchronizedRuntime(workload, seed=seed,
+                                   strategy=SyncStrategy.ELAPSED_TIME,
+                                   sync_interval=sync_interval)
+    raise ValueError(f"unknown scheme {scheme!r}")

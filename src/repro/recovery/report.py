@@ -95,7 +95,15 @@ class RunReport:
         raise KeyError(f"no report for process {process}")
 
     def summary(self) -> Dict[str, float]:
-        """Flat summary used by experiment tables."""
+        """Flat summary used by experiment tables.
+
+        The keys follow the ``repro.api`` strategy-metric vocabulary
+        (``STRATEGY_METRICS``), so a single run's summary lines up with the
+        strategy engine's replication averages column for column.
+        ``sync_loss`` is the mean waiting loss per committed recovery line —
+        non-zero only for the synchronized scheme, which reports it via
+        :attr:`extra`.
+        """
         return {
             "makespan": self.makespan,
             "slowdown": self.slowdown,
@@ -110,4 +118,5 @@ class RunReport:
             "dominoes": float(self.domino_count),
             "peak_saved_states": float(self.peak_saved_states),
             "total_saves": float(self.total_saves),
+            "sync_loss": float(self.extra.get("mean_sync_loss", 0.0)),
         }

@@ -271,6 +271,74 @@ def render_heterogeneous_sweep(result: ExperimentResult, out_dir: str,
     return artifacts
 
 
+@register_renderer("sync_loss")
+def render_sync_loss(result: ExperimentResult, out_dir: str,
+                     basename: str, digits: int = 6) -> List[Artifact]:
+    """Section 3: computation-power loss CL vs n, one line per heterogeneity."""
+    n_values = [_label_number(row.label, "n=") for row in result.rows]
+    chart = LineChart(
+        title="Section 3 — synchronisation loss CL vs n",
+        subtitle=result.paper_reference,
+        x_label="number of processes n",
+        y_label="CL (computation-power loss per line)",
+        x=n_values,
+    )
+    for column in result.columns:
+        if column.startswith("CL h="):
+            chart.add_series(f"h = {column.split('h=', 1)[1]}",
+                             result.column(column))
+    if "E[Z] h=1" in result.columns:
+        chart.add_series("E[Z] (h = 1)", result.column("E[Z] h=1"))
+    caption = "Section 3 — mean loss CL vs n and rate heterogeneity"
+    return [_emit_line_chart(chart, out_dir, basename, caption)]
+
+
+@register_renderer("strategy_tradeoff")
+def render_strategy_tradeoff(result: ExperimentResult, out_dir: str,
+                             basename: str, digits: int = 6) -> List[Artifact]:
+    """The conclusion's trade-off: overheads and rollbacks per scheme.
+
+    Schemes are categorical, so they sit at integer x positions with the
+    mapping spelled out on the axis label; two figures separate the
+    time-overhead decomposition from the rollback behaviour (their scales
+    have nothing to do with each other), and the full metric table is
+    emitted alongside.
+    """
+    schemes = [row.label for row in result.rows]
+    positions = list(range(1, len(schemes) + 1))
+    x_label = "scheme: " + ", ".join(f"{i}={s}"
+                                     for i, s in zip(positions, schemes))
+    overheads = LineChart(
+        title="Strategy trade-off — where the time goes",
+        subtitle=result.paper_reference,
+        x_label=x_label,
+        y_label="time (simulated units)",
+        x=positions,
+    )
+    for column in ("lost_work", "checkpoint_overhead", "waiting_time"):
+        if column in result.columns:
+            overheads.add_series(column, result.column(column))
+    artifacts = [_emit_line_chart(
+        overheads, out_dir, basename,
+        "Strategy trade-off — lost work, checkpointing and waiting per scheme")]
+    rollbacks = LineChart(
+        title="Strategy trade-off — rollback behaviour",
+        subtitle="asynchronous rollbacks are unbounded; the other schemes bound them",
+        x_label=x_label,
+        y_label="count / distance",
+        x=positions,
+    )
+    for column in ("rollbacks", "mean_rollback_distance",
+                   "max_rollback_distance"):
+        if column in result.columns:
+            rollbacks.add_series(column, result.column(column))
+    artifacts.append(_emit_line_chart(
+        rollbacks, out_dir, f"{basename}_rollbacks",
+        "Strategy trade-off — rollback count and distances per scheme"))
+    artifacts.extend(render_table(result, out_dir, basename, digits))
+    return artifacts
+
+
 @register_renderer("table")
 def render_table(result: ExperimentResult, out_dir: str,
                  basename: str, digits: int = 6) -> List[Artifact]:

@@ -57,9 +57,10 @@ class ScenarioSpec:
     renderer:
         Name of the :mod:`repro.report` renderer that turns this scenario's
         result into paper artifacts (``"figure5"``, ``"figure6"``,
-        ``"table"``, …).  ``None`` means the generic rendering — an inline
-        markdown table in ``REPORT.md`` — which every scenario gets anyway;
-        declared renderers *additionally* emit figure/table files.
+        ``"table"``, ``"sync_loss"``, ``"strategy_tradeoff"``, …).  ``None``
+        means the generic rendering — an inline markdown table in
+        ``REPORT.md`` — which every scenario gets anyway; declared renderers
+        *additionally* emit figure/table files.
     internal:
         Infrastructure scenarios (the facade's ``evaluate``) that need
         caller-supplied parameters and therefore must not be swept up by

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.parameters import SystemParameters
 from repro.processes.communication import all_pairs_rates, producer_consumer_rates
 from repro.processes.program import RecoveryBlockSpec
@@ -25,6 +27,8 @@ __all__ = [
     "homogeneous_workload",
     "pipeline_workload",
     "realtime_control_workload",
+    "spread_rates",
+    "strategy_workload",
 ]
 
 #: The five (μ, λ) cases of Table 1: ``(μ_1, μ_2, μ_3)`` and ``(λ_12, λ_23, λ_31)``.
@@ -67,6 +71,44 @@ def homogeneous_workload(n: int = 3, *, mu: float = 1.0, lam: float = 1.0,
     params = SystemParameters(mu=[mu] * n, lam=all_pairs_rates(n, lam))
     return WorkloadSpec(params=params, work_per_process=work,
                         checkpoint_cost=checkpoint_cost,
+                        faults=FaultModel(error_rate=error_rate))
+
+
+def spread_rates(n: int, mu: float, spread: float = 1.0) -> np.ndarray:
+    """Per-process rates spread geometrically between ``μ/spread`` and ``μ·spread``.
+
+    The aggregate rate is kept at ``n·μ`` so that heterogeneity is compared at
+    constant total checkpointing capacity — the transformation of the Section 3
+    ``CL`` table, shared here so the sync-loss experiment and the declarative
+    ``strategy`` system kind construct bit-identical rate vectors.
+    ``spread = 1`` is the homogeneous case.
+    """
+    if spread <= 0.0:
+        raise ValueError("heterogeneity factors must be positive")
+    n = int(n)
+    if spread == 1.0 or n == 1:
+        return np.full(n, mu)
+    rates = np.geomspace(mu / spread, mu * spread, n)
+    rates *= (mu * n) / rates.sum()   # keep the same aggregate rate
+    return rates
+
+
+def strategy_workload(n: int, *, mu: float = 1.0, mu_spread: float = 1.0,
+                      lam: float = 1.0, work: float = 25.0,
+                      error_rate: float = 0.0, checkpoint_cost: float = 0.02,
+                      restart_cost: float = 0.05) -> WorkloadSpec:
+    """The workload family behind the declarative ``strategy`` system kind.
+
+    All-pairs interaction at rate *lam*, recovery-point rates spread by
+    *mu_spread* (see :func:`spread_rates`), and the stated costs/fault rate.
+    With the defaults this is exactly :func:`homogeneous_workload`'s shape, so
+    the strategy-comparison scenario keeps its pre-facade workloads.
+    """
+    params = SystemParameters(mu=spread_rates(n, mu, mu_spread),
+                              lam=all_pairs_rates(n, lam))
+    return WorkloadSpec(params=params, work_per_process=work,
+                        checkpoint_cost=checkpoint_cost,
+                        restart_cost=restart_cost,
                         faults=FaultModel(error_rate=error_rate))
 
 

@@ -1,0 +1,229 @@
+"""The strategy engine: spec validation, determinism, caching, CLI face."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Evaluation,
+    StudySpec,
+    SystemSpec,
+    UnsupportedMetricError,
+    evaluate,
+    evaluate_in_context,
+    evaluate_record,
+    resolve_method,
+)
+from repro.report import ResultStore
+from repro.runner import ExecutionContext
+
+
+def strategy_spec(scheme="synchronized", **overrides):
+    fields = dict(
+        system=SystemSpec.strategy(scheme, 3, mu=1.0, lam=1.0, work=12.0,
+                                   error_rate=0.04, sync_interval=2.0),
+        metrics=("makespan", "slowdown", "rollbacks", "lost_work",
+                 "sync_loss"),
+        reps=3, seed=17)
+    fields.update(overrides)
+    return StudySpec(**fields)
+
+
+class TestStrategySystemSpec:
+    def test_defaults_are_applied_canonically(self):
+        system = SystemSpec.strategy("pseudo", 4, mu=1.0, lam=0.5, work=20.0)
+        assert system.args["mu_spread"] == 1.0
+        assert system.args["checkpoint_cost"] == 0.02
+        assert system.args["restart_cost"] == 0.05
+        assert system.n == 4
+        assert system.scheme == "pseudo"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="known schemes"):
+            SystemSpec.strategy("optimistic", 3, mu=1.0, lam=1.0, work=10.0)
+
+    def test_non_positive_spread_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            SystemSpec.strategy("synchronized", 3, mu=1.0, lam=1.0,
+                                work=10.0, mu_spread=0.0)
+
+    def test_build_workload_matches_declared_axes(self):
+        system = SystemSpec.strategy("asynchronous", 3, mu=2.0, lam=0.5,
+                                     work=30.0, error_rate=0.1,
+                                     checkpoint_cost=0.01, restart_cost=0.0)
+        workload = system.build_workload()
+        assert workload.n_processes == 3
+        assert workload.work_per_process == 30.0
+        assert workload.checkpoint_cost == 0.01
+        assert workload.restart_cost == 0.0
+        assert workload.faults.error_rate == 0.1
+        assert float(workload.params.mu[0]) == 2.0
+        assert float(workload.params.lam[0, 1]) == 0.5
+
+    def test_interval_systems_declare_no_workload(self):
+        with pytest.raises(ValueError, match="declares no workload"):
+            SystemSpec.symmetric(3, 1.0, 1.0).build_workload()
+
+    def test_interval_metrics_rejected_on_strategy_systems(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            strategy_spec(metrics=("mean", "variance"))
+
+    def test_strategy_metrics_rejected_on_interval_systems(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            StudySpec(system=SystemSpec.symmetric(3, 1.0, 1.0),
+                      metrics=("makespan",))
+
+
+class TestMethodResolution:
+    def test_auto_selects_strategy_for_measured_metrics(self):
+        assert resolve_method(strategy_spec()) == "strategy"
+
+    def test_auto_selects_analytic_for_closed_forms(self):
+        spec = strategy_spec(metrics=("sync_loss", "expected_wait"))
+        assert resolve_method(spec) == "analytic"
+
+    def test_auto_measures_closed_form_metrics_of_other_schemes(self):
+        spec = strategy_spec(scheme="asynchronous", metrics=("sync_loss",))
+        assert resolve_method(spec) == "strategy"
+
+    def test_samplers_reject_strategy_systems(self):
+        for method in ("mc", "des"):
+            with pytest.raises(UnsupportedMetricError, match="strategy"):
+                resolve_method(strategy_spec(), method)
+
+    def test_strategy_engine_rejects_interval_systems(self):
+        spec = StudySpec(system=SystemSpec.symmetric(3, 1.0, 1.0),
+                         metrics=("mean",))
+        with pytest.raises(UnsupportedMetricError, match="'strategy' systems"):
+            resolve_method(spec, "strategy")
+
+    def test_analytic_rejects_unsynchronized_schemes(self):
+        spec = strategy_spec(scheme="pseudo", metrics=("sync_loss",))
+        with pytest.raises(UnsupportedMetricError, match="synchronized"):
+            resolve_method(spec, "analytic")
+
+    def test_strategy_engine_cannot_measure_expected_wait(self):
+        spec = strategy_spec(metrics=("expected_wait",))
+        with pytest.raises(UnsupportedMetricError, match="closed forms"):
+            resolve_method(spec, "strategy")
+
+
+class TestDeterminism:
+    """Same seed ⇒ bit-identical evaluations, whatever the backend."""
+
+    def test_serial_process_bit_identical(self):
+        spec = strategy_spec()
+        serial = evaluate(spec, method="strategy")
+        pooled = evaluate(spec, method="strategy", backend="process",
+                          workers=2)
+        assert serial.to_dict() == pooled.to_dict()
+
+    def test_rerun_bit_identical(self):
+        spec = strategy_spec()
+        assert evaluate(spec, method="strategy").to_dict() == \
+            evaluate(spec, method="strategy").to_dict()
+
+    def test_scheme_sweep_bit_identical_across_backends(self):
+        sweep = strategy_spec(
+            sweep={"scheme": ("asynchronous", "synchronized", "pseudo")})
+        serial = evaluate_record(sweep, method="strategy")
+        pooled = evaluate_record(sweep, method="strategy",
+                                 backend="process", workers=2)
+        assert [c.evaluation.to_dict() for c in serial.cells] == \
+            [c.evaluation.to_dict() for c in pooled.cells]
+
+    def test_common_random_numbers_across_cells(self):
+        """In-context cells share the replication seed block (CRN layout)."""
+        ctx = ExecutionContext(seed=5)
+        specs = [strategy_spec(scheme=s, seed=None)
+                 for s in ("asynchronous", "synchronized")]
+        together = evaluate_in_context(ctx, specs, method="strategy")
+        # A cell evaluated alone from the same root seed spawns the identical
+        # seed block, so each scheme's numbers match its standalone run.
+        for spec, evaluation in zip(specs, together):
+            alone = evaluate_in_context(ExecutionContext(seed=5), [spec],
+                                        method="strategy")[0]
+            assert evaluation.to_dict() == alone.to_dict()
+
+    def test_store_key_equality_with_rerun(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        spec = strategy_spec()
+        fresh = evaluate_record(spec, method="strategy", store=store)
+        again = evaluate_record(spec, method="strategy", store=store)
+        assert not fresh.cells[0].cached and again.cells[0].cached
+        assert fresh.cells[0].key == again.cells[0].key \
+            == spec.canonical_key("strategy")
+        assert again.cells[0].evaluation == fresh.cells[0].evaluation
+
+    def test_evaluation_round_trips_through_store_encoding(self):
+        evaluation = evaluate(strategy_spec(), method="strategy")
+        rebuilt = Evaluation.from_experiment_result(
+            evaluation.to_experiment_result())
+        assert rebuilt.to_dict() == evaluation.to_dict()
+
+
+class TestAssembledMetrics:
+    def test_stderr_reported_for_averaged_metrics(self):
+        evaluation = evaluate(strategy_spec(), method="strategy")
+        assert "stderr_makespan" in evaluation.metrics
+        assert evaluation.n_samples == 3
+
+    def test_recovery_lines_total_is_a_sum(self):
+        spec = strategy_spec(metrics=("recovery_lines",
+                                      "recovery_lines_total"))
+        evaluation = evaluate(spec, method="strategy")
+        total = evaluation.metrics["recovery_lines_total"]
+        assert total == pytest.approx(
+            evaluation.metrics["recovery_lines"] * 3)
+        assert total == int(total)
+
+    def test_sync_loss_zero_for_schemes_without_waiting(self):
+        evaluation = evaluate(strategy_spec(scheme="asynchronous"),
+                              method="strategy")
+        assert evaluation.metrics["sync_loss"] == 0.0
+
+    def test_closed_forms_match_known_values(self):
+        # n = 3, mu = 1: CL = n(H_n - 1) = 1.5n - ... = 2.5, E[Z] = H_3.
+        evaluation = evaluate(
+            strategy_spec(metrics=("sync_loss", "expected_wait")),
+            method="analytic")
+        assert evaluation.metrics["sync_loss"] == pytest.approx(2.5)
+        assert evaluation.metrics["expected_wait"] == \
+            pytest.approx(11.0 / 6.0)
+
+
+class TestCliFace:
+    def write_spec(self, tmp_path, payload):
+        path = tmp_path / "strategy.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_eval_strategy_sweep_with_cache(self, tmp_path, capsys):
+        from repro.__main__ import main
+        spec_path = self.write_spec(tmp_path, {
+            "system": {"kind": "strategy", "scheme": "synchronized", "n": 3,
+                       "mu": 1.0, "lam": 1.0, "work": 10.0,
+                       "error_rate": 0.04},
+            "metrics": ["makespan", "slowdown", "sync_loss"],
+            "reps": 2, "seed": 11,
+            "sweep": {"scheme": ["asynchronous", "synchronized"]},
+        })
+        store = str(tmp_path / "store")
+        assert main(["eval", spec_path, "--method", "strategy",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "scheme=asynchronous [strategy]" in first
+        assert "0 served from the store" in first
+        assert main(["eval", spec_path, "--method", "strategy",
+                     "--store", store]) == 0
+        assert "2 served from the store" in capsys.readouterr().out
+
+    def test_eval_auto_resolves_closed_forms(self, tmp_path, capsys):
+        from repro.__main__ import main
+        spec_path = self.write_spec(tmp_path, {
+            "system": {"kind": "strategy", "scheme": "synchronized", "n": 4,
+                       "mu": 1.0, "lam": 0.5, "work": 10.0},
+            "metrics": ["sync_loss", "expected_wait"],
+        })
+        assert main(["eval", spec_path]) == 0
+        assert "analytic" in capsys.readouterr().out

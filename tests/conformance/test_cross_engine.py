@@ -1,0 +1,178 @@
+"""Cross-engine statistical conformance: analytic vs mc vs des.
+
+Every engine answers the same declarative :class:`~repro.api.StudySpec`, so
+their numbers must agree — exactly where both sides are closed-form, and
+within statistically derived tolerances where a sampler is involved:
+
+* **moment z-tests** — a stochastic mean estimate must sit within
+  ``Z_BOUND`` reported standard errors of the exact value (and the two
+  samplers within the combined standard error of each other);
+* **Kolmogorov–Smirnov** — the samplers' interval samples must be consistent
+  with the analytic cdf (one-sample KS), and with each other (two-sample KS).
+
+Fast cases run in tier-1; the ``slow``-marked deep cases sweep the paper's
+Table 1 systems with large budgets in the nightly job.
+"""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.api import StudySpec, SystemSpec, evaluate
+from repro.core.parameters import SystemParameters
+from repro.markov.montecarlo import ModelSimulator
+from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.sim.interval_sampler import DESIntervalSampler
+
+pytestmark = pytest.mark.conformance
+
+#: Acceptance band of the z-tests, in reported standard errors.  4.5 sigma
+#: two-sided is a ~7e-6 false-alarm probability per comparison — tight enough
+#: to catch a broken engine, loose enough that the seeded tests never flake.
+Z_BOUND = 4.5
+
+#: p-value floor for the KS tests (seeded, so this is deterministic).
+KS_ALPHA = 1e-3
+
+
+def shared_spec(**overrides):
+    """The shared n=5 acceptance spec all three engines must agree on."""
+    fields = dict(system=SystemSpec.symmetric(5, 1.0, 0.5),
+                  metrics=("mean", "variance", "rp_counts",
+                           "completion_probabilities"),
+                  reps=5000, seed=101)
+    fields.update(overrides)
+    return StudySpec(**fields)
+
+
+@pytest.fixture(scope="module")
+def three_way():
+    """One evaluation per engine on the shared spec (computed once)."""
+    spec = shared_spec()
+    return {method: evaluate(spec, method=method)
+            for method in ("analytic", "mc", "des")}
+
+
+class TestSharedSpecAgreement:
+    def test_engines_identify_themselves(self, three_way):
+        assert three_way["analytic"].method == "analytic"
+        assert three_way["mc"].n_samples == 5000
+        assert three_way["des"].n_samples == 5000
+
+    @pytest.mark.parametrize("sampler", ["mc", "des"])
+    def test_mean_z_test_vs_analytic(self, three_way, sampler):
+        exact = three_way["analytic"].mean
+        estimate = three_way[sampler]
+        z = abs(estimate.mean - exact) / estimate.stderr
+        assert z < Z_BOUND, (
+            f"{sampler} mean {estimate.mean} vs exact {exact}: z={z:.2f}")
+
+    def test_mean_two_sample_z_test_mc_vs_des(self, three_way):
+        mc, des = three_way["mc"], three_way["des"]
+        combined = np.hypot(mc.stderr, des.stderr)
+        z = abs(mc.mean - des.mean) / combined
+        assert z < Z_BOUND
+
+    @pytest.mark.parametrize("sampler", ["mc", "des"])
+    def test_variance_agreement(self, three_way, sampler):
+        # Var[s^2] ≈ (m4 - s^4)/n; for these near-exponential intervals a
+        # normal-theory bound s^2·sqrt(2/(n-1)) underestimates the tail, so
+        # the band is doubled on top of the Z_BOUND multiplier.
+        exact = three_way["analytic"].metrics["variance"]
+        est = three_way[sampler].metrics["variance"]
+        n = three_way[sampler].n_samples
+        stderr_var = exact * np.sqrt(2.0 / (n - 1))
+        assert abs(est - exact) <= 2.0 * Z_BOUND * stderr_var
+
+    @pytest.mark.parametrize("sampler", ["mc", "des"])
+    def test_rp_counts_within_stated_tolerance(self, three_way, sampler):
+        exact = np.asarray(three_way["analytic"].rp_counts)
+        est = np.asarray(three_way[sampler].rp_counts)
+        np.testing.assert_allclose(est, exact, rtol=shared_spec().rel_tol)
+
+    @pytest.mark.parametrize("sampler", ["mc", "des"])
+    def test_completion_probabilities_sum_and_agree(self, three_way, sampler):
+        exact = np.asarray(three_way["analytic"].completion_probabilities)
+        est = np.asarray(three_way[sampler].completion_probabilities)
+        assert est.sum() == pytest.approx(1.0)
+        # q_i are probabilities: tolerance is absolute (binomial stderr scale).
+        stderr = np.sqrt(exact * (1 - exact) / three_way[sampler].n_samples)
+        assert np.all(np.abs(est - exact) <= Z_BOUND * stderr + 1e-9)
+
+
+class TestDistributionalConformance:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return SystemParameters.symmetric(5, 1.0, 0.5)
+
+    @pytest.fixture(scope="class")
+    def analytic_cdf(self, system):
+        model = RecoveryLineIntervalModel(system)
+        return lambda t: np.atleast_1d(model.cdf(np.asarray(t, dtype=float)))
+
+    def test_ks_mc_samples_vs_analytic_cdf(self, system, analytic_cdf):
+        lengths = ModelSimulator(system, seed=7).sample_intervals(2000).lengths
+        result = scipy.stats.kstest(lengths, analytic_cdf)
+        assert result.pvalue > KS_ALPHA, result
+
+    def test_ks_des_samples_vs_analytic_cdf(self, system, analytic_cdf):
+        lengths = DESIntervalSampler(system, seed=7).sample_intervals(1500).lengths
+        result = scipy.stats.kstest(lengths, analytic_cdf)
+        assert result.pvalue > KS_ALPHA, result
+
+    def test_ks_two_sample_mc_vs_des(self, system):
+        mc = ModelSimulator(system, seed=3).sample_intervals(2000).lengths
+        des = DESIntervalSampler(system, seed=11).sample_intervals(1500).lengths
+        result = scipy.stats.ks_2samp(mc, des)
+        assert result.pvalue > KS_ALPHA, result
+
+    def test_empirical_cdf_grid_matches_analytic(self):
+        spec = shared_spec(metrics=("mean", "cdf"), times=(2.0, 4.0, 8.0),
+                           reps=5000)
+        exact = np.asarray(evaluate(spec, method="analytic")
+                           .distributions["cdf"])
+        for sampler in ("mc", "des"):
+            est = np.asarray(evaluate(spec, method=sampler)
+                             .distributions["cdf"])
+            stderr = np.sqrt(exact * (1 - exact) / spec.effective_reps())
+            assert np.all(np.abs(est - exact) <= Z_BOUND * stderr + 1e-9), \
+                sampler
+
+
+@pytest.mark.slow
+class TestDeepConformance:
+    """Nightly: larger budgets, the paper's Table 1 systems."""
+
+    @pytest.mark.parametrize("case", [1, 2, 3, 4, 5])
+    def test_table1_case_mean_z_test(self, case):
+        spec = StudySpec(system=SystemSpec.table1_case(case),
+                         metrics=("mean", "variance"), reps=60_000,
+                         seed=case)
+        exact = evaluate(spec, method="analytic").mean
+        for sampler in ("mc", "des"):
+            est = evaluate(spec, method=sampler)
+            z = abs(est.mean - exact) / est.stderr
+            assert z < Z_BOUND, (case, sampler, z)
+
+    def test_large_sample_ks_vs_analytic(self):
+        system = SystemParameters.symmetric(4, 1.0, 1.0)
+        model = RecoveryLineIntervalModel(system)
+        cdf = lambda t: np.atleast_1d(model.cdf(np.asarray(t, dtype=float)))
+        mc = ModelSimulator(system, seed=41).sample_intervals(30_000).lengths
+        assert scipy.stats.kstest(mc, cdf).pvalue > KS_ALPHA
+        des = DESIntervalSampler(system, seed=41).sample_intervals(8_000).lengths
+        assert scipy.stats.kstest(des, cdf).pvalue > KS_ALPHA
+
+    def test_heterogeneous_system_three_way(self):
+        spec = StudySpec(system=SystemSpec.heterogeneous(
+                             5, mu_base=1.0, mu_gradient=1.3, lam_base=0.4,
+                             locality=0.5),
+                         metrics=("mean", "rp_counts"), reps=40_000, seed=13)
+        exact = evaluate(spec, method="analytic")
+        for sampler in ("mc", "des"):
+            est = evaluate(spec, method=sampler)
+            z = abs(est.mean - exact.mean) / est.stderr
+            assert z < Z_BOUND, (sampler, z)
+            np.testing.assert_allclose(np.asarray(est.rp_counts),
+                                       np.asarray(exact.rp_counts),
+                                       rtol=0.03)

@@ -1,0 +1,125 @@
+"""Cross-engine conformance for the strategy engine (Section 3 sync loss).
+
+The synchronized scheme's waiting loss has both a measured face (the
+``strategy`` engine driving the runtime) and a closed form (the ``analytic``
+engine's ``CL``), so the two engines check each other on the same declared
+system.
+
+One divergence is *structural* and documented here rather than papered over
+with loose tolerances: the closed form assumes all ``n`` processes
+participate in every synchronisation, while the runtime lets a process that
+finished its work budget drop out of subsequent lines.  Homogeneous systems
+finish nearly together, so the measured loss undershoots ``CL`` by only a
+few percent; heterogeneous rates make the slow checkpointer (which waits the
+least per line) finish *first*, and the drop-out bias becomes a one-sided,
+work-independent fraction.  The tests therefore use stderr-derived z-bands
+plus a small systematic allowance where the estimator is near-unbiased, and
+one-sided bounds plus monotonicity where the divergence is structural.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import StudySpec, SystemSpec, evaluate
+
+pytestmark = pytest.mark.conformance
+
+Z_BOUND = 4.5
+
+#: Systematic allowance for the finished-process drop-out bias (homogeneous
+#: systems; measured ~1-6% across seeds and sizes).
+DROPOUT_ALLOWANCE = 0.10
+
+
+def loss_system(n, *, mu=1.0, mu_spread=1.0, work=250.0, sync_interval=3.0):
+    """Zero-cost, fault-free synchronized workload: pure waiting loss."""
+    return SystemSpec.strategy("synchronized", n, mu=mu, mu_spread=mu_spread,
+                               lam=0.5, work=work, error_rate=0.0,
+                               checkpoint_cost=0.0, restart_cost=0.0,
+                               sync_interval=sync_interval)
+
+
+def measured_and_exact(system, *, reps, seed):
+    measured = evaluate(StudySpec(system=system,
+                                  metrics=("sync_loss",
+                                           "recovery_lines_total"),
+                                  reps=reps, seed=seed),
+                        method="strategy")
+    exact = evaluate(StudySpec(system=system, metrics=("sync_loss",)),
+                     method="analytic").metrics["sync_loss"]
+    return measured, exact
+
+
+class TestHomogeneousAgreement:
+    @pytest.mark.parametrize("seed", [31, 7])
+    def test_measured_cl_within_band_n3(self, seed):
+        measured, exact = measured_and_exact(loss_system(3), reps=3,
+                                             seed=seed)
+        band = Z_BOUND * measured.metrics["stderr_sync_loss"] \
+            + DROPOUT_ALLOWANCE * exact
+        assert abs(measured.metrics["sync_loss"] - exact) <= band
+        # enough committed lines for the per-line average to mean something
+        assert measured.metrics["recovery_lines_total"] > 50
+
+    def test_exact_cl_matches_closed_form_series(self):
+        # CL = n(H_n - 1)/mu for homogeneous rates.
+        for n in (2, 3, 5, 8):
+            harmonic = sum(1.0 / k for k in range(1, n + 1))
+            exact = evaluate(StudySpec(system=loss_system(n),
+                                       metrics=("sync_loss",)),
+                             method="analytic").metrics["sync_loss"]
+            assert exact == pytest.approx(n * (harmonic - 1.0))
+
+
+class TestHeterogeneousStructure:
+    def test_measured_loss_one_sided_below_closed_form(self):
+        """Drop-out bias is one-sided: measured ≤ CL, but not degenerate."""
+        system = loss_system(4, mu_spread=2.0, work=400.0)
+        measured, exact = measured_and_exact(system, reps=3, seed=31)
+        value = measured.metrics["sync_loss"]
+        slack = Z_BOUND * measured.metrics["stderr_sync_loss"]
+        assert value <= exact + slack
+        assert value >= 0.5 * exact
+
+    def test_spreading_rates_increases_loss_in_both_engines(self):
+        """CL grows with heterogeneity at constant total rate — measured and
+        closed-form must agree on the trend, not just the homogeneous point."""
+        exact_by_spread = {}
+        measured_by_spread = {}
+        for spread in (1.0, 2.0):
+            system = loss_system(4, mu_spread=spread, work=400.0)
+            measured, exact = measured_and_exact(system, reps=3, seed=31)
+            exact_by_spread[spread] = exact
+            measured_by_spread[spread] = measured.metrics["sync_loss"]
+        assert exact_by_spread[2.0] > exact_by_spread[1.0]
+        assert measured_by_spread[2.0] > measured_by_spread[1.0]
+
+
+@pytest.mark.slow
+class TestDeepStrategyConformance:
+    def test_homogeneous_band_tightens_with_size_and_work(self):
+        for n, work in ((3, 1200.0), (6, 800.0)):
+            measured, exact = measured_and_exact(loss_system(n, work=work),
+                                                 reps=5, seed=31)
+            band = Z_BOUND * measured.metrics["stderr_sync_loss"] \
+                + DROPOUT_ALLOWANCE * exact
+            assert abs(measured.metrics["sync_loss"] - exact) <= band, n
+            assert measured.metrics["recovery_lines_total"] > 500
+
+    def test_expected_wait_orders_schemes_waiting_time(self):
+        """E[Z] closed form vs the measured per-scheme waiting time: only the
+        synchronized scheme waits, and it waits roughly CL per line."""
+        comparison = {}
+        for scheme in ("asynchronous", "synchronized", "pseudo"):
+            system = SystemSpec.strategy(scheme, 3, mu=1.0, lam=1.0,
+                                         work=120.0, error_rate=0.0,
+                                         checkpoint_cost=0.0,
+                                         restart_cost=0.0, sync_interval=3.0)
+            comparison[scheme] = evaluate(
+                StudySpec(system=system,
+                          metrics=("waiting_time", "recovery_lines"),
+                          reps=4, seed=17),
+                method="strategy").metrics
+        assert comparison["asynchronous"]["waiting_time"] == 0.0
+        assert comparison["pseudo"]["waiting_time"] == 0.0
+        assert comparison["synchronized"]["waiting_time"] > 0.0

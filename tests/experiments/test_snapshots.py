@@ -1,0 +1,59 @@
+"""Pre-facade output snapshots: the rewired scenarios must not drift.
+
+The ``strategy_comparison``, ``sync_loss`` and ``sync_loss_validation``
+scenarios were rewritten onto the unified facade (``strategy`` study cells +
+``evaluate_in_context``).  The JSON files under ``snapshots/`` were generated
+by the *pre-facade* implementations; the rewired scenarios must reproduce
+them bit for bit — same task layout, same seed stream, same floats — on every
+backend.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.report.store import strict_jsonable
+from repro.runner import run_scenario
+
+SNAPSHOT_DIR = os.path.join(os.path.dirname(__file__), "snapshots")
+SNAPSHOT_NAMES = ("strategy_comparison", "sync_loss", "sync_loss_validation")
+
+
+def load_snapshot(name):
+    path = os.path.join(SNAPSHOT_DIR, f"{name}.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", SNAPSHOT_NAMES)
+def test_scenario_is_bit_identical_to_pre_facade_snapshot(name):
+    snapshot = load_snapshot(name)
+    result = run_scenario(name, seed=snapshot["seed"], reps=snapshot["reps"],
+                          **snapshot["params"])
+    assert strict_jsonable(result.to_dict()) == snapshot["result"]
+
+
+def test_strategy_comparison_snapshot_holds_on_process_pool():
+    snapshot = load_snapshot("strategy_comparison")
+    result = run_scenario("strategy_comparison", seed=snapshot["seed"],
+                          reps=snapshot["reps"], backend="process", workers=2,
+                          **snapshot["params"])
+    assert strict_jsonable(result.to_dict()) == snapshot["result"]
+
+
+def test_rewired_scenarios_serve_from_the_store(tmp_path):
+    """The facade migration keeps the runner's store caching intact."""
+    from repro.report import ResultStore
+    from repro.runner import ExperimentRunner
+
+    snapshot = load_snapshot("strategy_comparison")
+    store = ResultStore(str(tmp_path / "store"))
+    runner = ExperimentRunner(store=store)
+    fresh = runner.run_record("strategy_comparison", seed=snapshot["seed"],
+                              reps=snapshot["reps"], **snapshot["params"])
+    again = runner.run_record("strategy_comparison", seed=snapshot["seed"],
+                              reps=snapshot["reps"], **snapshot["params"])
+    assert not fresh.cached and again.cached
+    assert again.result.to_dict() == fresh.result.to_dict()
+    assert strict_jsonable(again.result.to_dict()) == snapshot["result"]

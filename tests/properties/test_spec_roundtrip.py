@@ -1,0 +1,193 @@
+"""Property tests: StudySpec/SystemSpec serialisation and identity.
+
+Hypothesis-generated specs across every system kind (including the strategy
+kind) must round-trip *exactly* through their dict/JSON forms, and
+``canonical_key`` must be insensitive to the ordering of the dicts a payload
+arrives in — equivalent payloads collapse to one cell identity, inequivalent
+ones never do.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    KNOWN_METRICS,
+    RECOVERY_SCHEMES,
+    STRATEGY_METRICS,
+    StudySpec,
+    SystemSpec,
+)
+
+# ---------------------------------------------------------------- strategies
+# Rates et al. stay strictly positive and away from denormals; abs() folds
+# -0.0 (json preserves the sign bit, but -0.0 == 0.0 would make two equal
+# specs hash to different canonical keys).
+finite_rate = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+small_count = st.integers(min_value=2, max_value=6)
+probability = st.floats(min_value=0.0, max_value=0.2,
+                        allow_nan=False).map(abs)
+
+
+def symmetric_systems():
+    return st.builds(SystemSpec.symmetric, n=small_count, mu=finite_rate,
+                     lam=finite_rate)
+
+
+def three_process_systems():
+    triple = st.tuples(finite_rate, finite_rate, finite_rate)
+    return st.builds(lambda mu, lam: SystemSpec("three_process",
+                                                {"mu": mu,
+                                                 "lam_12_23_31": lam}),
+                     triple, triple)
+
+
+def case_systems():
+    return st.one_of(
+        st.integers(min_value=1, max_value=5).map(SystemSpec.table1_case),
+        st.integers(min_value=1, max_value=3).map(SystemSpec.figure6_case))
+
+
+def heterogeneous_systems():
+    return st.builds(
+        lambda n, mu, g, lam, loc: SystemSpec.heterogeneous(
+            n, mu_base=mu, mu_gradient=g, lam_base=lam, locality=loc),
+        small_count, finite_rate,
+        st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+        finite_rate,
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False).map(abs))
+
+
+def strategy_systems():
+    return st.builds(
+        lambda scheme, n, mu, spread, lam, work, err: SystemSpec.strategy(
+            scheme, n, mu=mu, mu_spread=spread, lam=lam, work=work,
+            error_rate=err),
+        st.sampled_from(RECOVERY_SCHEMES), small_count, finite_rate,
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+        finite_rate,
+        st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+        probability)
+
+
+def system_specs():
+    return st.one_of(symmetric_systems(), three_process_systems(),
+                     case_systems(), heterogeneous_systems(),
+                     strategy_systems())
+
+
+SCALAR_INTERVAL_METRICS = tuple(m for m in KNOWN_METRICS
+                                if m not in ("pdf", "cdf", "sf"))
+
+
+@st.composite
+def study_specs(draw):
+    system = draw(system_specs())
+    vocabulary = STRATEGY_METRICS if system.kind == "strategy" \
+        else SCALAR_INTERVAL_METRICS
+    metrics = tuple(draw(st.lists(st.sampled_from(vocabulary), min_size=1,
+                                  max_size=3, unique=True)))
+    times = ()
+    if system.kind != "strategy" and draw(st.booleans()):
+        metrics = metrics + ("cdf",)
+        times = (1.0, 2.5)
+    reps = draw(st.one_of(st.none(),
+                          st.integers(min_value=1, max_value=50_000)))
+    seed = draw(st.one_of(st.none(),
+                          st.integers(min_value=0, max_value=2**32 - 1)))
+    sweep = {}
+    if draw(st.booleans()):
+        sweep["reps"] = tuple(draw(st.lists(
+            st.integers(min_value=1, max_value=1000), min_size=1, max_size=3,
+            unique=True)))
+    return StudySpec(system=system, metrics=metrics, times=times, reps=reps,
+                     seed=seed, sweep=sweep)
+
+
+def reorder(value, reverse):
+    """Recursively rebuild dicts with key order flipped (payload-equivalent)."""
+    if isinstance(value, dict):
+        items = sorted(value.items(), reverse=reverse)
+        return {k: reorder(v, reverse) for k, v in items}
+    if isinstance(value, list):
+        return [reorder(v, reverse) for v in value]
+    return value
+
+
+# ------------------------------------------------------------------ round trip
+@settings(max_examples=60, deadline=None)
+@given(system_specs())
+def test_system_spec_round_trips_exactly(system):
+    assert SystemSpec.from_dict(system.to_dict()) == system
+    via_json = SystemSpec.from_dict(json.loads(json.dumps(system.to_dict())))
+    assert via_json == system
+    assert via_json.to_dict() == system.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(study_specs())
+def test_study_spec_round_trips_exactly(spec):
+    assert StudySpec.from_dict(spec.to_dict()) == spec
+    via_json = StudySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert via_json == spec
+    assert via_json.to_dict() == spec.to_dict()
+    assert hash(via_json) == hash(spec)
+
+
+# ------------------------------------------------------------------ identity
+@settings(max_examples=60, deadline=None)
+@given(study_specs(), st.sampled_from(["auto", "analytic"]))
+def test_canonical_key_is_order_insensitive(spec, method):
+    if method == "analytic" and spec.system.kind == "strategy":
+        method = "auto"   # analytic serves only the closed-form subset
+    # A sweep spec has no single cell identity; its expanded cells do.
+    baseline = [cell.canonical_key(method) for cell in spec.cells()]
+    for reverse in (False, True):
+        shuffled = StudySpec.from_dict(reorder(spec.to_dict(), reverse))
+        assert shuffled == spec
+        # equivalent payloads enumerate identical cells with identical keys
+        assert [c.to_dict() for c in shuffled.cells()] == \
+            [c.to_dict() for c in spec.cells()]
+        assert [c.canonical_key(method) for c in shuffled.cells()] == baseline
+
+
+@settings(max_examples=60, deadline=None)
+@given(study_specs())
+def test_canonical_key_separates_distinct_systems(spec):
+    payload = spec.to_dict()
+    system = dict(payload["system"])
+    # Perturb one numeric system argument: a different system must never
+    # collide with the original cell.
+    numeric = [k for k, v in system.items()
+               if isinstance(v, float) and k != "kind"]
+    if not numeric:
+        numeric = [k for k, v in system.items()
+                   if isinstance(v, int) and k != "kind"]
+    if not numeric:
+        return   # case systems perturb via the int branch above
+    key = sorted(numeric)[0]
+    system[key] = system[key] + 1
+    try:
+        other = StudySpec.from_dict({**payload, "system": system})
+    except ValueError:
+        return   # perturbation left the kind's valid domain
+    ours = [cell.canonical_key("auto") for cell in spec.cells()]
+    theirs = [cell.canonical_key("auto") for cell in other.cells()]
+    assert not set(ours) & set(theirs)
+
+
+def test_integer_float_equivalence_shares_one_key():
+    a = StudySpec(system=SystemSpec.symmetric(4, 1, 1), metrics=("mean",))
+    b = StudySpec(system=SystemSpec.symmetric(4, 1.0, 1.0),
+                  metrics=("mean",))
+    assert a == b
+    assert a.canonical_key() == b.canonical_key()
+
+
+def test_strategy_kind_key_depends_on_scheme():
+    keys = {StudySpec(system=SystemSpec.strategy(s, 3, mu=1.0, lam=1.0,
+                                                 work=10.0),
+                      metrics=("makespan",), seed=1).canonical_key("strategy")
+            for s in RECOVERY_SCHEMES}
+    assert len(keys) == len(RECOVERY_SCHEMES)

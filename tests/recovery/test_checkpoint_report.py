@@ -136,7 +136,15 @@ class TestRunReport:
 
     def test_summary_keys(self):
         summary = self._report().summary()
-        assert {"makespan", "rollbacks", "lost_work", "waiting_time"} <= set(summary)
+        assert {"makespan", "rollbacks", "lost_work", "waiting_time",
+                "sync_loss"} <= set(summary)
+
+    def test_summary_speaks_the_strategy_metric_vocabulary(self):
+        from repro.api import STRATEGY_METRICS
+        summary = self._report().summary()
+        assert set(summary) <= set(STRATEGY_METRICS)
+        # schemes without a waiting protocol report zero loss
+        assert summary["sync_loss"] == 0.0
 
     def test_process_report_finished_flag(self):
         unfinished = ProcessReport(process=1, finish_time=None, useful_work=3.0,
