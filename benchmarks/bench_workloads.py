@@ -1,0 +1,46 @@
+"""The two acceptance bench workloads of the perf-trajectory suite.
+
+Defined once so the baseline ("before") and every future ("after")
+measurement run the *same* work — the committed hex snapshots under
+``benchmarks/snapshots/`` pin these specs bit-for-bit, so changing a spec
+here requires re-recording its snapshot and restarting its BENCH trajectory
+(see docs/RUNNER.md).
+
+``STRATEGY_SPEC`` is the ISSUE-6 acceptance shape — 3 schemes × 4 workload
+cells at the default strategy budget — and ``ANALYTIC_SPEC`` the 100-cell
+rates-only heterogeneous sweep that exercises the structure cache (one
+structural miss, 99 hits).
+"""
+
+STRATEGY_SPEC = {
+    "system": {"kind": "strategy", "scheme": "synchronized", "n": 4,
+               "mu": 1.0, "lam": 1.0, "work": 25.0, "error_rate": 0.05,
+               "sync_interval": 2.0},
+    "metrics": ["makespan", "slowdown", "rollbacks", "lost_work",
+                "total_saves"],
+    "seed": 1234,
+    "sweep": {"scheme": ["asynchronous", "synchronized", "pseudo"],
+              "lam": [0.5, 1.0, 1.5, 2.0]},
+}
+
+#: Replications per strategy cell (the spec carries no ``reps``, so the
+#: engine default applies; stated here for the throughput bookkeeping).
+STRATEGY_REPS_PER_CELL = 5
+
+ANALYTIC_SPEC = {
+    "system": {"kind": "heterogeneous", "n": 9, "mu_base": 1.0,
+               "mu_gradient": 2.0, "lam_base": 0.5, "locality": 1.0},
+    "metrics": ["mean", "variance"],
+    "sweep": {"lam_base": [round(0.2 + 0.008 * i, 6) for i in range(100)]},
+}
+
+
+def hexify(value):
+    """Floats to ``float.hex()`` recursively — the bit-identity currency."""
+    if isinstance(value, float):
+        return float(value).hex()
+    if isinstance(value, (list, tuple)):
+        return [hexify(v) for v in value]
+    if isinstance(value, dict):
+        return {k: hexify(v) for k, v in value.items()}
+    return value

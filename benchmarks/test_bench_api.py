@@ -26,15 +26,20 @@ _N, _MU, _LAM = 7, 1.0, 1.0
 
 #: Specs are frozen and reusable; the guard times `evaluate()` dispatch, not
 #: spec construction (benchmarked separately below).  Both paths still build
-#: their `SystemParameters` and model afresh on every call.
+#: their `SystemParameters` and model afresh on every call — with the
+#: structure cache pinned OFF on both sides: a cached refill shrinks the
+#: numerics to near nothing at n=7, and a dispatch/numerics *ratio* guard
+#: only means something while the denominator is a real fresh build.
 _SPEC = StudySpec(system=SystemSpec.symmetric(_N, _MU, _LAM),
                   metrics=("mean", "variance"),
-                  options={"prefer_simplified": False})
+                  options={"prefer_simplified": False,
+                           "structure_cache": False})
 
 
 def _direct_once() -> float:
     model = RecoveryLineIntervalModel(
-        SystemParameters.symmetric(_N, _MU, _LAM), prefer_simplified=False)
+        SystemParameters.symmetric(_N, _MU, _LAM), prefer_simplified=False,
+        structure_cache=False)
     mean = model.mean_interval()
     variance = model.interval_variance()
     return mean + variance
@@ -121,7 +126,8 @@ def test_bench_spec_construction(benchmark):
     def build():
         return StudySpec(system=SystemSpec.symmetric(_N, _MU, _LAM),
                          metrics=("mean", "variance"),
-                         options={"prefer_simplified": False})
+                         options={"prefer_simplified": False,
+                                  "structure_cache": False})
 
     assert benchmark(build) == _SPEC
 

@@ -170,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="persist spec + evaluation(s) as JSON")
     eval_cmd.add_argument("--force", action="store_true",
                           help="overwrite an existing --output file")
+    eval_cmd.add_argument("--timing", action="store_true",
+                          help="print a per-phase wall-time breakdown "
+                               "(spec resolve / assembly / solve or sim / "
+                               "reduce / store) after the result")
 
     report_cmd = sub.add_parser(
         "report", help="render paper figures/tables and a REPORT.md")
@@ -304,31 +308,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_eval(args: argparse.Namespace) -> int:
-    if args.workers is not None and args.backend != "process":
-        raise SystemExit("--workers requires --backend process")
-    if args.reps is not None and args.reps < 1:
-        raise SystemExit("--reps must be >= 1")
-    _check_output_path(args.output, args.force)
+def _resolve_and_evaluate(args: argparse.Namespace):
+    """The eval pipeline: parse the spec file, apply overrides, evaluate.
+
+    Factored out of :func:`_cmd_eval` so ``--timing`` can run the whole
+    pipeline under one phase collector (the engines and the facade carry
+    the ``assembly``/``solve``/``sim``/``reduce``/``store`` markers; the
+    spec parse is timed here).
+    """
     from dataclasses import replace
 
     from repro.api import StudySpec, evaluate_record
-    from repro.report.store import strict_jsonable
+    from repro.bench import phase
 
-    payload = _load_json_object(args.spec, "spec")
-    try:
-        spec = StudySpec.from_dict(payload)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"bad StudySpec in {args.spec}: {exc}")
-    for flag, axis in (("reps", "reps"), ("seed", "seed")):
-        if getattr(args, flag) is not None and axis in spec.sweep:
-            raise SystemExit(
-                f"--{flag} conflicts with the spec's {axis!r} sweep axis; "
-                "edit the spec or drop the flag")
-    if args.reps is not None:
-        spec = replace(spec, reps=args.reps)
-    if args.seed is not None:
-        spec = replace(spec, seed=None if args.seed == -1 else args.seed)
+    with phase("spec-resolve"):
+        payload = _load_json_object(args.spec, "spec")
+        try:
+            spec = StudySpec.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"bad StudySpec in {args.spec}: {exc}")
+        for flag, axis in (("reps", "reps"), ("seed", "seed")):
+            if getattr(args, flag) is not None and axis in spec.sweep:
+                raise SystemExit(
+                    f"--{flag} conflicts with the spec's {axis!r} sweep "
+                    "axis; edit the spec or drop the flag")
+        if args.reps is not None:
+            spec = replace(spec, reps=args.reps)
+        if args.seed is not None:
+            spec = replace(spec, seed=None if args.seed == -1 else args.seed)
 
     store = None
     if args.store is not None:
@@ -340,6 +347,25 @@ def _cmd_eval(args: argparse.Namespace) -> int:
                                  store=store, force=args.recompute)
     except (ArithmeticError, KeyError, ValueError) as exc:
         raise SystemExit(f"evaluation failed: {exc}")
+    return spec, result
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers requires --backend process")
+    if args.reps is not None and args.reps < 1:
+        raise SystemExit("--reps must be >= 1")
+    _check_output_path(args.output, args.force)
+    from repro.report.store import strict_jsonable
+
+    timing_report = None
+    if args.timing:
+        from repro.bench import collect_phases
+        with collect_phases() as timer:
+            spec, result = _resolve_and_evaluate(args)
+        timing_report = timer.render()
+    else:
+        spec, result = _resolve_and_evaluate(args)
 
     if spec.is_sweep:
         print(result.to_experiment_result().render(args.digits))
@@ -372,6 +398,9 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot write --output file: {exc}")
         print(f"[evaluation written to {args.output}]")
+    if timing_report is not None:
+        print()
+        print(timing_report)
     return 0
 
 

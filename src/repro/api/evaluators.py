@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.api.evaluation import Evaluation
 from repro.api.spec import StudySpec, SystemSpec
+from repro.bench import phase as _phase
 from repro.markov.montecarlo import (ModelSimulator, SimulatedIntervals,
                                      concatenate_intervals)
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
@@ -153,7 +154,14 @@ class Evaluator:
         """
         if ctx is None:
             ctx = ExecutionContext(seed=spec.seed, reps=spec.reps)
-        return self.assemble(spec, ctx.map(self.worker, self.tasks(spec, ctx)))
+        # The phase markers feed `python -m repro eval --timing`; they are
+        # no-ops (a shared null context) unless a collector is active.
+        with _phase("assembly"):
+            tasks = self.tasks(spec, ctx)
+        with _phase("sim"):
+            outputs = ctx.map(self.worker, tasks)
+        with _phase("reduce"):
+            return self.assemble(spec, outputs)
 
 
 class AnalyticEvaluator(Evaluator):
@@ -178,12 +186,20 @@ class AnalyticEvaluator(Evaluator):
                  ctx: Optional[ExecutionContext] = None) -> Evaluation:
         if spec.system.kind == "strategy":
             from repro.api.strategy import analytic_strategy_evaluation
-            return analytic_strategy_evaluation(spec)
+            with _phase("solve"):
+                return analytic_strategy_evaluation(spec)
         options = dict(spec.options)
-        model = RecoveryLineIntervalModel(
-            spec.system.build(),
-            prefer_simplified=bool(options.get("prefer_simplified", True)),
-            backend=str(options.get("backend", "auto")))
+        with _phase("assembly"):
+            model = RecoveryLineIntervalModel(
+                spec.system.build(),
+                prefer_simplified=bool(options.get("prefer_simplified", True)),
+                backend=str(options.get("backend", "auto")),
+                structure_cache=bool(options.get("structure_cache", True)))
+        with _phase("solve"):
+            return self._solve(spec, model)
+
+    def _solve(self, spec: StudySpec,
+               model: RecoveryLineIntervalModel) -> Evaluation:
         # E[X] is always computed (cheap next to the factorisation, which is
         # cached on the model): Evaluation.mean and agrees_with() rely on it
         # regardless of the requested metric set.

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.api.evaluation import Evaluation
 from repro.api.evaluators import get_evaluator, resolve_method
+from repro.bench import phase as _phase
 from repro.api.spec import EVALUATE_SCENARIO_NAME, StudySpec
 from repro.experiments.common import ExperimentResult
 from repro.runner import ExecutionContext, ExperimentRunner, scenario
@@ -245,7 +246,9 @@ def evaluate_record(spec: Union[StudySpec, Mapping[str, object]],
         if store is not None:
             key = store.key(EVALUATE_SCENARIO_NAME,
                             cell.cell_params(resolved), cell.seed, None)
-            hit = None if force else store.get(key, EVALUATE_SCENARIO_NAME)
+            with _phase("store"):
+                hit = None if force else store.get(key,
+                                                   EVALUATE_SCENARIO_NAME)
             if hit is not None:
                 cells.append(CellResult(
                     spec=cell,
@@ -276,11 +279,12 @@ def evaluate_record(spec: Union[StudySpec, Mapping[str, object]],
                 key = store.key(EVALUATE_SCENARIO_NAME,
                                 first.cell_params(payload.method),
                                 first.seed, None)
-                store.put(EVALUATE_SCENARIO_NAME,
-                          first.cell_params(payload.method), first.seed,
-                          None, backend=runner.backend.describe(),
-                          elapsed_seconds=elapsed,
-                          result=evaluation.to_experiment_result())
+                with _phase("store"):
+                    store.put(EVALUATE_SCENARIO_NAME,
+                              first.cell_params(payload.method), first.seed,
+                              None, backend=runner.backend.describe(),
+                              elapsed_seconds=elapsed,
+                              result=evaluation.to_experiment_result())
             for index, cell in targets:
                 cells[index] = CellResult(
                     spec=cell,

@@ -30,6 +30,7 @@ __all__ = [
     "DEFAULT_EVAL_REPS",
     "DEFAULT_STRATEGY_REPS",
     "EVALUATE_SCENARIO_NAME",
+    "EXECUTION_OPTIONS",
     "KNOWN_METRICS",
     "RECOVERY_SCHEMES",
     "STRATEGY_METRICS",
@@ -44,6 +45,13 @@ EVALUATE_SCENARIO_NAME = "evaluate"
 #: Default stochastic budget (intervals sampled) when a spec requests a
 #: stochastic method but does not state ``reps``.
 DEFAULT_EVAL_REPS = 20_000
+
+#: Options that tune *how* a cell is computed without changing any computed
+#: number (bit-identity is pinned by tests), excluded from the store identity
+#: by :meth:`StudySpec.cell_params`: ``rep_chunk`` sizes the strategy engine's
+#: replication chunks, ``structure_cache`` toggles the memoized generator
+#: assembly of the analytic engine.
+EXECUTION_OPTIONS = ("rep_chunk", "structure_cache")
 
 #: Default replication budget for ``strategy`` systems.  A replication here is
 #: one full recovery-scheme *run* (a whole workload driven to completion), not
@@ -81,9 +89,11 @@ RECOVERY_SCHEMES = ("asynchronous", "synchronized", "pseudo")
 DISTRIBUTION_METRICS = ("pdf", "cdf", "sf")
 
 #: Engine tuning knobs a spec may carry.  Validated strictly: options are
-#: part of the cell's store identity, so a silently-ignored typo would both
+#: part of the cell's store identity (except the :data:`EXECUTION_OPTIONS`,
+#: which change no computed number), so a silently-ignored typo would both
 #: mis-route the evaluation and mint a key no correct spec ever matches.
-KNOWN_OPTIONS = ("prefer_simplified", "backend", "max_events_per_interval")
+KNOWN_OPTIONS = ("prefer_simplified", "backend", "max_events_per_interval",
+                 "rep_chunk", "structure_cache")
 
 
 def _coerce_number(value, name: str, *, integer: bool = False):
@@ -524,7 +534,10 @@ class StudySpec:
         of the store key stay at the spec's own values; ``rel_tol`` is a
         documentation annotation that affects no computed number, so it is
         excluded from the identity — retightening a tolerance must not
-        invalidate a numerically identical cache.
+        invalidate a numerically identical cache.  Execution-tuning options
+        (:data:`EXECUTION_OPTIONS`) are excluded for the same reason: they
+        change how fast a cell computes, never what it computes, so e.g. a
+        re-run with a different ``rep_chunk`` must hit the cached cell.
         """
         if self.is_sweep:
             raise ValueError("a sweep spec has no single cell identity; "
@@ -534,6 +547,12 @@ class StudySpec:
         spec_dict.pop("seed", None)
         spec_dict.pop("reps", None)
         spec_dict.pop("rel_tol", None)
+        options = spec_dict.get("options")
+        if options:
+            for name in EXECUTION_OPTIONS:
+                options.pop(name, None)
+            if not options:
+                del spec_dict["options"]
         return {"spec": spec_dict, "method": str(method)}
 
     def canonical_key(self, method: str = "auto") -> str:

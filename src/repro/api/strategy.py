@@ -9,15 +9,24 @@ runtime over the replication budget, averaging the
 :class:`~repro.recovery.report.RunReport` quantities into the same
 :class:`~repro.api.evaluation.Evaluation` shape every other engine returns.
 
-Determinism follows the runner's contract — one task per replication, seeds
-spawned in the driver, results reduced in task order — with one strategy-
-specific refinement: when several strategy cells are evaluated *in one
-context* (:func:`repro.api.facade.evaluate_in_context`), all cells share one
+Determinism follows the runner's contract — seeds spawned in the driver,
+results reduced in task order — with one strategy-specific refinement: when
+several strategy cells are evaluated *in one context*
+(:func:`repro.api.facade.evaluate_in_context`), all cells share one
 replication seed block (common random numbers), so replication ``r`` uses the
 same fault/interaction timeline under every scheme and the seed noise cancels
 out of the scheme-vs-scheme deltas.  This is exactly the pre-facade
 ``strategy_comparison`` task/seed layout, which keeps its results
 bit-identical across the migration.
+
+Replications are shipped to workers in *chunks*: one :class:`StrategyTask`
+carries a contiguous slice of the per-cell seed block, so a chunk pays for a
+single payload pickle and a single ``SystemSpec.from_dict`` parse instead of
+one per replication.  The chunk layout is a pure function of the budget and
+the ``rep_chunk`` option — never of the backend or the worker count — and the
+per-replication seeds and reduction order are exactly those of the historical
+one-task-per-replication layout, so results are float-for-float identical for
+every chunk size (pinned by tests/api/test_strategy_chunking.py).
 
 The ``synchronized`` scheme additionally has a closed-form face: Section 3's
 ``CL`` (``sync_loss``) and ``E[Z]`` (``expected_wait``), served by the
@@ -43,6 +52,7 @@ from repro.runner import ExecutionContext, seed_to_int
 
 __all__ = [
     "ANALYTIC_STRATEGY_METRICS",
+    "DEFAULT_REP_CHUNK",
     "StrategyEvaluator",
     "StrategyTask",
     "analytic_strategy_checks",
@@ -82,22 +92,49 @@ _REPORT_GETTERS = {
 _SUM_METRICS = frozenset({"recovery_lines_total"})
 
 
+#: Default number of replications bundled into one :class:`StrategyTask`.
+#: Large enough to amortise the per-task parse/pickle cost over the default
+#: budgets, small enough that a multi-cell sweep still spreads over a pool.
+DEFAULT_REP_CHUNK = 8
+
+
 @dataclass(frozen=True)
 class StrategyTask:
-    """One picklable work item: a single recovery-scheme replication."""
+    """One picklable work item: a chunk of recovery-scheme replications.
+
+    ``seeds`` is a contiguous slice of the driver-spawned per-cell seed
+    block; the worker parses ``system`` once and runs one replication per
+    seed, in slice order.  All chunks of one cell share the *same* system
+    dict object, so a cell's sweep payload pickles the spec once per chunk
+    rather than once per replication.
+    """
 
     system: Dict[str, object]     # SystemSpec.to_dict() of a strategy system
-    seed: int
+    seeds: Tuple[int, ...]
 
 
-def run_strategy_task(task: StrategyTask) -> RunReport:
-    """Worker entry point: run one replication of the declared strategy."""
+def run_strategy_task(task: StrategyTask) -> List[RunReport]:
+    """Worker entry point: run one chunk of replications, in seed order.
+
+    The workload is materialised once per chunk and shared across the
+    replications — runtimes treat :class:`~repro.workloads.spec.WorkloadSpec`
+    as read-only, so a shared instance cannot couple the runs (the
+    chunked-vs-unchunked equality tests would catch any leakage).
+    """
     from repro.recovery import make_runtime
     system = SystemSpec.from_dict(task.system)
-    runtime = make_runtime(system.scheme, system.build_workload(),
-                           seed=task.seed,
-                           sync_interval=float(system.args["sync_interval"]))
-    return runtime.run()
+    workload = system.build_workload()
+    sync_interval = float(system.args["sync_interval"])
+    reports = []
+    for seed in task.seeds:
+        runtime = make_runtime(system.scheme, workload, seed=seed,
+                               sync_interval=sync_interval)
+        # Sweeps consume only the run report; recording the flat event log
+        # (one buffered tuple per simulation event) would be pure overhead.
+        # The history diagram the rollback machinery needs stays live.
+        runtime.tracer.disable_log()
+        reports.append(runtime.run())
+    return reports
 
 
 class StrategyEvaluator(Evaluator):
@@ -124,13 +161,24 @@ class StrategyEvaluator(Evaluator):
                 "specs on the same system")
 
     # ------------------------------------------------------------------ tasks
+    @staticmethod
+    def _chunk_size(spec: StudySpec) -> int:
+        chunk = int(spec.options.get("rep_chunk", DEFAULT_REP_CHUNK))
+        if chunk < 1:
+            raise ValueError(f"rep_chunk must be >= 1, got {chunk}")
+        return chunk
+
     def _tasks_with_seeds(self, spec: StudySpec,
                           seeds: Sequence[int]) -> List[StrategyTask]:
+        """Chunked tasks over *seeds*; one shared system dict per cell."""
         system = spec.system.to_dict()
-        return [StrategyTask(system=system, seed=seed) for seed in seeds]
+        chunk = self._chunk_size(spec)
+        return [StrategyTask(system=system,
+                             seeds=tuple(seeds[lo:lo + chunk]))
+                for lo in range(0, len(seeds), chunk)]
 
     def tasks(self, spec: StudySpec, ctx: ExecutionContext) -> List[StrategyTask]:
-        """One task per replication, seeds spawned in the driver."""
+        """Chunked replication tasks, seeds spawned in the driver."""
         self.validate(spec)
         reps = ctx.reps_or(spec.effective_reps())
         seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(reps)]
@@ -144,10 +192,14 @@ class StrategyEvaluator(Evaluator):
         front and sliced per cell, so replication ``r`` of every scheme runs
         on the same fault/interaction timeline.  (A cell evaluated on its own
         spawns the identical block from its own root seed, so single-cell and
-        many-cell layouts agree wherever they overlap.)
+        many-cell layouts agree wherever they overlap.)  Chunks never span
+        cells: each cell's seed slice is chunked on its own, so the returned
+        ``bounds`` delimit whole cells at chunk granularity.
         """
         for spec in specs:
             self.validate(spec)
+        if not specs:
+            return [], [0]
         budgets = [ctx.reps_or(spec.effective_reps()) for spec in specs]
         seeds = [seed_to_int(seq) for seq in ctx.spawn_seeds(max(budgets))]
         tasks: List[StrategyTask] = []
@@ -159,8 +211,10 @@ class StrategyEvaluator(Evaluator):
 
     # ------------------------------------------------------------------ reduce
     def assemble(self, spec: StudySpec,
-                 outputs: Sequence[RunReport]) -> Evaluation:
-        reports = list(outputs)
+                 outputs: Sequence[Sequence[RunReport]]) -> Evaluation:
+        # Each output is one chunk's report list; flattening in task order
+        # restores the exact per-replication order of the unchunked layout.
+        reports = [report for chunk in outputs for report in chunk]
         metrics: Dict[str, float] = {}
         for name in spec.metrics:
             if name in _SUM_METRICS:

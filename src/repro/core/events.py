@@ -47,17 +47,21 @@ class EventLog:
     def __init__(self) -> None:
         self._events: List[Event] = []
         self._seq = 0
+        self._last_time = float("-inf")
 
     # ------------------------------------------------------------------ recording
     def append(self, time: float, kind: EventKind, process: ProcessId,
                **data: object) -> Event:
         """Record an event and return it."""
-        if self._events and time < self._events[-1].time - 1e-12:
+        if time < self._last_time - 1e-12:
             raise ValueError(
-                f"events must be appended in time order: {time} < {self._events[-1].time}")
+                f"events must be appended in time order: {time} < {self._last_time}")
+        # ``data`` is the fresh dict the ** call convention built — it is
+        # owned by this call, so handing it to the Event needs no copy.
         event = Event(time=float(time), kind=kind, process=int(process),
-                      seq=self._seq, data=dict(data))
+                      seq=self._seq, data=data)
         self._events.append(event)
+        self._last_time = event.time
         self._seq += 1
         return event
 

@@ -48,10 +48,17 @@ class HistoryDiagram:
     # ------------------------------------------------------------------ mutation
     def _insert_checkpoint(self, rp: RecoveryPoint) -> RecoveryPoint:
         times = self._checkpoint_times[rp.process]
-        pos = bisect.bisect_right(times, rp.time)
-        times.insert(pos, rp.time)
-        self._checkpoints[rp.process].insert(pos, rp)
-        self._counters[rp.process] = max(self._counters[rp.process], rp.index + 1)
+        if not times or rp.time >= times[-1]:
+            # Live simulations insert in time order; bisect_right lands at the
+            # end for a time >= the last entry, so this is the same position.
+            times.append(rp.time)
+            self._checkpoints[rp.process].append(rp)
+        else:
+            pos = bisect.bisect_right(times, rp.time)
+            times.insert(pos, rp.time)
+            self._checkpoints[rp.process].insert(pos, rp)
+        if rp.index >= self._counters[rp.process]:
+            self._counters[rp.process] = rp.index + 1
         return rp
 
     def add_recovery_point(self, process: ProcessId, time: float,
@@ -59,7 +66,8 @@ class HistoryDiagram:
                            origin: Optional[Tuple[ProcessId, int]] = None
                            ) -> RecoveryPoint:
         """Record a checkpoint for *process* at *time* and return it."""
-        self._check_process(process)
+        if not 0 <= process < self._n:  # inlined _check_process
+            raise ValueError(f"process {process} out of range [0, {self._n})")
         rp = RecoveryPoint(time=float(time), process=process,
                            index=self._counters[process], kind=kind, origin=origin)
         return self._insert_checkpoint(rp)
@@ -68,15 +76,22 @@ class HistoryDiagram:
                         receive_time: Optional[float] = None,
                         message: object = None) -> Interaction:
         """Record an interaction (message) from *source* to *target*."""
-        self._check_process(source)
-        self._check_process(target)
+        if not 0 <= source < self._n:  # inlined _check_process
+            raise ValueError(f"process {source} out of range [0, {self._n})")
+        if not 0 <= target < self._n:
+            raise ValueError(f"process {target} out of range [0, {self._n})")
         interaction = Interaction(time=float(time), source=source, target=target,
                                   receive_time=float(receive_time)
                                   if receive_time is not None else -1.0,
                                   message=message)
-        pos = bisect.bisect_right(self._interaction_times, interaction.time)
-        self._interaction_times.insert(pos, interaction.time)
-        self._interactions.insert(pos, interaction)
+        times = self._interaction_times
+        if not times or interaction.time >= times[-1]:
+            times.append(interaction.time)
+            self._interactions.append(interaction)
+        else:
+            pos = bisect.bisect_right(times, interaction.time)
+            times.insert(pos, interaction.time)
+            self._interactions.insert(pos, interaction)
         return interaction
 
     # ------------------------------------------------------------------ inspection
@@ -96,6 +111,31 @@ class HistoryDiagram:
     def interactions(self) -> List[Interaction]:
         return list(self._interactions)
 
+    def interactions_until(self, time: float) -> Sequence[Interaction]:
+        """Interactions with send time ≤ *time*, as a read-only view.
+
+        The returned sequence aliases internal storage (interactions are kept
+        sorted by send time, so the cut is a bisect) — callers must not mutate
+        it, and must not hold it across subsequent ``add_interaction`` calls.
+        Rollback propagation sweeps this instead of copying the full list on
+        every fixpoint iteration.
+        """
+        pos = bisect.bisect_right(self._interaction_times, time)
+        if pos == len(self._interactions):
+            return self._interactions
+        return self._interactions[:pos]
+
+    def checkpoints_view(self, process: ProcessId
+                         ) -> Tuple[Sequence[RecoveryPoint], Sequence[float]]:
+        """Time-ordered checkpoints of *process* and their times, zero-copy.
+
+        Both sequences alias internal storage and grow with later inserts;
+        callers must treat them as read-only snapshots for the duration of one
+        analysis step.  The parallel times list exists so callers can bisect.
+        """
+        self._check_process(process)
+        return self._checkpoints[process], self._checkpoint_times[process]
+
     def checkpoints(self, process: ProcessId,
                     kinds: Optional[Iterable[CheckpointKind]] = None
                     ) -> List[RecoveryPoint]:
@@ -105,6 +145,12 @@ class HistoryDiagram:
         if kinds is None:
             return list(points)
         wanted = set(kinds)
+        if len(wanted) == 1:
+            # The dominant query (regular RPs only, every rollback plan):
+            # enum members are singletons, so an identity check beats the
+            # set probe, which would hash the enum on every checkpoint.
+            kind = next(iter(wanted))
+            return [rp for rp in points if rp.kind is kind]
         return [rp for rp in points if rp.kind in wanted]
 
     def recovery_points(self, process: ProcessId) -> List[RecoveryPoint]:
@@ -170,14 +216,33 @@ class HistoryDiagram:
         """Interactions touching *process* whose send or receive time lies in (start, end]."""
         self._check_process(process)
         out = []
-        for interaction in self._interactions:
-            if not interaction.involves(process):
+        # The list is sorted by send time and receive >= send, so anything sent
+        # after *end* can never fall in the window — cut the tail with a bisect
+        # instead of scanning the whole history.  involves()/window() are
+        # spelled out as attribute reads: this sweep touches every interaction
+        # of every rollback plan, and the method frames dominate it.
+        for interaction in self.interactions_until(end):
+            if interaction.source == process:
+                t = interaction.time
+            elif interaction.target == process:
+                t = interaction.receive_time
+            else:
                 continue
-            send, recv = interaction.window()
-            t = send if interaction.source == process else recv
             if start < t <= end:
                 out.append(interaction)
         return out
+
+    def interactions_window(self, start: float, end: float) -> List[Interaction]:
+        """Interactions with send time in ``(start, end]`` (read-only slice).
+
+        Zero-copy when the window spans the whole history; callers must not
+        mutate the returned list.
+        """
+        lo = bisect.bisect_right(self._interaction_times, start)
+        hi = bisect.bisect_right(self._interaction_times, end)
+        if lo == 0 and hi == len(self._interactions):
+            return self._interactions
+        return self._interactions[lo:hi]
 
     def last_event_kind(self, process: ProcessId, time: float) -> str:
         """Return ``"rp"``, ``"interaction"`` or ``"none"`` for the last event ≤ *time*.

@@ -17,6 +17,7 @@ system restarts from recovery line RL₂).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -139,12 +140,20 @@ def propagate_rollback(history: HistoryDiagram, failed_process: ProcessId,
         return checkpoint_filter(rp)
 
     def latest_usable(process: ProcessId, before: float, inclusive: bool) -> RecoveryPoint:
+        # Bisect into the time-sorted checkpoint list, then walk backwards to
+        # the most recent usable checkpoint.  Among usable checkpoints sharing
+        # that maximal time the walk keeps going, so the *first-inserted* one
+        # wins — the exact tie-break of the historical forward max-scan.
+        points, times = history.checkpoints_view(process)
+        pos = (bisect.bisect_right(times, before) if inclusive
+               else bisect.bisect_left(times, before))
         best: Optional[RecoveryPoint] = None
-        for rp in history.checkpoints(process):
-            ok_time = rp.time <= before if inclusive else rp.time < before
-            if ok_time and usable(rp):
-                if best is None or rp.time > best.time:
-                    best = rp
+        for idx in range(pos - 1, -1, -1):
+            rp = points[idx]
+            if best is not None and rp.time < best.time:
+                break
+            if usable(rp):
+                best = rp
         assert best is not None, "initial state must always be usable"
         return best
 
@@ -158,8 +167,18 @@ def propagate_rollback(history: HistoryDiagram, failed_process: ProcessId,
     restart[failed_process] = first
     horizon[failed_process] = first.time
 
-    invalidated: Set[Interaction] = set()
+    # Only interactions *sent* at or before the failure can ever be orphans
+    # (receive_time ≥ send time, and both orphan tests cap the endpoint at
+    # failure_time), and the history keeps interactions sorted by send time —
+    # so the sweep window is a bisect cut, taken once, not a full-list copy
+    # per fixpoint iteration.  Already-excluded interactions are dropped up
+    # front; invalidation is tracked per-index so the inner loop never hashes.
     excluded = excluded_interactions or set()
+    candidates = [interaction
+                  for interaction in history.interactions_until(failure_time)
+                  if interaction not in excluded]
+    dead = [False] * len(candidates)
+    invalidated: Set[Interaction] = set()
     iterations = 0
     changed = True
     while changed:
@@ -167,17 +186,19 @@ def propagate_rollback(history: HistoryDiagram, failed_process: ProcessId,
         if iterations > max_iterations:
             raise RuntimeError("rollback propagation did not converge")
         changed = False
-        for interaction in history.interactions:
-            if interaction in invalidated or interaction in excluded:
+        for pos, interaction in enumerate(candidates):
+            if dead[pos]:
                 continue
-            send, recv = interaction.window()
+            send = interaction.time
+            recv = interaction.receive_time
             src, dst = interaction.source, interaction.target
             # The interaction is an orphan if either endpoint falls in discarded
             # computation of its participant.
-            src_orphan = send > horizon[src] and send <= failure_time
+            src_orphan = send > horizon[src]
             dst_orphan = recv > horizon[dst] and recv <= failure_time
             if not (src_orphan or dst_orphan):
                 continue
+            dead[pos] = True
             invalidated.add(interaction)
             # Both participants must restart before their endpoint of the
             # interaction (the message and its effects are discarded).

@@ -58,12 +58,17 @@ class EventKind(enum.Enum):
     RECOVERY_LINE = "recovery_line"
 
 
-@dataclass(frozen=True, order=True)
 class RecoveryPoint:
     """A saved process state.
 
     Ordering is by ``(time, process, index)`` so that sorted containers of recovery
-    points iterate in chronological order.
+    points iterate in chronological order.  This is a hand-written value class
+    rather than a frozen dataclass: the simulator creates one per checkpoint
+    (tens of thousands per replication sweep), and the per-field
+    ``object.__setattr__`` cost of a generated frozen ``__init__`` is the single
+    largest allocation expense of the hot path.  Equality, ordering and hashing
+    match the previous dataclass exactly (``origin`` excluded from comparison);
+    the hash is computed lazily on first use and cached.
 
     Attributes
     ----------
@@ -82,21 +87,69 @@ class RecoveryPoint:
         ``None`` otherwise.
     """
 
-    time: float
-    process: ProcessId
-    index: int
-    kind: CheckpointKind = CheckpointKind.REGULAR
-    origin: Optional[Tuple[ProcessId, int]] = field(default=None, compare=False)
+    __slots__ = ("time", "process", "index", "kind", "origin", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.time < 0.0:
+    def __init__(self, time: float, process: ProcessId, index: int,
+                 kind: CheckpointKind = CheckpointKind.REGULAR,
+                 origin: Optional[Tuple[ProcessId, int]] = None) -> None:
+        if time < 0.0:
             raise ValueError("recovery point time must be non-negative")
-        if self.process < 0:
+        if process < 0:
             raise ValueError("process id must be non-negative")
-        if self.index < 0:
+        if index < 0:
             raise ValueError("recovery point index must be non-negative")
-        if self.kind is CheckpointKind.PSEUDO and self.origin is None:
+        if kind is CheckpointKind.PSEUDO and origin is None:
             raise ValueError("pseudo recovery points must record their origin RP")
+        self.time = time
+        self.process = process
+        self.index = index
+        self.kind = kind
+        self.origin = origin
+        self._hash: Optional[int] = None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is RecoveryPoint:
+            return (self.time == other.time and self.process == other.process
+                    and self.index == other.index and self.kind == other.kind)
+        return NotImplemented
+
+    def __lt__(self, other: "RecoveryPoint") -> bool:
+        if other.__class__ is not RecoveryPoint:
+            return NotImplemented
+        return ((self.time, self.process, self.index, self.kind)
+                < (other.time, other.process, other.index, other.kind))
+
+    def __le__(self, other: "RecoveryPoint") -> bool:
+        if other.__class__ is not RecoveryPoint:
+            return NotImplemented
+        return ((self.time, self.process, self.index, self.kind)
+                <= (other.time, other.process, other.index, other.kind))
+
+    def __gt__(self, other: "RecoveryPoint") -> bool:
+        if other.__class__ is not RecoveryPoint:
+            return NotImplemented
+        return ((self.time, self.process, self.index, self.kind)
+                > (other.time, other.process, other.index, other.kind))
+
+    def __ge__(self, other: "RecoveryPoint") -> bool:
+        if other.__class__ is not RecoveryPoint:
+            return NotImplemented
+        return ((self.time, self.process, self.index, self.kind)
+                >= (other.time, other.process, other.index, other.kind))
+
+    def __hash__(self) -> int:
+        # Recovery points are set/dict keys throughout the rollback machinery;
+        # cache the compare-field hash on first lookup so repeated probes do
+        # not rebuild the tuple (and points never hashed pay nothing at all).
+        h = self._hash
+        if h is None:
+            h = hash((self.time, self.process, self.index, self.kind))
+            self._hash = h
+        return h
+
+    def __repr__(self) -> str:
+        return (f"RecoveryPoint(time={self.time!r}, process={self.process!r}, "
+                f"index={self.index!r}, kind={self.kind!r}, origin={self.origin!r})")
 
     @property
     def label(self) -> str:
@@ -119,7 +172,6 @@ class RecoveryPoint:
         return self.origin[0] == failed_process
 
 
-@dataclass(frozen=True, order=True)
 class Interaction:
     """A single inter-process communication.
 
@@ -128,23 +180,75 @@ class Interaction:
     and receives with distinct times.  Both are represented here: ``time`` is the
     send time and ``receive_time`` the delivery time (equal for instantaneous
     interactions).
+
+    Hand-written for the same reason as :class:`RecoveryPoint` — one instance
+    per simulated message makes frozen-dataclass construction cost visible.
+    Equality and ordering compare ``(time, source, target, receive_time)``
+    (``message`` excluded), exactly like the dataclass it replaces; the hash of
+    those fields is computed lazily and cached because rollback propagation
+    probes invalidated/excluded sets with every interaction on every sweep.
     """
 
-    time: float
-    source: ProcessId
-    target: ProcessId
-    receive_time: float = -1.0
-    message: object = field(default=None, compare=False)
+    __slots__ = ("time", "source", "target", "receive_time", "message", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.source == self.target:
+    def __init__(self, time: float, source: ProcessId, target: ProcessId,
+                 receive_time: float = -1.0, message: object = None) -> None:
+        if source == target:
             raise ValueError("a process cannot interact with itself")
-        if self.time < 0.0:
+        if time < 0.0:
             raise ValueError("interaction time must be non-negative")
-        if self.receive_time < 0.0:
-            object.__setattr__(self, "receive_time", self.time)
-        if self.receive_time < self.time:
+        if receive_time < 0.0:
+            receive_time = time
+        elif receive_time < time:
             raise ValueError("receive_time must not precede send time")
+        self.time = time
+        self.source = source
+        self.target = target
+        self.receive_time = receive_time
+        self.message = message
+        self._hash: Optional[int] = None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Interaction:
+            return (self.time == other.time and self.source == other.source
+                    and self.target == other.target
+                    and self.receive_time == other.receive_time)
+        return NotImplemented
+
+    def __lt__(self, other: "Interaction") -> bool:
+        if other.__class__ is not Interaction:
+            return NotImplemented
+        return ((self.time, self.source, self.target, self.receive_time)
+                < (other.time, other.source, other.target, other.receive_time))
+
+    def __le__(self, other: "Interaction") -> bool:
+        if other.__class__ is not Interaction:
+            return NotImplemented
+        return ((self.time, self.source, self.target, self.receive_time)
+                <= (other.time, other.source, other.target, other.receive_time))
+
+    def __gt__(self, other: "Interaction") -> bool:
+        if other.__class__ is not Interaction:
+            return NotImplemented
+        return ((self.time, self.source, self.target, self.receive_time)
+                > (other.time, other.source, other.target, other.receive_time))
+
+    def __ge__(self, other: "Interaction") -> bool:
+        if other.__class__ is not Interaction:
+            return NotImplemented
+        return ((self.time, self.source, self.target, self.receive_time)
+                >= (other.time, other.source, other.target, other.receive_time))
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((self.time, self.source, self.target, self.receive_time))
+            self._hash = h
+        return h
+
+    def __repr__(self) -> str:
+        return (f"Interaction(time={self.time!r}, source={self.source!r}, "
+                f"target={self.target!r}, receive_time={self.receive_time!r})")
 
     @property
     def pair(self) -> Tuple[ProcessId, ProcessId]:

@@ -13,6 +13,10 @@ Sub-modules
 ``generator``
     Assembly of the transition-rate matrix according to rules R1–R4 (dense
     ground truth plus a vectorised CSR builder for large state spaces).
+``structure_cache``
+    Memoized structural phase of the generator assembly: COO index arrays
+    keyed on ``(n, interaction zero-pattern)``, so rates-only sweeps pay the
+    state-space enumeration once and refill only the value array.
 ``operators``
     The :class:`TransientOperator` seam: interchangeable dense
     (``expm``/LU) and sparse (``expm_multiply``/sparse-LU/GMRES) numeric
@@ -46,8 +50,14 @@ from repro.markov.split_chain import SplitChainYd, expected_rp_counts
 from repro.markov.density import interval_density, interval_cdf
 from repro.markov.montecarlo import ModelSimulator, SimulatedIntervals
 from repro.markov.recovery_line_interval import RecoveryLineIntervalModel
+from repro.markov.structure_cache import (GeneratorStructure, cache_info,
+                                          clear_structure_cache, structure_for)
 
 __all__ = [
+    "GeneratorStructure",
+    "cache_info",
+    "clear_structure_cache",
+    "structure_for",
     "AsyncStateSpace",
     "DENSE_STATE_LIMIT",
     "DenseTransientOperator",

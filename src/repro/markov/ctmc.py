@@ -83,8 +83,12 @@ class PhaseType:
             if T.ndim != 2 or T.shape[0] != T.shape[1]:
                 raise ValueError("T must be square")
             diagonal = np.diagonal(T)
-            off = T - np.diag(diagonal)
-            if np.any(off < -1e-9):
+            # Off-diagonal sign check without materialising T - diag(T): flag
+            # the negative entries and discount the (legitimately negative)
+            # diagonal.
+            negative = T < -1e-9
+            np.fill_diagonal(negative, False)
+            if np.any(negative):
                 raise ValueError("off-diagonal entries of T must be non-negative")
             row_sums = T.sum(axis=1)
             T.setflags(write=False)
@@ -183,11 +187,18 @@ class PhaseType:
         """
         if k < 1:
             raise ValueError("moment order must be >= 1")
-        vec = np.ones(self.order)
-        for _ in range(k):
-            vec = self.operator.solve(vec)
+        # The solved vectors T^{-j}·1 are shared across moment orders (the
+        # j-th is the input of the (j+1)-th solve), so E[X] followed by
+        # Var[X] pays two solves, not three; a cached vector is the *same*
+        # solve output it replaces, never a numeric shortcut.
+        vecs = self.__dict__.get("_moment_vecs")
+        if vecs is None:
+            vecs = [np.ones(self.order)]
+            object.__setattr__(self, "_moment_vecs", vecs)
+        while len(vecs) <= k:
+            vecs.append(self.operator.solve(vecs[-1]))
         sign = -1.0 if k % 2 else 1.0
-        return float(sign * _factorial(k) * (self.alpha @ vec))
+        return float(sign * _factorial(k) * (self.alpha @ vecs[k]))
 
     def mean(self) -> float:
         """``E[X]`` — the paper's mean interval between successive recovery lines."""

@@ -190,7 +190,8 @@ def transition_rate(params: SystemParameters, source: int, dest: int) -> float:
 
 
 def build_phase_type(params: SystemParameters, *,
-                     backend: str = "auto") -> PhaseType:
+                     backend: str = "auto",
+                     structure_cache: bool = True) -> PhaseType:
     """Phase-type representation of the inter-recovery-line interval ``X``.
 
     The chain starts in the entry state ``S_r`` with probability 1; the transient
@@ -200,13 +201,37 @@ def build_phase_type(params: SystemParameters, *,
     small-``n`` ground truth), ``"sparse"`` (CSR + Krylov/sparse-LU evaluation,
     the only feasible path for large ``n``), or ``"auto"`` (size policy of
     :func:`repro.markov.operators.select_backend`).
+
+    ``structure_cache`` (default on) assembles ``H`` through the memoized
+    :mod:`~repro.markov.structure_cache`: the state space and COO index arrays
+    are built once per ``(n, interaction zero-pattern)`` and every further
+    call — e.g. the cells of a rates-only sweep — only rewrites the value
+    array.  Both cached fills are bit-identical to the legacy builders (the
+    loop-built :func:`build_generator` and :func:`build_generator_sparse`),
+    so the flag only trades assembly time, never results.
     """
     space = AsyncStateSpace(params.n)
     chosen = select_backend(space.n_transient, backend)
-    if chosen == "sparse":
-        H, space = build_generator_sparse(params)
+    if structure_cache:
+        from repro.markov.structure_cache import structure_for
+        structure = structure_for(params)
+        if chosen == "sparse":
+            H_sparse = structure.refill_sparse(params)
+            k = space.n_transient
+            T = H_sparse[:k, :k].tocsr()
+        else:
+            # Scratch-buffer fill: PhaseType copies T defensively below, so
+            # the structure-owned buffer is consumed before any refill.
+            H = structure.fill_dense_shared(params)
+            # The transient states are exactly indices 0 … 2^n − 1, so the
+            # restriction is a plain leading sub-block; the view's elements
+            # are the same floats np.ix_ would copy, and PhaseType makes its
+            # own defensive copy anyway.
+            T = H[:space.n_transient, :space.n_transient]
+    elif chosen == "sparse":
+        H_sparse, space = build_generator_sparse(params)
         k = space.n_transient
-        T = H[:k, :k].tocsr()
+        T = H_sparse[:k, :k].tocsr()
     else:
         H, space = build_generator(params)
         transient = list(space.transient_indices())

@@ -190,16 +190,19 @@ class DenseTransientOperator(TransientOperator):
         return self._T.T @ v
 
     def solve(self, b: np.ndarray) -> np.ndarray:
+        # check_finite=False skips a full-matrix validation scan, nothing
+        # more: generators are finite by construction (sums of finite rates),
+        # and _finite_or_fallback still catches a degenerate factorisation.
         if self._lu is None:
-            self._lu = sla.lu_factor(self._T)
-        return self._finite_or_fallback(sla.lu_solve(self._lu, b),
-                                        self._T, b)
+            self._lu = sla.lu_factor(self._T, check_finite=False)
+        return self._finite_or_fallback(
+            sla.lu_solve(self._lu, b, check_finite=False), self._T, b)
 
     def solve_transpose(self, b: np.ndarray) -> np.ndarray:
         if self._lu_t is None:
-            self._lu_t = sla.lu_factor(self._T.T)
-        return self._finite_or_fallback(sla.lu_solve(self._lu_t, b),
-                                        self._T.T, b)
+            self._lu_t = sla.lu_factor(self._T.T, check_finite=False)
+        return self._finite_or_fallback(
+            sla.lu_solve(self._lu_t, b, check_finite=False), self._T.T, b)
 
     @staticmethod
     def _finite_or_fallback(x: np.ndarray, A: np.ndarray,

@@ -42,14 +42,22 @@ class RecoveryLineIntervalModel:
         sparse beyond — the sparse path keeps heterogeneous analyses feasible
         to n≈14 and beyond), ``"dense"`` or ``"sparse"`` to force one.  The
         lumped chain is always dense (it has only ``n + 2`` states).
+    structure_cache:
+        Assemble the full chain through the memoized
+        :mod:`~repro.markov.structure_cache` (default), so a rates-only sweep
+        of models pays the structural enumeration once.  The cached assembly
+        is bit-identical to the legacy builders; disable only to measure or
+        to pin that equality.
     """
 
     def __init__(self, params: SystemParameters, *,
                  prefer_simplified: bool = True,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 structure_cache: bool = True) -> None:
         self.params = params
         self.prefer_simplified = bool(prefer_simplified)
         self.backend = check_backend_name(backend)
+        self.structure_cache = bool(structure_cache)
 
     # ------------------------------------------------------------------ structure
     @cached_property
@@ -74,7 +82,8 @@ class RecoveryLineIntervalModel:
             chain = SimplifiedChain(n=self.params.n, mu=float(self.params.mu[0]),
                                     lam=lam)
             return chain.phase_type()
-        return build_phase_type(self.params, backend=self.backend)
+        return build_phase_type(self.params, backend=self.backend,
+                                structure_cache=self.structure_cache)
 
     @cached_property
     def generator(self) -> np.ndarray:
@@ -99,7 +108,8 @@ class RecoveryLineIntervalModel:
         """
         if not self.uses_simplified_chain:
             return self.phase_type
-        return build_phase_type(self.params, backend=self.backend)
+        return build_phase_type(self.params, backend=self.backend,
+                                structure_cache=self.structure_cache)
 
     @property
     def n_states(self) -> int:

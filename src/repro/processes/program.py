@@ -19,6 +19,7 @@ recovery-block boundary; the *inter-process* consequences of a failed block
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -95,15 +96,40 @@ class RecoveryBlockSpec:
         return len(self.alternates)
 
 
-@dataclass(frozen=True)
 class BlockOutcome:
-    """Result of executing one recovery block."""
+    """Result of executing one recovery block.
 
-    passed: bool
-    alternate_used: int            # index into the spec's alternates, -1 if exhausted
-    elapsed: float                 # total simulated time consumed by the block
-    attempts: int                  # number of alternates tried
-    detected_contamination: bool   # acceptance test flagged an (external) error
+    Hand-written (``__slots__`` + plain ``__init__``) instead of a frozen
+    dataclass: one outcome is created per simulated block execution, and the
+    generated frozen initialiser's per-field ``object.__setattr__`` shows up in
+    replication-sweep profiles.  Treated as immutable by convention.
+    """
+
+    __slots__ = ("passed", "alternate_used", "elapsed", "attempts",
+                 "detected_contamination")
+
+    def __init__(self, passed: bool, alternate_used: int, elapsed: float,
+                 attempts: int, detected_contamination: bool) -> None:
+        self.passed = passed
+        self.alternate_used = alternate_used   # index into alternates, -1 if exhausted
+        self.elapsed = elapsed                 # total simulated time consumed
+        self.attempts = attempts               # number of alternates tried
+        self.detected_contamination = detected_contamination
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is BlockOutcome:
+            return (self.passed == other.passed
+                    and self.alternate_used == other.alternate_used
+                    and self.elapsed == other.elapsed
+                    and self.attempts == other.attempts
+                    and self.detected_contamination == other.detected_contamination)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"BlockOutcome(passed={self.passed!r}, "
+                f"alternate_used={self.alternate_used!r}, "
+                f"elapsed={self.elapsed!r}, attempts={self.attempts!r}, "
+                f"detected_contamination={self.detected_contamination!r})")
 
     @property
     def exhausted(self) -> bool:
@@ -128,6 +154,25 @@ class RecoveryBlockExecutor:
         self._executions = 0
         self._alternate_uses = [0] * spec.depth
         self._failures = 0
+        # Uniform draws served from a pre-sampled block: the executor owns its
+        # generator exclusively, and ``rng.random(size=k)`` consumes the
+        # bitstream exactly like k successive scalar draws, so the values are
+        # identical to unbuffered operation — only the per-draw numpy dispatch
+        # overhead goes away.
+        self._uniforms: list = []
+        self._uniform_pos = 0
+
+    def _random(self) -> float:
+        pos = self._uniform_pos
+        buf = self._uniforms
+        if pos >= len(buf):
+            # tolist() yields the exact same values as scalar draws, already
+            # unboxed to Python floats.
+            buf = self.rng.random(64).tolist()
+            self._uniforms = buf
+            pos = 0
+        self._uniform_pos = pos + 1
+        return buf[pos]
 
     # ------------------------------------------------------------------ execution
     def execute(self, nominal_duration: float, *,
@@ -149,9 +194,15 @@ class RecoveryBlockExecutor:
             (assumption 2 of Section 2.1 makes this 1.0 for local errors; external
             errors "may or may not" be detected).
         """
-        check_positive(nominal_duration, "nominal_duration")
-        check_probability(detect_contamination_probability,
-                          "detect_contamination_probability")
+        # Inlined check_positive / check_probability (one block execution per
+        # simulated boundary makes the helper frames measurable): a float is
+        # finite and positive iff 0 < v < inf, and NaN fails both chains.
+        if not 0.0 < nominal_duration < math.inf:
+            raise ValueError("nominal_duration must be a finite positive "
+                             f"number, got {nominal_duration!r}")
+        if not 0.0 <= detect_contamination_probability <= 1.0:
+            raise ValueError("detect_contamination_probability must lie in "
+                             f"[0, 1], got {detect_contamination_probability!r}")
         self._executions += 1
         elapsed = 0.0
         attempts = 0
@@ -162,7 +213,7 @@ class RecoveryBlockExecutor:
             # state is bad, not the algorithm.
             elapsed += nominal_duration * self.spec.alternates[0].duration_factor
             attempts = 1
-            detected = bool(self.rng.random() < detect_contamination_probability)
+            detected = bool(self._random() < detect_contamination_probability)
             if detected:
                 self._failures += 1
             return BlockOutcome(passed=not detected, alternate_used=0,
@@ -174,7 +225,7 @@ class RecoveryBlockExecutor:
             elapsed += nominal_duration * alternate.duration_factor
             if idx > 0:
                 elapsed += self.spec.local_retry_cost
-            if self.rng.random() < alternate.success_probability:
+            if self._random() < alternate.success_probability:
                 self._alternate_uses[idx] += 1
                 return BlockOutcome(passed=True, alternate_used=idx, elapsed=elapsed,
                                     attempts=attempts, detected_contamination=False)

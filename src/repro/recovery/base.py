@@ -17,6 +17,7 @@ subclasses via three hooks:
 from __future__ import annotations
 
 import abc
+from heapq import heappush as _heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -66,7 +67,9 @@ class ProcessRuntime:
     def advance(self, now: float) -> None:
         """Accrue useful work up to *now* (no-op unless running)."""
         if self.running and not self.done:
-            self.work_done += max(0.0, now - self.run_start)
+            delta = now - self.run_start
+            if delta > 0.0:
+                self.work_done += delta
             self.run_start = now
 
     def start_running(self, now: float) -> None:
@@ -75,12 +78,21 @@ class ProcessRuntime:
             self.run_start = now
 
     def stop_running(self, now: float) -> None:
-        self.advance(now)
+        # advance() inlined: one call per pause adds up across a sweep.
+        if self.running and not self.done:
+            delta = now - self.run_start
+            if delta > 0.0:
+                self.work_done += delta
+            self.run_start = now
         self.running = False
 
     def check_completion(self, now: float) -> bool:
         """Clamp work at the goal; mark the process done when it is reached."""
-        self.advance(now)
+        if self.running and not self.done:  # inlined advance()
+            delta = now - self.run_start
+            if delta > 0.0:
+                self.work_done += delta
+            self.run_start = now
         if not self.done and self.work_done >= self.work_goal - 1e-12:
             excess = self.work_done - self.work_goal
             self.work_done = self.work_goal
@@ -144,98 +156,149 @@ class RecoverySchemeRuntime(abc.ABC):
         self.domino_count = 0
         self.recovery_lines_committed = 0
         self._started = False
+        # Number of processes currently marked done.  Maintained at the three
+        # places the flag flips (check_completion via its callers, rollback
+        # revival in the coordinator) so the per-event completion checks are
+        # O(1) instead of a scan over the processes.
+        self._n_done = 0
         self._storage_level = self.monitor.level("saved_states", initial=self.n)
+        # Hot-path hoists: run invariants resolved once here instead of through
+        # two attribute hops (plus an f-string build) per simulation event.
+        self._max_sim_time = workload.max_sim_time
+        self._message_latency = workload.message_latency
+        self._checkpoint_cost = workload.checkpoint_cost
+        self._propagate_taint = workload.faults.propagate_via_messages
+        self._fault_rate = float(workload.faults.error_rate)
+        self._interaction_counter = self.monitor.counter("interactions")
+        self._acceptance_counter = self.monitor.counter("acceptance_tests")
+        self._acceptance_failures = self.monitor.counter("acceptance_failures")
+        self._mu = [float(self.params.mu[pid]) for pid in range(self.n)]
+        self._block_names = [f"block.{pid}" for pid in range(self.n)]
+        self._fault_names = [f"fault.{pid}" for pid in range(self.n)]
+        self._acceptance_names = [f"acceptance.{pid}" for pid in range(self.n)]
+        # Streams are derived from their name alone (never from creation
+        # order), so materialising the acceptance generators up front is
+        # bit-identical to lazy lookup — and saves a dict probe per test.
+        self._acceptance_rngs = [self.streams.stream(name)
+                                 for name in self._acceptance_names]
+        self._acceptance = workload.acceptance
+        self._pair_specs = {
+            (i, j): (f"interaction.{i}.{j}", f"direction.{i}.{j}",
+                     self.params.pair_rate(i, j))
+            for i in range(self.n) for j in range(i + 1, self.n)}
+        # Direct handles on the engine's queue and sequence counter (both are
+        # created once and never reassigned): the recurring timer chains below
+        # push entries in SimulationEngine.schedule_fire's exact format without
+        # paying its call frame on every one of the ~10^5 events per run.
+        self._equeue = self.engine._queue
+        self._eseq = self.engine._seq
 
     # ------------------------------------------------------------------ helpers
     @property
     def now(self) -> float:
-        return self.engine.now
+        # Reads the engine's clock attribute directly: this property is hit
+        # several times per simulation event, and the extra property frame of
+        # engine.now is measurable across a replication sweep.
+        return self.engine._now
 
     def proc(self, pid: int) -> ProcessRuntime:
         return self.procs[pid]
 
     def all_done(self) -> bool:
-        return all(p.done for p in self.procs)
+        # Hot path: called once per simulation event; the maintained counter
+        # replaces a scan over the processes.
+        return self._n_done >= self.n
 
     def _rng(self, name: str) -> np.random.Generator:
         return self.streams.stream(name)
 
     # ------------------------------------------------------------------ schedulers
     def _schedule_block_boundary(self, pid: int) -> None:
-        rate = float(self.params.mu[pid])
-        delay = self.streams.exponential(f"block.{pid}", rate)
-        self.engine.schedule(delay, self._fire_block_boundary, pid)
+        delay = self.streams.exponential(self._block_names[pid], self._mu[pid])
+        self.engine.schedule_fire(delay, self._fire_block_boundary, pid)
 
     def _fire_block_boundary(self, pid: int) -> None:
-        if self.all_done() or self.now >= self.workload.max_sim_time:
+        engine = self.engine
+        now = engine._now
+        if now >= self._max_sim_time or self._n_done >= self.n:
             return
-        proc = self.proc(pid)
-        if proc.done:
-            # Keep the timer chain alive: a finished process can be dragged back
-            # into the computation by a later rollback and must then resume
-            # reaching recovery-block boundaries.
-            self._schedule_block_boundary(pid)
-            return
-        if proc.running:
-            proc.advance(self.now)
-            if proc.check_completion(self.now):
+        proc = self.procs[pid]
+        if not proc.done and proc.running:
+            if proc.check_completion(now):
+                self._n_done += 1
                 self.on_process_completed(pid)
-                self._schedule_block_boundary(pid)
-                return
-            self.on_block_boundary(pid)
-        # Whether or not the boundary was actionable, keep the stream alive
-        # (exponential inter-boundary times are memoryless).
-        self._schedule_block_boundary(pid)
+            else:
+                self.on_block_boundary(pid)
+        # Whether or not the boundary was actionable, keep the timer chain
+        # alive (exponential inter-boundary times are memoryless): a finished
+        # process can be dragged back into the computation by a later rollback
+        # and must then resume reaching recovery-block boundaries.  The
+        # scheduler helper is inlined — this is the hottest event family.
+        # (Handlers never advance the clock, so ``now`` is still engine time.)
+        _heappush(self._equeue,
+                  (now + self.streams.exponential(self._block_names[pid],
+                                                  self._mu[pid]),
+                   next(self._eseq), None, self._fire_block_boundary, (pid,)))
 
     def _schedule_interaction(self, i: int, j: int) -> None:
-        rate = self.params.pair_rate(i, j)
+        name, _direction, rate = self._pair_specs[i, j]
         if rate <= 0.0:
             return
-        delay = self.streams.exponential(f"interaction.{i}.{j}", rate)
-        self.engine.schedule(delay, self._fire_interaction, i, j)
+        delay = self.streams.exponential(name, rate)
+        self.engine.schedule_fire(delay, self._fire_interaction, i, j)
 
     def _fire_interaction(self, i: int, j: int) -> None:
-        if self.all_done() or self.now >= self.workload.max_sim_time:
+        engine = self.engine
+        now = engine._now
+        if now >= self._max_sim_time or self._n_done >= self.n:
             return
-        pi, pj = self.proc(i), self.proc(j)
+        spec = self._pair_specs[i, j]  # (stream name, direction name, rate)
+        procs = self.procs
+        pi, pj = procs[i], procs[j]
         if not (pi.done or pj.done) and pi.running and pj.running:
             # Pick the message direction at random; the analytic model treats the
             # interaction symmetrically, the taint model cares about direction.
-            if self.streams.bernoulli(f"direction.{i}.{j}", 0.5):
-                source, target = i, j
+            if self.streams.bernoulli(spec[1], 0.5):
+                source, target, psrc, pdst = i, j, pi, pj
             else:
-                source, target = j, i
-            self.tracer.record_interaction(source, target, self.now,
-                                           receive_time=self.now
-                                           + self.workload.message_latency,
-                                           tainted=self.proc(source).contaminated)
-            self.monitor.counter("interactions").increment()
-            if self.workload.faults.propagate_via_messages and \
-                    self.proc(source).contaminated:
-                origin = self.proc(source).error_origin
-                self.proc(target).contaminate(self.now,
-                                              origin if origin is not None else source)
+                source, target, psrc, pdst = j, i, pj, pi
+            self.tracer.record_interaction(source, target, now,
+                                           receive_time=now
+                                           + self._message_latency,
+                                           tainted=psrc.contaminated)
+            self._interaction_counter._count += 1  # inlined Counter.increment()
+            if self._propagate_taint and psrc.contaminated:
+                origin = psrc.error_origin
+                pdst.contaminate(now, origin if origin is not None else source)
             self.on_interaction(source, target)
-        self._schedule_interaction(i, j)
+        # Inlined _schedule_interaction (a fired pair always has rate > 0).
+        _heappush(self._equeue,
+                  (now + self.streams.exponential(spec[0], spec[2]),
+                   next(self._eseq), None, self._fire_interaction, (i, j)))
 
     def _schedule_fault(self, pid: int) -> None:
-        rate = self.workload.faults.error_rate
+        rate = self._fault_rate
         if rate <= 0.0:
             return
-        delay = self.streams.exponential(f"fault.{pid}", rate)
-        self.engine.schedule(delay, self._fire_fault, pid)
+        delay = self.streams.exponential(self._fault_names[pid], rate)
+        self.engine.schedule_fire(delay, self._fire_fault, pid)
 
     def _fire_fault(self, pid: int) -> None:
-        if self.all_done() or self.now >= self.workload.max_sim_time:
+        engine = self.engine
+        now = engine._now
+        if now >= self._max_sim_time or self._n_done >= self.n:
             return
-        proc = self.proc(pid)
+        proc = self.procs[pid]
         if not proc.done and proc.running:
-            proc.contaminate(self.now, pid)
-            self.tracer.record_error(pid, self.now, local=True, origin=pid)
+            proc.contaminate(now, pid)
+            self.tracer.record_error(pid, now, local=True, origin=pid)
             self.monitor.counter("errors_injected").increment()
         # Always reschedule (even for finished processes) so a process revived by
-        # a rollback keeps experiencing faults.
-        self._schedule_fault(pid)
+        # a rollback keeps experiencing faults (a fired stream has rate > 0).
+        _heappush(self._equeue,
+                  (now + self.streams.exponential(self._fault_names[pid],
+                                                  self._fault_rate),
+                   next(self._eseq), None, self._fire_fault, (pid,)))
 
     # ------------------------------------------------------------------ pauses
     def pause_for(self, pid: int, duration: float, *, reason: str) -> None:
@@ -244,8 +307,15 @@ class RecoverySchemeRuntime(abc.ABC):
         ``reason`` is one of ``"checkpoint"``, ``"restart"`` or ``"waiting"`` and
         decides which overhead bucket the time lands in.
         """
-        proc = self.proc(pid)
-        proc.stop_running(self.now)
+        now = self.engine._now
+        proc = self.procs[pid]
+        # Inlined stop_running()/advance(): one pause per checkpoint adds up.
+        if proc.running and not proc.done:
+            delta = now - proc.run_start
+            if delta > 0.0:
+                proc.work_done += delta
+            proc.run_start = now
+        proc.running = False
         if reason == "checkpoint":
             proc.checkpoint_overhead += duration
         elif reason == "restart":
@@ -255,14 +325,16 @@ class RecoverySchemeRuntime(abc.ABC):
         else:
             raise ValueError(f"unknown pause reason {reason!r}")
         if duration <= 0.0:
-            proc.start_running(self.now)
+            proc.start_running(now)
             return
-        self.engine.schedule(duration, self._resume, pid)
+        _heappush(self._equeue, (now + duration, next(self._eseq), None,
+                                 self._resume, (pid,)))
 
     def _resume(self, pid: int) -> None:
-        proc = self.proc(pid)
-        if not proc.done and not proc.running:
-            proc.start_running(self.now)
+        proc = self.procs[pid]
+        if not proc.done and not proc.running:  # inlined start_running()
+            proc.running = True
+            proc.run_start = self.engine._now
 
     # ------------------------------------------------------------------ checkpoints
     def take_checkpoint(self, pid: int, *, kind: CheckpointKind = CheckpointKind.REGULAR,
@@ -273,24 +345,31 @@ class RecoverySchemeRuntime(abc.ABC):
         The process is paused for ``checkpoint_cost`` when *charge_time* is set;
         the saved state captures the current work level and contamination flag.
         """
-        proc = self.proc(pid)
-        proc.advance(self.now)
+        now = self.engine._now
+        proc = self.procs[pid]
+        if proc.running and not proc.done:  # inlined ProcessRuntime.advance()
+            delta = now - proc.run_start
+            if delta > 0.0:
+                proc.work_done += delta
+            proc.run_start = now
         if kind is CheckpointKind.REGULAR:
-            rp = self.tracer.record_recovery_point(pid, self.now)
+            rp = self.tracer.record_recovery_point(pid, now)
             proc.checkpoints += 1
         elif kind is CheckpointKind.PSEUDO:
             if origin is None:
                 raise ValueError("pseudo checkpoints need an origin")
-            rp = self.tracer.record_pseudo_recovery_point(pid, self.now, origin)
+            rp = self.tracer.record_pseudo_recovery_point(pid, now, origin)
             proc.pseudo_checkpoints += 1
         else:  # pragma: no cover - defensive
             raise ValueError("cannot take an INITIAL checkpoint explicitly")
         state = self.store.save(rp, work_done=proc.work_done,
                                 contaminated=proc.contaminated,
                                 error_origin=proc.error_origin)
-        if charge_time and self.workload.checkpoint_cost > 0.0:
-            self.pause_for(pid, self.workload.checkpoint_cost, reason="checkpoint")
-        self._storage_level.update(self.now, self.store.count())
+        if charge_time and self._checkpoint_cost > 0.0:
+            self.pause_for(pid, self._checkpoint_cost, reason="checkpoint")
+        # store._count is the maintained total behind CheckpointStore.count();
+        # read directly to skip a method call per checkpoint.
+        self._storage_level.update(now, self.store._count)
         return rp, state
 
     # ------------------------------------------------------------------ hooks
@@ -314,17 +393,19 @@ class RecoverySchemeRuntime(abc.ABC):
     # ------------------------------------------------------------------ detection
     def run_acceptance_test(self, pid: int) -> bool:
         """Run the acceptance test of *pid*; returns True when an error is flagged."""
-        proc = self.proc(pid)
-        rng = self._rng(f"acceptance.{pid}")
-        detected = self.workload.acceptance.detects(
+        proc = self.procs[pid]
+        rng = self._acceptance_rngs[pid]
+        acceptance = self._acceptance
+        detected = acceptance.detects(
             has_local_error=proc.has_local_error,
             has_external_error=proc.has_external_error, rng=rng)
         if not detected and not proc.contaminated:
-            detected = self.workload.acceptance.false_alarm(rng)
-        self.tracer.record_acceptance_test(pid, self.now, passed=not detected)
-        self.monitor.counter("acceptance_tests").increment()
+            detected = acceptance.false_alarm(rng)
+        self.tracer.record_acceptance_test(pid, self.engine._now,
+                                           passed=not detected)
+        self._acceptance_counter._count += 1  # inlined Counter.increment()
         if detected:
-            self.monitor.counter("acceptance_failures").increment()
+            self._acceptance_failures._count += 1
         return detected
 
     # ------------------------------------------------------------------ run loop
@@ -343,12 +424,16 @@ class RecoverySchemeRuntime(abc.ABC):
             for j in range(i + 1, self.n):
                 self._schedule_interaction(i, j)
 
-        while not self.all_done() and self.now < self.workload.max_sim_time:
-            if not self.engine.step():
-                break
+        n = self.n
+
+        def keep_going() -> bool:
+            return self._n_done < n
+
+        self.engine.run_while(keep_going, self._max_sim_time)
         # Final bookkeeping.
         for proc in self.procs:
-            proc.check_completion(self.now)
+            if proc.check_completion(self.now):
+                self._n_done += 1
         return self._build_report()
 
     # ------------------------------------------------------------------ reporting

@@ -10,7 +10,6 @@ can be purged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
@@ -18,9 +17,14 @@ from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
 __all__ = ["SavedState", "CheckpointStore"]
 
 
-@dataclass(frozen=True)
 class SavedState:
     """The payload saved at a checkpoint.
+
+    A hand-written value class (``__slots__``, plain ``__init__``) rather than a
+    frozen dataclass: one is created per checkpoint taken, which makes the
+    per-field ``object.__setattr__`` cost of a generated frozen initialiser a
+    measurable slice of a replication sweep.  Equality compares every field,
+    matching the dataclass it replaces; instances are treated as immutable.
 
     Attributes
     ----------
@@ -48,15 +52,47 @@ class SavedState:
         For PRPs, the ``(process, index)`` of the triggering RP.
     """
 
-    process: ProcessId
-    index: int
-    time: float
-    kind: CheckpointKind
-    work_done: float
-    contaminated: bool = False
-    error_origin: Optional[ProcessId] = None
-    size: float = 1.0
-    origin: Optional[Tuple[ProcessId, int]] = None
+    __slots__ = ("process", "index", "time", "kind", "work_done", "contaminated",
+                 "error_origin", "size", "origin")
+
+    def __init__(self, process: ProcessId, index: int, time: float,
+                 kind: CheckpointKind, work_done: float,
+                 contaminated: bool = False,
+                 error_origin: Optional[ProcessId] = None,
+                 size: float = 1.0,
+                 origin: Optional[Tuple[ProcessId, int]] = None) -> None:
+        self.process = process
+        self.index = index
+        self.time = time
+        self.kind = kind
+        self.work_done = work_done
+        self.contaminated = contaminated
+        self.error_origin = error_origin
+        self.size = size
+        self.origin = origin
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is SavedState:
+            return (self.process == other.process and self.index == other.index
+                    and self.time == other.time and self.kind == other.kind
+                    and self.work_done == other.work_done
+                    and self.contaminated == other.contaminated
+                    and self.error_origin == other.error_origin
+                    and self.size == other.size and self.origin == other.origin)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.process, self.index, self.time, self.kind,
+                     self.work_done, self.contaminated, self.error_origin,
+                     self.size, self.origin))
+
+    def __repr__(self) -> str:
+        return (f"SavedState(process={self.process!r}, index={self.index!r}, "
+                f"time={self.time!r}, kind={self.kind!r}, "
+                f"work_done={self.work_done!r}, "
+                f"contaminated={self.contaminated!r}, "
+                f"error_origin={self.error_origin!r}, size={self.size!r}, "
+                f"origin={self.origin!r})")
 
     def matches(self, rp: RecoveryPoint) -> bool:
         """Whether this saved state corresponds to history checkpoint *rp*."""
@@ -75,6 +111,10 @@ class CheckpointStore:
         self.n = int(n_processes)
         self.state_size = float(state_size)
         self._states: List[Dict[int, SavedState]] = [dict() for _ in range(self.n)]
+        self._count = 0          # running total across processes, O(1) to read
+        # Most recent non-pseudo state per process (first-inserted among equal
+        # times, matching the scan it replaces); maintained by _insert/_purge_if.
+        self._latest_regular: List[Optional[SavedState]] = [None] * self.n
         self._peak_count = 0
         self._total_saves = 0
         self._purged = 0
@@ -86,10 +126,30 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------ recording
     def _insert(self, state: SavedState) -> SavedState:
-        self._states[state.process][state.index] = state
+        slot = self._states[state.process]
+        if state.index not in slot:
+            self._count += 1
+        slot[state.index] = state
+        if state.kind is not CheckpointKind.PSEUDO:
+            cur = self._latest_regular[state.process]
+            if cur is None or state.time > cur.time:
+                self._latest_regular[state.process] = state
+            elif state.index == cur.index:
+                # The tracked state was overwritten in place; recompute.
+                self._rescan_latest(state.process)
         self._total_saves += 1
-        self._peak_count = max(self._peak_count, self.count())
+        if self._count > self._peak_count:
+            self._peak_count = self._count
         return state
+
+    def _rescan_latest(self, process: ProcessId) -> None:
+        best: Optional[SavedState] = None
+        for state in self._states[process].values():
+            if state.kind is CheckpointKind.PSEUDO:
+                continue
+            if best is None or state.time > best.time:
+                best = state
+        self._latest_regular[process] = best
 
     def save(self, rp: RecoveryPoint, *, work_done: float,
              contaminated: bool = False, error_origin: Optional[ProcessId] = None
@@ -125,6 +185,10 @@ class CheckpointStore:
     def latest_regular(self, process: ProcessId,
                        before: float = float("inf")) -> SavedState:
         """Most recent regular RP (or the initial state) of *process* before *before*."""
+        cur = self._latest_regular[process]
+        if cur is not None and cur.time <= before:
+            # The overall latest also wins any window that contains it.
+            return cur
         best: Optional[SavedState] = None
         for state in self._states[process].values():
             if state.kind is CheckpointKind.PSEUDO:
@@ -144,10 +208,14 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------ accounting
     def count(self, process: Optional[ProcessId] = None) -> int:
-        """Number of retained saved states (per process or total)."""
+        """Number of retained saved states (per process or total).
+
+        The total is a maintained counter — every checkpoint updates the
+        storage-level monitor, so this must not re-scan the per-process dicts.
+        """
         if process is not None:
             return len(self._states[process])
-        return sum(len(d) for d in self._states)
+        return self._count
 
     def total_size(self) -> float:
         """Total retained storage (sum of state sizes)."""
@@ -173,6 +241,10 @@ class CheckpointStore:
         for idx in doomed:
             del self._states[process][idx]
         self._purged += len(doomed)
+        self._count -= len(doomed)
+        cur = self._latest_regular[process]
+        if doomed and (cur is None or self._states[process].get(cur.index) is not cur):
+            self._rescan_latest(process)
         return len(doomed)
 
     def purge_before(self, process: ProcessId, time: float,
@@ -200,14 +272,22 @@ class CheckpointStore:
         purged = 0
         for pid in range(self.n):
             keeper = latest_rp[pid]
-
-            def doomed(state: SavedState, keeper=keeper) -> bool:
-                if state is keeper:
-                    return False
-                if state.kind is CheckpointKind.PSEUDO:
-                    return state.origin not in live_origins
-                # Older regular RPs are superseded by the keeper.
-                return True
-
-            purged += self._purge_if(pid, doomed)
+            slot = self._states[pid]
+            # Inlined _purge_if: this runs after every implantation commit, so
+            # the predicate is spelled out instead of paying a call per state.
+            # Keep the keeper; pseudo states survive while their triggering RP
+            # is still the owner's latest; older regular RPs are superseded.
+            doomed = [idx for idx, state in slot.items()
+                      if state is not keeper
+                      and state.kind is not CheckpointKind.INITIAL
+                      and (state.origin not in live_origins
+                           if state.kind is CheckpointKind.PSEUDO else True)]
+            for idx in doomed:
+                del slot[idx]
+            self._purged += len(doomed)
+            self._count -= len(doomed)
+            cur = self._latest_regular[pid]
+            if doomed and (cur is None or slot.get(cur.index) is not cur):
+                self._rescan_latest(pid)
+            purged += len(doomed)
         return purged

@@ -104,6 +104,7 @@ class RollbackCoordinator:
                 # A finished process dragged back into the computation.
                 proc.done = False
                 proc.finish_time = None
+                runtime._n_done -= 1
             distance = now - rp.time
             max_distance = max(max_distance, distance)
             domino = domino or rp.kind is CheckpointKind.INITIAL

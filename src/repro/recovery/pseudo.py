@@ -167,13 +167,19 @@ class PseudoRecoveryPointRuntime(RecoverySchemeRuntime):
                                                 failed_process=process)
 
     def _invalidated_interactions(self, assignment: Dict[ProcessId, RecoveryPoint]):
+        if not assignment:
+            return []
+        # An interaction only qualifies when its send time exceeds some restart
+        # point (hence the earliest one) and does not exceed "now" — window the
+        # time-sorted history instead of copying and scanning all of it.
+        earliest = min(rp.time for rp in assignment.values())
+        excluded = self.excluded_interactions
         invalidated = []
-        for interaction in self.tracer.history.interactions:
-            if interaction in self.excluded_interactions:
+        for interaction in self.tracer.history.interactions_window(earliest, self.now):
+            if interaction in excluded:
                 continue
             for pid, rp in assignment.items():
-                if interaction.involves(pid) and interaction.time > rp.time \
-                        and interaction.time <= self.now:
+                if interaction.involves(pid) and interaction.time > rp.time:
                     invalidated.append(interaction)
                     break
         return invalidated

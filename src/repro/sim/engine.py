@@ -156,14 +156,31 @@ class SimulationEngine:
         the handle), so they are filtered out here rather than counted.
         """
         return sum(1 for _time, _seq, handle, _cb, _args in self._queue
-                   if not handle.cancelled)
+                   if handle is None or not handle.cancelled)
 
     # ------------------------------------------------------------------ scheduling
     def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledCall:
         """Run ``callback(*args)`` after *delay* units of virtual time."""
         if delay < 0.0:
             raise ValueError("cannot schedule into the past")
-        return self.schedule_at(self._now + delay, callback, *args)
+        # Inlined schedule_at: a non-negative delay can never land in the past,
+        # and this is the hottest allocation site of the kernel.
+        handle = ScheduledCall(self._now + delay, next(self._seq))
+        heapq.heappush(self._queue, (handle.time, handle.seq, handle, callback, args))
+        return handle
+
+    def schedule_fire(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Like :meth:`schedule`, but fire-and-forget: no cancellation handle.
+
+        The recurring timer chains of the recovery runtimes never cancel their
+        events, and the :class:`ScheduledCall` allocation is pure overhead at
+        tens of thousands of events per run — queue entries carry ``None`` in
+        the handle slot instead.
+        """
+        if delay < 0.0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue,
+                       (self._now + delay, next(self._seq), None, callback, args))
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledCall:
         """Run ``callback(*args)`` at absolute virtual time *time*."""
@@ -188,15 +205,33 @@ class SimulationEngine:
         """Execute the next event; returns False when the queue is empty."""
         while self._queue:
             time, _seq, handle, callback, args = heapq.heappop(self._queue)
-            if handle.cancelled:
+            if handle is not None and handle.cancelled:
                 continue
             if time < self._now - 1e-12:  # pragma: no cover - defensive
                 raise RuntimeError("event queue produced a time in the past")
-            self._now = max(self._now, time)
+            if time > self._now:
+                self._now = time
             self._processed += 1
             callback(*args)
             return True
         return False
+
+    def run_while(self, keep_going: Callable[[], bool], until: float) -> None:
+        """Step until the queue drains, the clock reaches *until*, or
+        ``keep_going()`` turns False (checked once before every event, exactly
+        like an external ``while keep_going(): step()`` loop, minus the
+        per-event function-call overhead of :meth:`step`).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and self._now < until and keep_going():
+            time, _seq, handle, callback, args = pop(queue)
+            if handle is not None and handle.cancelled:
+                continue
+            if time > self._now:
+                self._now = time
+            self._processed += 1
+            callback(*args)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, *until* is reached, or *max_events* executed.
@@ -227,7 +262,7 @@ class SimulationEngine:
     def _peek_time(self) -> Optional[float]:
         while self._queue:
             time, _seq, handle, _cb, _args = self._queue[0]
-            if handle.cancelled:
+            if handle is not None and handle.cancelled:
                 heapq.heappop(self._queue)
                 continue
             return time

@@ -97,7 +97,8 @@ class TimeWeightedStat:
         self._area += self._level * (time - self._last_time)
         self._last_time = float(time)
         self._level = float(level)
-        self._max = max(self._max, self._level)
+        if self._level > self._max:
+            self._max = self._level
 
     def add(self, time: float, delta: float) -> None:
         """Record an increment/decrement at *time*."""

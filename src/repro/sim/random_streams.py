@@ -10,11 +10,20 @@ hygiene for discrete-event simulation studies.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["RandomStreams"]
+
+#: Variates pre-drawn per named stream by the buffered helpers below.  A
+#: vectorised ``Generator.exponential(scale, size=k)`` (or ``random(size=k)``)
+#: consumes the underlying bitstream exactly like ``k`` successive scalar
+#: draws and returns the same values, so serving calls from a buffer changes
+#: no results — it only removes the per-call numpy dispatch overhead.  Any
+#: bitstream over-consumed at the end of a run is harmless because every
+#: named stream is independent and is never read by anything else.
+_BUFFER_SIZE = 64
 
 
 def _stable_digest(name: str) -> int:
@@ -33,6 +42,9 @@ class RandomStreams:
         self._seed_seq = np.random.SeedSequence(seed)
         self._root = np.random.default_rng(self._seed_seq)
         self._streams: Dict[str, np.random.Generator] = {}
+        # name -> [scale, values, next position] / [values, next position].
+        self._exp_buffers: Dict[str, List] = {}
+        self._uniform_buffers: Dict[str, List] = {}
 
     @property
     def root(self) -> np.random.Generator:
@@ -58,10 +70,35 @@ class RandomStreams:
 
     # ------------------------------------------------------------------ helpers
     def exponential(self, name: str, rate: float) -> float:
-        """One exponential variate with the given *rate* from the named stream."""
+        """One exponential variate with the given *rate* from the named stream.
+
+        Draws are served from a pre-sampled buffer (see :data:`_BUFFER_SIZE`),
+        which requires the rate of a named stream to stay constant — the
+        schedulers all use one name per (process/pair, rate) source, so this
+        holds by construction.  A changed rate raises rather than silently
+        returning variates drawn at the old scale.
+        """
         if rate <= 0.0:
             raise ValueError("rate must be positive")
-        return float(self.stream(name).exponential(1.0 / rate))
+        scale = 1.0 / rate
+        buf = self._exp_buffers.get(name)
+        if buf is None:
+            # tolist() converts the float64 block to Python floats exactly
+            # (same bits); per-draw indexing then skips numpy scalar boxing.
+            buf = [scale,
+                   self.stream(name).exponential(scale, _BUFFER_SIZE).tolist(), 0]
+            self._exp_buffers[name] = buf
+        elif buf[0] != scale:
+            raise ValueError(
+                f"stream {name!r} was buffered at rate {1.0 / buf[0]}, got "
+                f"{rate}; buffered exponential streams need a constant rate "
+                "per name — use one stream name per rate source")
+        elif buf[2] >= _BUFFER_SIZE:
+            buf[1] = self.stream(name).exponential(scale, _BUFFER_SIZE).tolist()
+            buf[2] = 0
+        value = buf[1][buf[2]]
+        buf[2] += 1
+        return value
 
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
         return float(self.stream(name).uniform(low, high))
@@ -72,9 +109,17 @@ class RandomStreams:
         return options[idx]
 
     def bernoulli(self, name: str, probability: float) -> bool:
+        # Buffered like the exponential helper; the uniforms do not depend on
+        # the probability, so it is free to vary between calls.
         if not (0.0 <= probability <= 1.0):
             raise ValueError("probability must be in [0, 1]")
-        return bool(self.stream(name).random() < probability)
+        buf = self._uniform_buffers.get(name)
+        if buf is None or buf[1] >= _BUFFER_SIZE:
+            buf = [self.stream(name).random(_BUFFER_SIZE).tolist(), 0]
+            self._uniform_buffers[name] = buf
+        value = buf[0][buf[1]]
+        buf[1] += 1
+        return value < probability
 
     def spawn(self, name: str) -> "RandomStreams":
         """Create an independent sub-family (e.g. one per replication)."""
@@ -84,4 +129,6 @@ class RandomStreams:
                                                  spawn_key=(digest, 1))
         child._root = np.random.default_rng(child._seed_seq)
         child._streams = {}
+        child._exp_buffers = {}
+        child._uniform_buffers = {}
         return child

@@ -20,19 +20,70 @@ __all__ = ["Tracer"]
 
 
 class Tracer:
-    """Collects the execution history of a recovery-block run."""
+    """Collects the execution history of a recovery-block run.
+
+    The event log is materialised lazily: record calls buffer cheap tuples, and
+    the full :class:`EventLog` (identical to one built eagerly — same events,
+    same sequence numbers) is assembled on first access to :attr:`log`.  The
+    history diagram is always live because the rollback and recovery-line
+    algorithms consume it during the run, whereas the flat log is only read by
+    post-run analysis — the strategy sweeps never touch it, and per-event
+    ``Event`` construction is a measurable slice of the simulation cost.
+    """
 
     def __init__(self, n_processes: int) -> None:
         self.n = int(n_processes)
-        self.log = EventLog()
         self.history = HistoryDiagram(self.n)
+        self._log: Optional[EventLog] = None
+        self._pending: list = []
+        self._log_disabled = False
+
+    def disable_log(self) -> None:
+        """Drop event-log recording entirely (history stays live).
+
+        For replication sweeps that only consume run reports: buffering one
+        tuple plus a kwargs dict per event is pure overhead when the flat log
+        is never read.  After this call, record methods update only the
+        history diagram, and accessing :attr:`log` raises — a silently empty
+        or partial log would be worse than a loud one.
+        """
+        self._log_disabled = True
+        self._pending.clear()
+
+    @property
+    def log(self) -> EventLog:
+        """The flat event log (materialised from the buffer on first access)."""
+        if self._log_disabled:
+            raise RuntimeError("the event log was disabled for this tracer "
+                               "(Tracer.disable_log); only the history diagram "
+                               "is available")
+        if self._log is None:
+            log = EventLog()
+            for time, kind, process, data in self._pending:
+                log.append(time, kind, process, **data)
+            self._pending.clear()
+            self._log = log
+        return self._log
+
+    def _record(self, time: float, kind: EventKind, process: ProcessId,
+                **data: object) -> None:
+        if self._log_disabled:
+            return
+        if self._log is not None:
+            self._log.append(time, kind, process, **data)
+        else:
+            self._pending.append((time, kind, process, data))
 
     # ------------------------------------------------------------------ checkpoints
     def record_recovery_point(self, process: ProcessId, time: float) -> RecoveryPoint:
         """Record a regular recovery point (post-acceptance-test state save)."""
         rp = self.history.add_recovery_point(process, time,
                                              kind=CheckpointKind.REGULAR)
-        self.log.append(time, EventKind.RECOVERY_POINT, process, index=rp.index)
+        # The guard is repeated at the hot call sites (here and below) rather
+        # than only inside _record so a disabled tracer skips the kwargs-dict
+        # build as well as the call.
+        if not self._log_disabled:
+            self._record(time, EventKind.RECOVERY_POINT, process, index=rp.index)
         return rp
 
     def record_pseudo_recovery_point(self, process: ProcessId, time: float,
@@ -41,8 +92,9 @@ class Tracer:
         rp = self.history.add_recovery_point(process, time,
                                              kind=CheckpointKind.PSEUDO,
                                              origin=origin)
-        self.log.append(time, EventKind.PSEUDO_RECOVERY_POINT, process,
-                        index=rp.index, origin=origin)
+        if not self._log_disabled:
+            self._record(time, EventKind.PSEUDO_RECOVERY_POINT, process,
+                         index=rp.index, origin=origin)
         return rp
 
     # ------------------------------------------------------------------ messages
@@ -53,34 +105,36 @@ class Tracer:
         receive_time = send_time if receive_time is None else receive_time
         self.history.add_interaction(source, target, send_time,
                                      receive_time=receive_time)
-        self.log.append(receive_time, EventKind.INTERACTION, source, peer=target,
-                        initiator=True, receive_time=receive_time, tainted=tainted)
+        if not self._log_disabled:
+            self._record(receive_time, EventKind.INTERACTION, source, peer=target,
+                         initiator=True, receive_time=receive_time, tainted=tainted)
 
     # ------------------------------------------------------------------ verdicts
     def record_acceptance_test(self, process: ProcessId, time: float,
                                passed: bool) -> None:
-        self.log.append(time, EventKind.ACCEPTANCE_TEST, process, passed=passed)
+        if not self._log_disabled:
+            self._record(time, EventKind.ACCEPTANCE_TEST, process, passed=passed)
 
     def record_error(self, process: ProcessId, time: float, *, local: bool = True,
                      origin: Optional[ProcessId] = None) -> None:
-        self.log.append(time, EventKind.ERROR, process, local=local,
-                        origin=origin if origin is not None else process)
+        self._record(time, EventKind.ERROR, process, local=local,
+                     origin=origin if origin is not None else process)
 
     def record_rollback(self, process: ProcessId, time: float,
                         restart_time: float, *, cause: ProcessId) -> None:
-        self.log.append(time, EventKind.ROLLBACK, process,
-                        restart_time=restart_time, cause=cause,
-                        distance=time - restart_time)
+        self._record(time, EventKind.ROLLBACK, process,
+                     restart_time=restart_time, cause=cause,
+                     distance=time - restart_time)
 
     def record_sync_request(self, process: ProcessId, time: float) -> None:
-        self.log.append(time, EventKind.SYNC_REQUEST, process)
+        self._record(time, EventKind.SYNC_REQUEST, process)
 
     def record_sync_commit(self, process: ProcessId, time: float) -> None:
-        self.log.append(time, EventKind.SYNC_COMMIT, process)
+        self._record(time, EventKind.SYNC_COMMIT, process)
 
     def record_recovery_line(self, time: float, processes: Tuple[ProcessId, ...]) -> None:
-        self.log.append(time, EventKind.RECOVERY_LINE, processes[0] if processes else 0,
-                        members=tuple(processes))
+        self._record(time, EventKind.RECOVERY_LINE, processes[0] if processes else 0,
+                     members=tuple(processes))
 
     # ------------------------------------------------------------------ queries
     def rollback_count(self) -> int:

@@ -1,0 +1,147 @@
+"""Replication chunking of the strategy engine: bit-identity and layout.
+
+The chunked task layout (several replications per :class:`StrategyTask`)
+must be invisible in the results: per-replication seeds and reduction order
+are exactly those of the historical one-task-per-replication layout, for
+every chunk size and backend, and the store identity ignores the chunk
+size entirely.  These tests pin that contract, plus the empty-spec
+regression of ``cell_tasks``.
+"""
+
+import pytest
+
+from repro.api import StudySpec, evaluate, evaluate_record
+from repro.api.evaluators import get_evaluator
+from repro.api.facade import evaluate_in_context
+from repro.api.strategy import DEFAULT_REP_CHUNK, StrategyEvaluator
+from repro.runner import ExecutionContext
+
+
+def strategy_payload(**overrides):
+    payload = {
+        "system": {"kind": "strategy", "scheme": "asynchronous", "n": 3,
+                   "mu": 1.0, "lam": 1.0, "work": 10.0, "error_rate": 0.05,
+                   "sync_interval": 2.0},
+        "metrics": ["makespan", "rollbacks", "total_saves"],
+        "reps": 5,
+        "seed": 99,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def with_chunk(payload, chunk):
+    return {**payload, "options": {"rep_chunk": chunk}}
+
+
+class TestChunkedBitIdentity:
+    """Chunked == one-task-per-replication, float for float."""
+
+    def test_serial_equality_across_chunk_sizes(self):
+        reference = evaluate(StudySpec.from_dict(
+            strategy_payload()), method="strategy").to_dict()
+        for chunk in (1, 2, 3, 5, 64):
+            spec = StudySpec.from_dict(
+                with_chunk(strategy_payload(), chunk))
+            assert evaluate(spec, method="strategy").to_dict() == reference, \
+                f"rep_chunk={chunk} changed the results"
+
+    def test_process_pool_equality(self):
+        serial = evaluate(StudySpec.from_dict(strategy_payload()),
+                          method="strategy")
+        pooled = evaluate(StudySpec.from_dict(strategy_payload()),
+                          method="strategy", backend="process", workers=2)
+        unchunked_pooled = evaluate(
+            StudySpec.from_dict(with_chunk(strategy_payload(), 1)),
+            method="strategy", backend="process", workers=2)
+        assert serial.to_dict() == pooled.to_dict()
+        assert serial.to_dict() == unchunked_pooled.to_dict()
+
+    def test_common_random_numbers_sweep_equality(self):
+        """The CRN cell_tasks path is chunk-size independent too."""
+        sweep = strategy_payload(
+            sweep={"scheme": ["asynchronous", "synchronized", "pseudo"]})
+        ctx_seed = StudySpec.from_dict(sweep).seed
+
+        def run(chunk):
+            payload = with_chunk(sweep, chunk) if chunk else sweep
+            cells = list(StudySpec.from_dict(payload).cells())
+            evaluations = evaluate_in_context(
+                ExecutionContext(seed=ctx_seed), cells, method="strategy")
+            return [e.to_dict() for e in evaluations]
+
+        reference = run(None)           # DEFAULT_REP_CHUNK
+        assert run(1) == reference
+        assert run(2) == reference
+
+
+class TestStoreIdentity:
+    """The chunk size tunes execution, never the cell's cache address."""
+
+    def test_canonical_key_ignores_rep_chunk(self):
+        base = StudySpec.from_dict(strategy_payload())
+        chunked = StudySpec.from_dict(with_chunk(strategy_payload(), 1))
+        assert base.canonical_key("strategy") == \
+            chunked.canonical_key("strategy")
+
+    def test_store_hit_across_chunk_sizes(self, tmp_path):
+        from repro.report import ResultStore
+        store = ResultStore(str(tmp_path / "store"))
+        first = evaluate_record(
+            StudySpec.from_dict(with_chunk(strategy_payload(), 1)),
+            method="strategy", store=store)
+        rerun = evaluate_record(
+            StudySpec.from_dict(with_chunk(strategy_payload(), 3)),
+            method="strategy", store=store)
+        assert first.cache_hits == 0
+        assert rerun.cache_hits == 1
+        assert [c.evaluation.to_dict() for c in rerun.cells] == \
+            [c.evaluation.to_dict() for c in first.cells]
+
+
+class TestTaskLayout:
+    def test_chunk_layout_is_budget_only(self):
+        """Chunk count = ceil(reps / rep_chunk), independent of backend."""
+        spec = StudySpec.from_dict(strategy_payload(reps=20))
+        evaluator = get_evaluator("strategy")
+        tasks = evaluator.tasks(spec, ExecutionContext(seed=spec.seed))
+        assert [len(t.seeds) for t in tasks] == [8, 8, 4]
+        seeds = [s for t in tasks for s in t.seeds]
+        per_rep = evaluator.tasks(
+            StudySpec.from_dict(with_chunk(strategy_payload(reps=20), 1)),
+            ExecutionContext(seed=spec.seed))
+        assert [s for t in per_rep for s in t.seeds] == seeds
+
+    def test_chunks_never_span_cells(self):
+        sweep = strategy_payload(
+            reps=3, sweep={"scheme": ["asynchronous", "synchronized"]})
+        cells = list(StudySpec.from_dict(sweep).cells())
+        evaluator = get_evaluator("strategy")
+        tasks, bounds = evaluator.cell_tasks(cells,
+                                             ExecutionContext(seed=99))
+        assert bounds == [0, 1, 2]      # 3 reps fit one chunk per cell
+        # Common random numbers: both cells carry the same seed slice.
+        assert tasks[0].seeds == tasks[1].seeds
+
+    def test_invalid_rep_chunk_rejected(self):
+        spec = StudySpec.from_dict(with_chunk(strategy_payload(), 0))
+        with pytest.raises(ValueError, match="rep_chunk must be >= 1"):
+            get_evaluator("strategy").tasks(spec,
+                                            ExecutionContext(seed=1))
+
+
+class TestEmptySpecsRegression:
+    """cell_tasks([]) used to die on a bare max() over no budgets."""
+
+    def test_empty_cell_tasks(self):
+        evaluator = StrategyEvaluator()
+        tasks, bounds = evaluator.cell_tasks([], ExecutionContext(seed=7))
+        assert tasks == []
+        assert bounds == [0]
+
+    def test_empty_evaluate_in_context(self):
+        assert evaluate_in_context(ExecutionContext(seed=7), [],
+                                   method="strategy") == []
+
+    def test_default_chunk_is_sane(self):
+        assert DEFAULT_REP_CHUNK >= 1
