@@ -19,7 +19,7 @@ from repro.core.rollback import propagate_rollback
 from repro.core.history import HistoryDiagram
 from repro.core.types import CheckpointKind
 from repro.util.tables import AsciiTable
-from repro.workloads.trace import figure1_trace
+from repro.workloads.trace import domino_trace, figure1_trace
 
 
 def main() -> None:
@@ -73,6 +73,18 @@ def main() -> None:
     print(f"\nWith pseudo recovery points implanted for {last_rp_p1.label}: "
           f"maximum rollback distance drops from {result.max_distance:.2f} to "
           f"{bounded.max_distance:.2f}.")
+
+    # The scenario is not tied to three processes: domino_trace(n) lays out
+    # the same msg/rp sandwich for any n (domino_trace(3) IS Figure 1, event
+    # for event), and the rollback still reaches the early layer.
+    print("\nThe same domino structure, generalized beyond Figure 1's n=3:")
+    for n in (3, 5, 8):
+        trace = domino_trace(n)
+        deep = propagate_rollback(trace.to_history(), failed_process=0,
+                                  failure_time=trace.duration + 0.4)
+        print(f"  n={n}: {len(deep.affected)} processes rolled back, "
+              f"max distance {deep.max_distance:.2f}, "
+              f"lost computation {deep.total_lost_computation:.2f}")
 
 
 if __name__ == "__main__":

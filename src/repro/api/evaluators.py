@@ -72,6 +72,12 @@ _STOCHASTIC_UNSUPPORTED = frozenset({"pdf"})
 #: chain (the count metrics need full-chain occupancy).
 _LUMPED_METRICS = frozenset({"mean", "variance", "std", "pdf", "cdf", "sf"})
 
+#: Metrics the phase-type *approximation* of a non-exponential failure law
+#: cannot serve: the per-process count/completion quantities come from the
+#: split-chain occupancy analysis, which is specific to the exponential
+#: ``2^n`` chain.  The stochastic engines estimate them exactly.
+_PH_APPROX_UNSERVABLE = frozenset({"rp_counts", "completion_probabilities"})
+
 
 @dataclass(frozen=True)
 class SampleTask:
@@ -86,13 +92,24 @@ class SampleTask:
 
 def sample_shard(task: SampleTask) -> SimulatedIntervals:
     """Worker entry point shared by the ``mc`` and ``des`` engines."""
-    params = SystemSpec.from_dict(task.system).build()
+    system = SystemSpec.from_dict(task.system)
+    params = system.build()
+    law = system.failure_law
     if task.engine == "mc":
+        if law != "exponential":
+            from repro.markov.montecarlo import RenewalModelSimulator
+            sampler = RenewalModelSimulator(params, seed=task.seed,
+                                            failure_law=law,
+                                            failure_shape=system.failure_shape)
+            return sampler.sample_intervals(
+                task.n_intervals, max_events_per_interval=task.max_events)
         return ModelSimulator(params, seed=task.seed).sample_intervals(
             task.n_intervals, max_events_per_interval=task.max_events)
     from repro.sim.interval_sampler import DESIntervalSampler
     sampler = DESIntervalSampler(params, seed=seed_to_int(task.seed),
-                                 max_events_per_interval=task.max_events)
+                                 max_events_per_interval=task.max_events,
+                                 failure_law=law,
+                                 failure_shape=system.failure_shape)
     return sampler.sample_intervals(task.n_intervals)
 
 
@@ -177,6 +194,15 @@ class AnalyticEvaluator(Evaluator):
             # resolve-time is where a bad explicit method should fail.
             from repro.api.strategy import analytic_strategy_checks
             analytic_strategy_checks(spec)
+            return
+        if spec.system.failure_law != "exponential":
+            unservable = sorted(_PH_APPROX_UNSERVABLE & set(spec.metrics))
+            if unservable:
+                raise UnsupportedMetricError(
+                    f"the analytic engine serves failure_law="
+                    f"{spec.system.failure_law!r} through a phase-type "
+                    f"approximation that cannot compute {unservable}; "
+                    "estimate them with method='mc' or 'des'")
 
     def assemble(self, spec: StudySpec,
                  outputs: Sequence[object]) -> Evaluation:
@@ -189,6 +215,18 @@ class AnalyticEvaluator(Evaluator):
             with _phase("solve"):
                 return analytic_strategy_evaluation(spec)
         options = dict(spec.options)
+        if spec.system.failure_law != "exponential":
+            self.validate(spec)
+            from repro.markov.phfit import renewal_phase_type
+            ph_order = options.get("ph_order")
+            with _phase("assembly"):
+                chain = renewal_phase_type(
+                    spec.system.build(), spec.system.failure_law,
+                    spec.system.failure_shape,
+                    order=None if ph_order is None else int(ph_order),
+                    backend=str(options.get("backend", "auto")))
+            with _phase("solve"):
+                return self._solve_renewal(spec, chain)
         with _phase("assembly"):
             model = RecoveryLineIntervalModel(
                 spec.system.build(),
@@ -197,6 +235,41 @@ class AnalyticEvaluator(Evaluator):
                 structure_cache=bool(options.get("structure_cache", True)))
         with _phase("solve"):
             return self._solve(spec, model)
+
+    def _solve_renewal(self, spec: StudySpec, chain) -> Evaluation:
+        """Serve the metrics from the expanded phase-type chain.
+
+        The result is exact for the *fitted* law; against the declared
+        Weibull/lognormal law it is an approximation whose error is the
+        phase-type fit error (the ``ph-approx-<order>`` backend label and
+        the conformance suite's documented tolerances make this explicit).
+        """
+        ph = chain.phase_type
+        metrics: Dict[str, float] = {"mean": ph.mean()}
+        if spec.wants("variance"):
+            metrics["variance"] = ph.variance()
+        if spec.wants("std"):
+            metrics["std"] = ph.std()
+        bad = {name: value for name, value in metrics.items()
+               if not np.isfinite(value) or value <= 0.0}
+        if bad:
+            raise ArithmeticError(
+                f"phase-type approximation lost precision for "
+                f"{spec.system.to_dict()}: {bad}")
+        distributions: Dict[str, Tuple[float, ...]] = {}
+        if spec.times and any(spec.wants(m) for m in ("pdf", "cdf", "sf")):
+            grid = np.asarray(spec.times, dtype=float)
+            distributions["times"] = tuple(spec.times)
+            if spec.wants("pdf"):
+                distributions["pdf"] = tuple(np.atleast_1d(ph.pdf(grid)))
+            if spec.wants("cdf"):
+                distributions["cdf"] = tuple(np.atleast_1d(ph.cdf(grid)))
+            if spec.wants("sf"):
+                distributions["sf"] = tuple(np.atleast_1d(ph.sf(grid)))
+        return Evaluation(method=self.name,
+                          backend=f"ph-approx-{chain.fit.order}",
+                          n_processes=spec.system.n, metrics=metrics,
+                          distributions=distributions, rel_tol=spec.rel_tol)
 
     def _solve(self, spec: StudySpec,
                model: RecoveryLineIntervalModel) -> Evaluation:
@@ -394,6 +467,12 @@ def resolve_method(spec: StudySpec, method: str = "auto") -> str:
        lumped ``n + 2``-state chain.
     3. otherwise **mc** — unless a density was requested, which no sampler
        can estimate; that is an error asking for an explicit method.
+
+    A non-exponential ``failure_law`` short-circuits to **mc**: the analytic
+    engine is then a phase-type *approximation*, which auto-selection must
+    never silently substitute for an exact result — it is opt-in via
+    ``method='analytic'`` (a requested density, which only the approximation
+    can serve, is an error asking for that explicit opt-in).
     """
     if method in (None, "auto"):
         if spec.system.kind == "strategy":
@@ -402,6 +481,15 @@ def resolve_method(spec: StudySpec, method: str = "auto") -> str:
                     and set(spec.metrics) <= ANALYTIC_STRATEGY_METRICS:
                 return "analytic"
             return "strategy"
+        if spec.system.failure_law != "exponential":
+            unsupported = sorted(_STOCHASTIC_UNSUPPORTED & set(spec.metrics))
+            if unsupported:
+                raise UnsupportedMetricError(
+                    f"metrics {unsupported} need the analytic engine, which "
+                    f"under failure_law={spec.system.failure_law!r} is a "
+                    "phase-type approximation; pass method='analytic' "
+                    "explicitly to accept the approximation")
+            return "mc"
         n = spec.system.n
         if n <= AUTO_FULL_CHAIN_MAX_N:
             return "analytic"

@@ -31,11 +31,13 @@ __all__ = [
     "DEFAULT_STRATEGY_REPS",
     "EVALUATE_SCENARIO_NAME",
     "EXECUTION_OPTIONS",
+    "FAILURE_LAWS",
     "KNOWN_METRICS",
     "RECOVERY_SCHEMES",
     "STRATEGY_METRICS",
     "StudySpec",
     "SystemSpec",
+    "system_axes",
 ]
 
 #: Name of the facade's internal registered scenario; part of every spec's
@@ -92,8 +94,31 @@ DISTRIBUTION_METRICS = ("pdf", "cdf", "sf")
 #: part of the cell's store identity (except the :data:`EXECUTION_OPTIONS`,
 #: which change no computed number), so a silently-ignored typo would both
 #: mis-route the evaluation and mint a key no correct spec ever matches.
+#: ``ph_order`` sets the phase-type fitter order the analytic engine uses
+#: for non-exponential failure laws; it changes the computed approximation,
+#: so it is identity-bearing (*not* an execution option).
 KNOWN_OPTIONS = ("prefer_simplified", "backend", "max_events_per_interval",
-                 "rep_chunk", "structure_cache")
+                 "rep_chunk", "structure_cache", "ph_order")
+
+#: Recovery-point / fault interarrival laws a system may declare.  The
+#: default ``exponential`` is the paper's assumption 5 and keeps every
+#: engine exact; ``weibull``/``lognormal`` make interarrivals a renewal
+#: process of that law (every timer redrawn when a recovery line forms —
+#: for ``strategy`` systems the law governs the fault timeline instead),
+#: sampled exactly by the stochastic engines and approximated by the
+#: analytic engine through the phase-type fit of
+#: :mod:`repro.markov.phfit`.
+FAILURE_LAWS = ("exponential", "weibull", "lognormal")
+
+#: System kinds that accept the optional ``failure_law``/``failure_shape``
+#: arguments.  The paper-case kinds (``table1_case``/``figure6_case``)
+#: reproduce fixed exponential parameter tables and are excluded.
+_FAILURE_LAW_KINDS = frozenset({"symmetric", "explicit", "three_process",
+                                "heterogeneous", "strategy"})
+
+#: Keys of the optional ``fault_model`` block of ``strategy`` systems.
+_FAULT_MODEL_KEYS = frozenset({"groups", "common_mode_rate",
+                               "propagation_probability", "cascade_depth"})
 
 
 def _coerce_number(value, name: str, *, integer: bool = False):
@@ -119,6 +144,73 @@ def _coerce_vector(values, name: str) -> Tuple[float, ...]:
 
 def _coerce_matrix(rows, name: str) -> Tuple[Tuple[float, ...], ...]:
     return tuple(_coerce_vector(row, f"{name}[{i}]") for i, row in enumerate(rows))
+
+
+def _coerce_fault_model(value, n: int, name: str = "fault_model") -> Dict[str, object]:
+    """Validate and canonicalise a correlated-fault ``fault_model`` block.
+
+    ``groups`` (common-mode failure groups, subsets of ``range(n)``) and
+    ``common_mode_rate`` are required; ``propagation_probability`` and
+    ``cascade_depth`` default to 0 and are *omitted* at their defaults so the
+    canonical form — and therefore the store identity — is unique.  Groups
+    are sorted (members and groups alike): the block is a set of sets, and
+    two spellings of the same model must address the same cell.
+    """
+    if not isinstance(value, Mapping):
+        raise TypeError(f"{name} must be a mapping")
+    block = {str(k): v for k, v in dict(value).items()}
+    unknown = sorted(set(block) - _FAULT_MODEL_KEYS)
+    if unknown:
+        raise ValueError(f"{name} does not take {unknown}; expected a subset "
+                         f"of {sorted(_FAULT_MODEL_KEYS)}")
+    missing = sorted({"groups", "common_mode_rate"} - set(block))
+    if missing:
+        raise ValueError(f"{name} is missing {missing}")
+    groups = []
+    for gi, group in enumerate(block["groups"]):
+        members = tuple(sorted(
+            _coerce_number(m, f"{name}.groups[{gi}]", integer=True)
+            for m in group))
+        if not members:
+            raise ValueError(f"{name}.groups[{gi}] is empty")
+        if len(set(members)) != len(members):
+            raise ValueError(f"{name}.groups[{gi}] repeats a process")
+        if members[0] < 0 or members[-1] >= n:
+            raise ValueError(f"{name}.groups[{gi}] names processes outside "
+                             f"0..{n - 1}")
+        groups.append(members)
+    if not groups:
+        raise ValueError(f"{name}.groups must name at least one group")
+    rate = _coerce_number(block["common_mode_rate"],
+                          f"{name}.common_mode_rate")
+    if rate <= 0.0:
+        raise ValueError(f"{name}.common_mode_rate must be positive")
+    probability = _coerce_number(block.get("propagation_probability", 0.0),
+                                 f"{name}.propagation_probability")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"{name}.propagation_probability must be in [0, 1]")
+    depth = _coerce_number(block.get("cascade_depth", 0),
+                           f"{name}.cascade_depth", integer=True)
+    if depth < 0:
+        raise ValueError(f"{name}.cascade_depth must be >= 0")
+    coerced: Dict[str, object] = {"groups": tuple(sorted(groups)),
+                                  "common_mode_rate": rate}
+    if probability > 0.0:
+        coerced["propagation_probability"] = probability
+    if depth > 0:
+        coerced["cascade_depth"] = depth
+    return coerced
+
+
+def system_axes(kind: str) -> frozenset:
+    """Sweepable system-arg axes of *kind* (the per-kind field table plus
+    the optional failure-law and fault-model arguments)."""
+    axes = set(_SYSTEM_KINDS[kind])
+    if kind in _FAILURE_LAW_KINDS:
+        axes.update(("failure_law", "failure_shape"))
+    if kind == "strategy":
+        axes.add("fault_model")
+    return frozenset(axes)
 
 
 #: Per-kind field tables: name -> coercion.  Every kind maps onto one of the
@@ -189,6 +281,32 @@ class SystemSpec:
                              f"known kinds: {known}")
         fields = _SYSTEM_KINDS[self.kind]
         args = dict(self.args)
+        # The optional failure-law / fault-model arguments are peeled off
+        # before the per-kind field checks.  They are stored back *only away
+        # from their defaults*: a spec that never mentions them must keep the
+        # exact pre-existing canonical form (and store identity).
+        law = "exponential"
+        law_shape: Optional[float] = None
+        fault_model = None
+        if self.kind in _FAILURE_LAW_KINDS:
+            law = str(args.pop("failure_law", "exponential"))
+            if law not in FAILURE_LAWS:
+                raise ValueError(f"unknown failure_law {law!r}; known laws: "
+                                 f"{', '.join(FAILURE_LAWS)}")
+            raw_shape = args.pop("failure_shape", None)
+            if law == "exponential":
+                if raw_shape is not None:
+                    raise ValueError("failure_shape requires a "
+                                     "non-exponential failure_law")
+            else:
+                if raw_shape is None:
+                    raise ValueError(f"failure_law {law!r} needs a "
+                                     "failure_shape (Weibull k / lognormal σ)")
+                law_shape = _coerce_number(raw_shape, "failure_shape")
+                if law_shape <= 0.0:
+                    raise ValueError("failure_shape must be positive")
+        if self.kind == "strategy" and "fault_model" in args:
+            fault_model = args.pop("fault_model")
         if self.kind == "heterogeneous":
             for name, default in _HETEROGENEOUS_DEFAULTS.items():
                 args.setdefault(name, default)
@@ -222,6 +340,12 @@ class SystemSpec:
                     f"known schemes: {', '.join(RECOVERY_SCHEMES)}")
             if coerced["mu_spread"] <= 0.0:
                 raise ValueError("heterogeneity factors must be positive")
+        if law != "exponential":
+            coerced["failure_law"] = law
+            coerced["failure_shape"] = law_shape
+        if fault_model is not None:
+            coerced["fault_model"] = _coerce_fault_model(
+                fault_model, int(coerced["n"]))
         object.__setattr__(self, "args", coerced)
 
     # ------------------------------------------------------------------ factories
@@ -291,7 +415,10 @@ class SystemSpec:
                                  work=args["work"],
                                  error_rate=args["error_rate"],
                                  checkpoint_cost=args["checkpoint_cost"],
-                                 restart_cost=args["restart_cost"])
+                                 restart_cost=args["restart_cost"],
+                                 failure_law=self.failure_law,
+                                 failure_shape=self.failure_shape,
+                                 fault_model=self.fault_model)
 
     @property
     def scheme(self) -> Optional[str]:
@@ -299,6 +426,23 @@ class SystemSpec:
         if self.kind != "strategy":
             return None
         return str(self.args["scheme"])
+
+    @property
+    def failure_law(self) -> str:
+        """The declared interarrival law (``"exponential"`` when absent)."""
+        return str(self.args.get("failure_law", "exponential"))
+
+    @property
+    def failure_shape(self) -> Optional[float]:
+        """Shape of a non-exponential law (``None`` for exponential)."""
+        value = self.args.get("failure_shape")
+        return None if value is None else float(value)
+
+    @property
+    def fault_model(self) -> Optional[Dict[str, object]]:
+        """The correlated-fault block of a ``strategy`` system, if any."""
+        block = self.args.get("fault_model")
+        return None if block is None else dict(block)
 
     @property
     def n(self) -> int:
@@ -459,7 +603,7 @@ class StudySpec:
                     cell = replace(cell, reps=value, sweep={})
                 elif axis == "seed":
                     cell = replace(cell, seed=value, sweep={})
-                elif axis in _SYSTEM_KINDS[self.system.kind]:
+                elif axis in system_axes(self.system.kind):
                     system_args[axis] = value
                     system_dirty = True
                 else:

@@ -29,6 +29,7 @@ from repro.experiments.prp_costs import run_prp_costs
 from repro.experiments.validation import run_validation
 from repro.experiments.ablation import run_detector_ablation, run_solver_ablation
 from repro.experiments.strategy_comparison import run_strategy_comparison
+from repro.experiments.cascading_faults import run_cascading_faults
 
 __all__ = [
     "ExperimentResult",
@@ -46,4 +47,5 @@ __all__ = [
     "run_detector_ablation",
     "run_solver_ablation",
     "run_strategy_comparison",
+    "run_cascading_faults",
 ]

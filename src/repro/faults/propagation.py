@@ -14,12 +14,13 @@ questions the paper's Section 4 discussion hinges on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.history import HistoryDiagram
 from repro.core.types import CheckpointKind, ProcessId, RecoveryPoint
 
-__all__ = ["ContaminationAnalysis", "contamination_at", "contaminated_checkpoints"]
+__all__ = ["ContaminationAnalysis", "cascade_history", "contamination_at",
+           "contaminated_checkpoints", "expand_cascade"]
 
 
 @dataclass(frozen=True)
@@ -101,3 +102,70 @@ def contaminated_checkpoints(history: HistoryDiagram, origin: ProcessId,
             if rp.time >= infected_at:
                 out.append(rp)
     return sorted(out)
+
+
+def expand_cascade(seeds: Sequence[ProcessId],
+                   neighbors: Callable[[ProcessId], Iterable[ProcessId]],
+                   probability: float, depth: int,
+                   draw: Callable[[float], bool]) -> List[ProcessId]:
+    """Expand a correlated fault from *seeds* along interaction edges.
+
+    Breadth-first, up to *depth* hops: each hop, every newly infected process
+    offers the fault to each of its uninfected *neighbors* (in the order the
+    callback yields them), and the edge is crossed when ``draw(probability)``
+    returns true.  Already-infected processes are never re-drawn, so the draw
+    sequence — and therefore the result — is fully deterministic given the
+    draw stream.  Returns the infected processes, seeds first, then each
+    hop's infections in BFS order.
+
+    This is the runtime counterpart of the offline message-based analysis
+    above: the recovery runtimes use it to execute the ``fault_model`` block
+    of a ``strategy`` spec (a common-mode event strikes a group, then may
+    domino outward with ``propagation_probability`` per edge).
+    """
+    if not (0.0 <= probability <= 1.0):
+        raise ValueError("probability must be in [0, 1]")
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    infected: List[ProcessId] = list(dict.fromkeys(seeds))
+    seen: Set[ProcessId] = set(infected)
+    frontier = list(infected)
+    for _hop in range(depth):
+        if probability <= 0.0 or not frontier:
+            break
+        fresh: List[ProcessId] = []
+        for pid in frontier:
+            for neighbor in neighbors(pid):
+                if neighbor in seen:
+                    continue
+                if draw(probability):
+                    seen.add(neighbor)
+                    infected.append(neighbor)
+                    fresh.append(neighbor)
+        frontier = fresh
+    return infected
+
+
+def cascade_history(params, duration: float, *, seed: Optional[int] = None,
+                    failure_law: str = "exponential",
+                    failure_shape: Optional[float] = None) -> HistoryDiagram:
+    """Sample a history for contamination analysis under any failure law.
+
+    The domino-effect example path used to hard-wire the exponential model
+    simulator; this front door serves the same histories for the exponential
+    law — by delegating to
+    :meth:`~repro.markov.montecarlo.ModelSimulator.generate_history`, so the
+    output is bit-identical to the legacy path (pinned by regression tests) —
+    and renewal histories via
+    :class:`~repro.markov.montecarlo.RenewalModelSimulator` otherwise.
+    """
+    if failure_law == "exponential":
+        if failure_shape is not None:
+            raise ValueError("failure_shape requires a non-exponential "
+                             "failure_law")
+        from repro.markov.montecarlo import ModelSimulator
+        return ModelSimulator(params, seed=seed).generate_history(duration)
+    from repro.markov.montecarlo import RenewalModelSimulator
+    sampler = RenewalModelSimulator(params, seed=seed, failure_law=failure_law,
+                                    failure_shape=failure_shape)
+    return sampler.generate_history(duration)

@@ -25,7 +25,8 @@ import numpy as np
 from repro.core.history import HistoryDiagram
 from repro.core.parameters import SystemParameters
 
-__all__ = ["SimulatedIntervals", "ModelSimulator", "concatenate_intervals"]
+__all__ = ["SimulatedIntervals", "ModelSimulator", "RenewalModelSimulator",
+           "concatenate_intervals"]
 
 #: Events drawn from the generator per batch.  One batch covers a few hundred
 #: intervals of a typical Table 1 case, so the per-event cost is dominated by
@@ -336,6 +337,159 @@ class ModelSimulator:
                 # sender for determinism.
                 history.add_interaction(i, j, t, receive_time=t)
         return history
+
+    def estimate_mean_interval(self, n_intervals: int) -> float:
+        """Convenience shortcut for ``E[X]`` estimation."""
+        return self.sample_intervals(n_intervals).mean_interval()
+
+
+class RenewalModelSimulator:
+    """Monte-Carlo sampler of the model under a *non-exponential* failure law.
+
+    The exponential model is a race of memoryless clocks, which is what lets
+    :class:`ModelSimulator` draw holding times and event identities as two
+    i.i.d. streams.  Under a ``weibull``/``lognormal`` ``failure_law`` the
+    per-process recovery-point interarrivals become a renewal process of that
+    law (scaled to keep the mean at ``1/μ_i``) and the race structure is lost,
+    so this sampler keeps one *absolute* next-event time per source — ``n``
+    renewal timers plus one Poisson timer per interacting pair — and fires the
+    earliest.  Every renewal timer is redrawn when a recovery line forms
+    (process order ``0..n−1``), which makes successive intervals i.i.d. — the
+    property the phase-type expanded chain of :mod:`repro.markov.phfit`
+    relies on to stay exact given the fitted law.  Interaction timers are
+    Poisson and simply keep running.
+
+    This is the ground truth the analytic phase-type approximation is gated
+    against by the conformance suite; it samples the declared law *exactly*.
+    """
+
+    def __init__(self, params: SystemParameters,
+                 seed: Union[int, np.random.SeedSequence, None] = None,
+                 failure_law: str = "weibull",
+                 failure_shape: float = 1.0) -> None:
+        if failure_law not in ("exponential", "weibull", "lognormal"):
+            raise ValueError(f"unknown failure law {failure_law!r}")
+        if failure_law != "exponential" and not failure_shape > 0.0:
+            raise ValueError("failure_shape must be positive")
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.failure_law = failure_law
+        self.failure_shape = float(failure_shape)
+        means = 1.0 / np.asarray(params.mu, dtype=float)
+        self._means = means.tolist()
+        if failure_law == "weibull":
+            from scipy.special import gamma as _gamma_fn
+            self._scales = (means / _gamma_fn(1.0 + 1.0 / self.failure_shape)
+                            ).tolist()
+        elif failure_law == "lognormal":
+            sigma = self.failure_shape
+            self._log_means = (np.log(means) - 0.5 * sigma * sigma).tolist()
+        self._pairs: List[Tuple[int, int, float]] = [
+            (i, j, params.pair_rate(i, j)) for i, j in params.pairs]
+
+    def _draw_interarrival(self, i: int) -> float:
+        if self.failure_law == "weibull":
+            return float(self.rng.weibull(self.failure_shape)) * self._scales[i]
+        if self.failure_law == "lognormal":
+            return float(self.rng.lognormal(self._log_means[i],
+                                            self.failure_shape))
+        return float(self.rng.exponential(self._means[i]))
+
+    def sample_intervals(self, n_intervals: int,
+                         max_events_per_interval: int = 10_000_000
+                         ) -> SimulatedIntervals:
+        """Sample *n_intervals* successive inter-recovery-line intervals."""
+        if n_intervals < 1:
+            raise ValueError("need at least one interval")
+        n = self.params.n
+        lengths = np.empty(n_intervals)
+        counts = np.zeros((n_intervals, n), dtype=np.int64)
+        completing = np.empty(n_intervals, dtype=np.int64)
+
+        full = (1 << n) - 1
+        t = 0.0
+        # Absolute next-event times; the canonical draw order (all RP timers
+        # in process order at every line formation, then pair timers in pair
+        # order once at the start; the fired source redrawn after each event)
+        # is part of the determinism contract pinned by the golden snapshots.
+        next_rp = [t + self._draw_interarrival(i) for i in range(n)]
+        next_pair = [t + self.rng.exponential(1.0 / rate)
+                     for _i, _j, rate in self._pairs]
+        for r in range(n_intervals):
+            mask = full                 # entry state: all last actions are RPs
+            start = t
+            events = 0
+            row = [0] * n
+            while True:
+                events += 1
+                if events > max_events_per_interval:
+                    raise RuntimeError("interval did not close; check the rates")
+                source = min(range(n + len(next_pair)),
+                             key=lambda s: next_rp[s] if s < n
+                             else next_pair[s - n])
+                if source < n:
+                    i = source
+                    t = next_rp[i]
+                    row[i] += 1
+                    mask |= 1 << i
+                    if mask == full:
+                        lengths[r] = t - start
+                        completing[r] = i
+                        counts[r] = row
+                        # Line formed: every renewal timer resets.
+                        for p in range(n):
+                            next_rp[p] = t + self._draw_interarrival(p)
+                        break
+                    next_rp[i] = t + self._draw_interarrival(i)
+                else:
+                    k = source - n
+                    i, j, rate = self._pairs[k]
+                    t = next_pair[k]
+                    mask &= full & ~((1 << i) | (1 << j))
+                    next_pair[k] = t + self.rng.exponential(1.0 / rate)
+        return SimulatedIntervals(lengths=lengths, rp_counts=counts,
+                                  completing_process=completing)
+
+    def generate_history(self, duration: float) -> HistoryDiagram:
+        """Generate a history diagram of length *duration* under the law.
+
+        Same renewal semantics as :meth:`sample_intervals` (timers reset when
+        a recovery line forms); interactions are emitted with the lower id as
+        the sender, mirroring :meth:`ModelSimulator.generate_history`.
+        """
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        n = self.params.n
+        history = HistoryDiagram(n)
+        full = (1 << n) - 1
+        mask = full
+        t = 0.0
+        next_rp = [t + self._draw_interarrival(i) for i in range(n)]
+        next_pair = [t + self.rng.exponential(1.0 / rate)
+                     for _i, _j, rate in self._pairs]
+        while True:
+            source = min(range(n + len(next_pair)),
+                         key=lambda s: next_rp[s] if s < n
+                         else next_pair[s - n])
+            when = next_rp[source] if source < n else next_pair[source - n]
+            if when > duration:
+                return history
+            t = when
+            if source < n:
+                i = source
+                history.add_recovery_point(i, t)
+                mask |= 1 << i
+                if mask == full:
+                    for p in range(n):
+                        next_rp[p] = t + self._draw_interarrival(p)
+                else:
+                    next_rp[i] = t + self._draw_interarrival(i)
+            else:
+                k = source - n
+                i, j, rate = self._pairs[k]
+                history.add_interaction(i, j, t, receive_time=t)
+                mask &= full & ~((1 << i) | (1 << j))
+                next_pair[k] = t + self.rng.exponential(1.0 / rate)
 
     def estimate_mean_interval(self, n_intervals: int) -> float:
         """Convenience shortcut for ``E[X]`` estimation."""

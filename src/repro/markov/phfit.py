@@ -1,0 +1,429 @@
+"""Phase-type fitting of non-exponential failure laws (Weibull, lognormal).
+
+The paper's Markov analysis hinges on assumption 5 — exponential recovery-point
+interarrivals.  The ``failure_law`` axis of :class:`~repro.api.spec.SystemSpec`
+relaxes that assumption to Weibull and lognormal renewal processes: each
+process establishes recovery points at the renewal epochs of its own law
+(scaled to keep the mean interarrival at ``1/μ_i``), every renewal timer is
+redrawn when a recovery line forms, and pairwise interactions stay Poisson.
+The stochastic engines sample that law exactly; this module is what keeps the
+*analytic* engine usable as a controlled approximation:
+
+* :func:`fit_phase_type` maps a :class:`TargetLaw` onto a small phase-type
+  distribution — a two-moment minimal fit (mixed Erlang below cv² = 1,
+  balanced-means hyperexponential above) or, for an explicit ``order``, a
+  cdf-binned common-rate Erlang mixture whose fit error shrinks as the order
+  grows (Tijms' discretisation scheme);
+* :func:`select_order` walks the order ladder until the fit-quality
+  diagnostic meets a requested tolerance;
+* :func:`renewal_phase_type` assembles the *expanded* recovery-line chain —
+  states are ``(mask, phase vector)`` pairs — which is **exact** for the
+  fitted phase-type law: because every renewal timer resets at line
+  formation, the intervals are i.i.d. and the only analytic error is the
+  phase-type fit error itself, so the approximation tightens with the fitter
+  order (asserted by the conformance suite).
+
+With order-1 (exponential) phases the expanded chain collapses, state for
+state, to the original ``2^n``-state chain of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from math import ceil, exp, log, sqrt
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import sparse, stats
+from scipy.special import gamma as _gamma_fn
+
+from repro.core.parameters import SystemParameters
+from repro.markov.ctmc import PhaseType
+from repro.markov.operators import select_backend
+
+__all__ = [
+    "DEFAULT_SELECT_TOL",
+    "EXPANDED_STATE_LIMIT",
+    "FITTABLE_LAWS",
+    "MAX_FIT_ORDER",
+    "PHFit",
+    "RenewalChain",
+    "TargetLaw",
+    "expanded_state_count",
+    "fit_phase_type",
+    "renewal_phase_type",
+    "select_order",
+]
+
+#: Interarrival laws the fitters (and the renewal samplers) understand.
+FITTABLE_LAWS = ("weibull", "lognormal")
+
+#: Largest order :func:`select_order` will climb to.
+MAX_FIT_ORDER = 64
+
+#: Default sup-norm CDF tolerance of :func:`select_order`.
+DEFAULT_SELECT_TOL = 0.02
+
+#: Hard cap on the expanded chain's transient state count
+#: (``2^n · order^n``); beyond it the analytic approximation is pointless —
+#: the stochastic engines sample the true law exactly and cheaply.
+EXPANDED_STATE_LIMIT = 262_144
+
+#: Probe quantiles for the CDF-distance diagnostic (sup-norm over this grid).
+_PROBE_QUANTILES = np.linspace(0.01, 0.99, 99)
+
+
+@dataclass(frozen=True)
+class TargetLaw:
+    """A non-exponential interarrival law to be fitted.
+
+    ``name`` is one of :data:`FITTABLE_LAWS`; ``shape`` is the Weibull shape
+    ``k`` or the lognormal ``σ``; ``mean`` fixes the time scale (both families
+    are scale families at fixed shape, so a unit-mean fit rescales exactly).
+    """
+
+    name: str
+    shape: float
+    mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.name not in FITTABLE_LAWS:
+            raise ValueError(f"unknown failure law {self.name!r}; fittable "
+                             f"laws: {', '.join(FITTABLE_LAWS)}")
+        if not (float(self.shape) > 0.0):
+            raise ValueError("the shape parameter must be positive")
+        if not (float(self.mean) > 0.0):
+            raise ValueError("the mean must be positive")
+        object.__setattr__(self, "shape", float(self.shape))
+        object.__setattr__(self, "mean", float(self.mean))
+
+    @cached_property
+    def _dist(self):
+        """The frozen scipy distribution with the requested mean."""
+        if self.name == "weibull":
+            scale = self.mean / _gamma_fn(1.0 + 1.0 / self.shape)
+            return stats.weibull_min(self.shape, scale=scale)
+        sigma = self.shape
+        mu_ln = log(self.mean) - 0.5 * sigma * sigma
+        return stats.lognorm(sigma, scale=exp(mu_ln))
+
+    def cdf(self, times) -> np.ndarray:
+        return self._dist.cdf(times)
+
+    def ppf(self, q) -> np.ndarray:
+        return self._dist.ppf(q)
+
+    def variance(self) -> float:
+        if self.name == "weibull":
+            g1 = _gamma_fn(1.0 + 1.0 / self.shape)
+            g2 = _gamma_fn(1.0 + 2.0 / self.shape)
+            return self.mean * self.mean * (g2 / (g1 * g1) - 1.0)
+        sigma2 = self.shape * self.shape
+        return self.mean * self.mean * (exp(sigma2) - 1.0)
+
+    def cv2(self) -> float:
+        """Squared coefficient of variation (drives the fitter family)."""
+        return self.variance() / (self.mean * self.mean)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        """Exact draws of the law (the stochastic engines' ground truth)."""
+        if self.name == "weibull":
+            scale = self.mean / _gamma_fn(1.0 + 1.0 / self.shape)
+            return rng.weibull(self.shape, size) * scale
+        sigma = self.shape
+        return rng.lognormal(log(self.mean) - 0.5 * sigma * sigma, sigma, size)
+
+
+@dataclass(frozen=True)
+class PHFit:
+    """A fitted phase-type law plus its fit-quality diagnostics.
+
+    ``family`` names the construction (``"erlang-mixture"``,
+    ``"hyperexponential"``, ``"erlang-grid"``, ``"exponential"``);
+    ``cdf_distance`` is the sup-norm distance between the fitted and the
+    target CDF over the probe-quantile grid — the quantity
+    :func:`select_order` drives below its tolerance, and the quantity the
+    conformance suite's documented error bounds are stated in.
+    """
+
+    law: TargetLaw
+    family: str
+    order: int
+    phase_type: PhaseType
+    mean_rel_error: float
+    variance_rel_error: float
+    cdf_distance: float
+
+
+def _chain_phase_type(weights: np.ndarray, rate: float) -> PhaseType:
+    """Common-rate Erlang mixture as a bidiagonal phase-type distribution.
+
+    State ``s`` means ``s + 1`` exponential stages (rate ``rate``) remain
+    before absorption; ``weights[j - 1]`` is the probability of starting with
+    ``j`` stages.  One shared representation serves the two-moment mixed
+    Erlang and the cdf-binned grid fit.
+    """
+    order = int(weights.shape[0])
+    T = np.zeros((order, order))
+    idx = np.arange(order)
+    T[idx, idx] = -rate
+    if order > 1:
+        T[idx[1:], idx[1:] - 1] = rate
+    return PhaseType(alpha=weights, T=T)
+
+
+def _two_moment_fit(law: TargetLaw) -> Tuple[str, PhaseType]:
+    """Minimal-order fit matching the first two moments exactly.
+
+    cv² ≤ 1: the classic mixture of ``Erlang(k−1)`` and ``Erlang(k)`` with a
+    common rate, ``k = ⌈1/cv²⌉`` (Tijms); cv² > 1: the balanced-means
+    two-phase hyperexponential.
+    """
+    cv2 = law.cv2()
+    mean = law.mean
+    if abs(cv2 - 1.0) <= 1e-9:
+        return "exponential", _chain_phase_type(np.ones(1), 1.0 / mean)
+    if cv2 < 1.0:
+        k = max(2, ceil(1.0 / cv2))
+        p = (k * cv2 - sqrt(k * (1.0 + cv2) - k * k * cv2)) / (1.0 + cv2)
+        rate = (k - p) / mean
+        weights = np.zeros(k)
+        weights[k - 2] = p              # k − 1 stages with probability p
+        weights[k - 1] = 1.0 - p        # k stages otherwise
+        return "erlang-mixture", _chain_phase_type(weights, rate)
+    p1 = 0.5 * (1.0 + sqrt((cv2 - 1.0) / (cv2 + 1.0)))
+    rates = np.array([2.0 * p1 / mean, 2.0 * (1.0 - p1) / mean])
+    T = np.diag(-rates)
+    return "hyperexponential", PhaseType(alpha=np.array([p1, 1.0 - p1]), T=T)
+
+
+def _grid_fit(law: TargetLaw, order: int) -> PhaseType:
+    """CDF-binned common-rate Erlang mixture of the requested *order*.
+
+    The target CDF is binned on a uniform grid reaching the
+    ``1 − 1/(2·order)`` quantile; bin ``j`` maps to ``Erlang(j)`` stages at
+    the common rate ``1/Δ`` (the tail mass lands in the last bin), and the
+    time axis is rescaled once so the mean is matched *exactly* — the
+    remaining error is pure shape error and vanishes as the order grows.
+    """
+    if order < 2:
+        raise ValueError("the grid fit needs order >= 2")
+    horizon = float(law.ppf(1.0 - 1.0 / (2.0 * order)))
+    delta = horizon / order
+    edges = delta * np.arange(order + 1)
+    cdf = np.asarray(law.cdf(edges))
+    weights = np.diff(cdf)
+    weights[-1] = 1.0 - cdf[-2]         # tail mass joins the last bin
+    weights = np.maximum(weights, 0.0)
+    weights /= weights.sum()
+    # Exact-mean rescale: the binned mean is Δ·Σ j·p_j; scaling the common
+    # rate by (binned mean / target mean) rescales time without reshaping.
+    binned_mean = delta * float(weights @ np.arange(1, order + 1))
+    rate = (1.0 / delta) * (binned_mean / law.mean)
+    return _chain_phase_type(weights, rate)
+
+
+def _diagnose(law: TargetLaw, family: str, ph: PhaseType) -> PHFit:
+    probe = np.asarray(law.ppf(_PROBE_QUANTILES), dtype=float)
+    distance = float(np.max(np.abs(np.asarray(ph.cdf(probe))
+                                   - np.asarray(law.cdf(probe)))))
+    mean_err = abs(ph.mean() - law.mean) / law.mean
+    target_var = law.variance()
+    var_err = abs(ph.variance() - target_var) / target_var
+    return PHFit(law=law, family=family, order=ph.order, phase_type=ph,
+                 mean_rel_error=float(mean_err),
+                 variance_rel_error=float(var_err),
+                 cdf_distance=distance)
+
+
+def fit_phase_type(law: TargetLaw, order: Optional[int] = None) -> PHFit:
+    """Fit *law* as a phase-type distribution.
+
+    ``order=None`` returns the minimal two-moment fit (mean and variance
+    exact).  An explicit ``order`` is a phase *budget*: the best of the
+    cdf-binned Erlang grid at that order and the two-moment fit (when it
+    fits the budget) by CDF distance, so the diagnostic never worsens as
+    the budget grows.  ``order=1`` is the exponential of the same mean —
+    the documented baseline the error bounds are stated against.
+    """
+    if order is None:
+        family, ph = _two_moment_fit(law)
+        return _diagnose(law, family, ph)
+    order = int(order)
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if order > MAX_FIT_ORDER:
+        raise ValueError(f"order {order} exceeds MAX_FIT_ORDER "
+                         f"({MAX_FIT_ORDER})")
+    if order == 1:
+        return _diagnose(law, "exponential",
+                         _chain_phase_type(np.ones(1), 1.0 / law.mean))
+    best = _diagnose(law, "erlang-grid", _grid_fit(law, order))
+    family, ph = _two_moment_fit(law)
+    if ph.order <= order:
+        moment = _diagnose(law, family, ph)
+        if moment.cdf_distance < best.cdf_distance:
+            best = moment
+    return best
+
+
+def select_order(law: TargetLaw, tol: float = DEFAULT_SELECT_TOL,
+                 max_order: int = MAX_FIT_ORDER) -> PHFit:
+    """Smallest fit whose CDF distance meets *tol* (order-ladder search).
+
+    Starts from the minimal two-moment fit and doubles the grid order until
+    the diagnostic passes or *max_order* is reached; returns the best fit
+    found either way (callers check ``fit.cdf_distance`` when the tolerance
+    is a hard requirement).
+    """
+    if tol <= 0.0:
+        raise ValueError("tol must be positive")
+    best = fit_phase_type(law)
+    if best.cdf_distance <= tol:
+        return best
+    order = max(4, 2 * best.order)
+    while order <= max_order:
+        candidate = fit_phase_type(law, order)
+        if candidate.cdf_distance < best.cdf_distance:
+            best = candidate
+        if best.cdf_distance <= tol:
+            return best
+        order *= 2
+    return best
+
+
+# --------------------------------------------------------------------------
+# The expanded renewal chain
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RenewalChain:
+    """The expanded chain of a renewal system plus the fit that built it."""
+
+    phase_type: PhaseType
+    fit: PHFit
+    n_states: int
+
+
+def expanded_state_count(n: int, order: int) -> int:
+    """Transient states of the expanded chain: ``2^n · order^n``."""
+    return (1 << int(n)) * int(order) ** int(n)
+
+
+def renewal_phase_type(params: SystemParameters, law: str, shape: float, *,
+                       order: Optional[int] = None,
+                       backend: str = "auto") -> RenewalChain:
+    """Phase-type distribution of ``X`` under a renewal failure law.
+
+    Each process establishes recovery points at the renewal epochs of
+    ``law(shape)`` scaled to mean ``1/μ_i``; all renewal timers reset when a
+    recovery line forms; interactions stay Poisson at ``λ_ij``.  The law is
+    replaced by its phase-type fit (``order=None`` → two-moment minimal,
+    else the cdf-binned grid fit) and the chain is expanded over
+    ``(mask, phase-vector)`` states — entry states reuse the full-mask slot,
+    mirroring the original chain's indexing, and the result is *exact* for
+    the fitted law (the renewal resets make the intervals i.i.d.).
+
+    Because both families are scale families at fixed shape, one unit-mean
+    fit is shared by all processes and rescaled by ``μ_i`` per process.
+    """
+    fit = fit_phase_type(TargetLaw(law, shape, 1.0), order)
+    unit = fit.phase_type
+    k = unit.order
+    n = params.n
+    n_states = expanded_state_count(n, k)
+    if n_states > EXPANDED_STATE_LIMIT:
+        raise ValueError(
+            f"the expanded renewal chain has {n_states} states "
+            f"(n={n}, order={k}), beyond EXPANDED_STATE_LIMIT "
+            f"({EXPANDED_STATE_LIMIT}); lower the fitter order or use a "
+            "stochastic engine — they sample the true law exactly")
+    T_unit = unit.T if not unit.is_sparse else unit.T.toarray()
+    T_unit = np.asarray(T_unit, dtype=float)
+    t0_unit = np.asarray(unit.exit_vector, dtype=float)
+    alpha_unit = np.asarray(unit.alpha, dtype=float)
+    mu = np.asarray(params.mu, dtype=float)
+
+    K = k ** n
+    full = (1 << n) - 1
+    masks = np.arange(full + 1)
+    phase_idx = np.arange(K)
+    # Mixed-radix phase digits: digit i of a phase index is process i's phase.
+    digits = [(phase_idx // (k ** i)) % k for i in range(n)]
+
+    rows, cols, vals = [], [], []
+
+    def add(mask_src: np.ndarray, phase_src: np.ndarray,
+            mask_dst: np.ndarray, phase_dst: np.ndarray, rate: float) -> None:
+        rows.append((mask_src[:, None] * K + phase_src[None, :]).ravel())
+        cols.append((mask_dst[:, None] * K + phase_dst[None, :]).ravel())
+        vals.append(np.full(mask_src.size * phase_src.size, rate))
+
+    for i in range(n):
+        stride = k ** i
+        bit = 1 << i
+        live_masks = masks[(masks | bit) != full]   # RP here does not absorb
+        for p in range(k):
+            sel = phase_idx[digits[i] == p]
+            # Internal phase moves of process i (mask unchanged).
+            for q in range(k):
+                if q == p or T_unit[p, q] <= 0.0:
+                    continue
+                add(masks, sel, masks, sel + (q - p) * stride,
+                    float(T_unit[p, q]) * mu[i])
+            # Renewal epoch: the RP fires, bit i sets, phase i resets to α.
+            # Masks where the RP completes the line (incl. the entry states
+            # at the full-mask slot) go to absorption — diagonal only.
+            if t0_unit[p] <= 0.0:
+                continue
+            for q in range(k):
+                if alpha_unit[q] <= 0.0:
+                    continue
+                add(live_masks, sel, live_masks | bit,
+                    sel + (q - p) * stride,
+                    float(t0_unit[p]) * float(alpha_unit[q]) * mu[i])
+
+    # Poisson pair interactions clear both bits; phases are untouched
+    # (interactions never disturb the renewal timers).  Pairs with neither
+    # bit set are no-change events and are not transitions of the chain.
+    for i in range(n):
+        bi = 1 << i
+        for j in range(i + 1, n):
+            rate = params.pair_rate(i, j)
+            if rate <= 0.0:
+                continue
+            bj = 1 << j
+            sel_masks = masks[(masks & (bi | bj)) != 0]
+            add(sel_masks, phase_idx, sel_masks & ~bi & ~bj, phase_idx, rate)
+
+    # Absorption rates (for the diagonal): process i's renewal epoch from a
+    # mask whose only unset bit is i — or from an entry state — forms a line.
+    absorb = np.zeros((full + 1, K))
+    for i in range(n):
+        bit = 1 << i
+        closing = masks[(masks | bit) == full]
+        absorb[closing] += t0_unit[digits[i]] * mu[i]
+
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = np.concatenate(vals)
+    diag = -(np.bincount(row, weights=val, minlength=n_states)
+             + absorb.ravel())
+    row = np.concatenate([row, np.arange(n_states)])
+    col = np.concatenate([col, np.arange(n_states)])
+    val = np.concatenate([val, diag])
+    T = sparse.coo_matrix((val, (row, col)),
+                          shape=(n_states, n_states)).tocsr()
+
+    # Entry: mask = full (all last actions are RPs), phases drawn fresh.
+    alpha = np.zeros((full + 1, K))
+    entry = np.ones(K)
+    for i in range(n):
+        entry *= alpha_unit[digits[i]]
+    alpha[full] = entry
+
+    chosen = select_backend(n_states, backend)
+    ph = PhaseType(alpha=alpha.ravel(),
+                   T=T.toarray() if chosen == "dense" else T)
+    return RenewalChain(phase_type=ph, fit=fit, n_states=n_states)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.types import CheckpointKind, Interaction, ProcessId, RecoveryPoint
+from repro.faults.propagation import expand_cascade
 from repro.recovery.checkpoint import CheckpointStore, SavedState
 from repro.recovery.report import ProcessReport, RunReport
 from repro.sim.engine import SimulationEngine
@@ -186,6 +187,43 @@ class RecoverySchemeRuntime(abc.ABC):
             (i, j): (f"interaction.{i}.{j}", f"direction.{i}.{j}",
                      self.params.pair_rate(i, j))
             for i in range(self.n) for j in range(i + 1, self.n)}
+        # Fault interarrival law.  ``None`` keeps the exponential hot path
+        # below untouched (bit-identical to what the runtimes always did);
+        # otherwise the closure draws a renewal interarrival with mean
+        # ``1/error_rate`` from the same per-process ``fault.<pid>`` streams.
+        faults = workload.faults
+        self._draw_fault_delay = None
+        if faults.interarrival_law != "exponential" and self._fault_rate > 0.0:
+            fault_shape = float(faults.interarrival_shape)
+            fault_mean = 1.0 / self._fault_rate
+            if faults.interarrival_law == "weibull":
+                from scipy.special import gamma as _gamma_fn
+                fault_scale = fault_mean / float(_gamma_fn(1.0 + 1.0
+                                                           / fault_shape))
+                self._draw_fault_delay = lambda pid: self.streams.weibull(
+                    self._fault_names[pid], fault_shape, fault_scale)
+            else:
+                fault_log_mean = float(np.log(fault_mean)
+                                       - 0.5 * fault_shape * fault_shape)
+                self._draw_fault_delay = lambda pid: self.streams.lognormal(
+                    self._fault_names[pid], fault_log_mean, fault_shape)
+        # Correlated fault model (common-mode groups + cascades).  When the
+        # workload has no common-mode block nothing is scheduled at all, so
+        # plain runs draw exactly the same stream sequence as before.
+        self._common_mode_groups = faults.common_mode_groups
+        self._common_mode_rate = float(faults.common_mode_rate)
+        self._cascade_probability = float(faults.propagation_probability)
+        self._cascade_depth = int(faults.cascade_depth)
+        self._common_mode_names = [f"common_mode.{g}"
+                                   for g in range(len(self._common_mode_groups))]
+        self._cascade_names = [f"cascade.{g}"
+                               for g in range(len(self._common_mode_groups))]
+        # Cascades travel along interaction edges: neighbours of ``i`` are the
+        # processes it has a positive pairwise rate with, in process order.
+        self._neighbor_lists = [
+            [j for j in range(self.n)
+             if j != i and self.params.pair_rate(i, j) > 0.0]
+            for i in range(self.n)]
         # Direct handles on the engine's queue and sequence counter (both are
         # created once and never reassigned): the recurring timer chains below
         # push entries in SimulationEngine.schedule_fire's exact format without
@@ -280,7 +318,10 @@ class RecoverySchemeRuntime(abc.ABC):
         rate = self._fault_rate
         if rate <= 0.0:
             return
-        delay = self.streams.exponential(self._fault_names[pid], rate)
+        if self._draw_fault_delay is None:
+            delay = self.streams.exponential(self._fault_names[pid], rate)
+        else:
+            delay = self._draw_fault_delay(pid)
         self.engine.schedule_fire(delay, self._fire_fault, pid)
 
     def _fire_fault(self, pid: int) -> None:
@@ -295,10 +336,60 @@ class RecoverySchemeRuntime(abc.ABC):
             self.monitor.counter("errors_injected").increment()
         # Always reschedule (even for finished processes) so a process revived by
         # a rollback keeps experiencing faults (a fired stream has rate > 0).
+        if self._draw_fault_delay is None:
+            delay = self.streams.exponential(self._fault_names[pid],
+                                             self._fault_rate)
+        else:
+            delay = self._draw_fault_delay(pid)
         _heappush(self._equeue,
-                  (now + self.streams.exponential(self._fault_names[pid],
-                                                  self._fault_rate),
-                   next(self._eseq), None, self._fire_fault, (pid,)))
+                  (now + delay, next(self._eseq), None, self._fire_fault,
+                   (pid,)))
+
+    def _schedule_common_mode(self, g: int) -> None:
+        delay = self.streams.exponential(self._common_mode_names[g],
+                                         self._common_mode_rate)
+        self.engine.schedule_fire(delay, self._fire_common_mode, g)
+
+    def _fire_common_mode(self, g: int) -> None:
+        """A common-mode event strikes group *g*, then may cascade outward.
+
+        Every running, unfinished member of the group is contaminated at once
+        (that is what makes the faults *correlated*); the combined seed set is
+        then expanded along interaction edges with
+        :func:`~repro.faults.propagation.expand_cascade`, each edge crossed
+        with ``propagation_probability`` drawn from the group's dedicated
+        ``cascade.<g>`` stream, up to ``cascade_depth`` hops.
+        """
+        engine = self.engine
+        now = engine._now
+        if now >= self._max_sim_time or self._n_done >= self.n:
+            return
+        procs = self.procs
+        seeds = [pid for pid in self._common_mode_groups[g]
+                 if not procs[pid].done and procs[pid].running]
+        if seeds:
+            if self._cascade_probability > 0.0 and self._cascade_depth > 0:
+                name = self._cascade_names[g]
+                struck = expand_cascade(
+                    seeds, self._neighbor_lists.__getitem__,
+                    self._cascade_probability, self._cascade_depth,
+                    lambda p: self.streams.bernoulli(name, p))
+            else:
+                struck = seeds
+            errors = self.monitor.counter("errors_injected")
+            for pid in struck:
+                proc = procs[pid]
+                # Cascaded victims may be paused or already done; like the
+                # independent fault path, only a running process's state can
+                # actually absorb the error.
+                if not proc.done and proc.running:
+                    proc.contaminate(now, pid)
+                    self.tracer.record_error(pid, now, local=True, origin=pid)
+                    errors._count += 1  # inlined Counter.increment()
+        _heappush(self._equeue,
+                  (now + self.streams.exponential(self._common_mode_names[g],
+                                                  self._common_mode_rate),
+                   next(self._eseq), None, self._fire_common_mode, (g,)))
 
     # ------------------------------------------------------------------ pauses
     def pause_for(self, pid: int, duration: float, *, reason: str) -> None:
@@ -420,6 +511,9 @@ class RecoverySchemeRuntime(abc.ABC):
         for pid in range(self.n):
             self._schedule_block_boundary(pid)
             self._schedule_fault(pid)
+        if self.workload.faults.has_common_mode:
+            for g in range(len(self._common_mode_groups)):
+                self._schedule_common_mode(g)
         for i in range(self.n):
             for j in range(i + 1, self.n):
                 self._schedule_interaction(i, j)

@@ -339,6 +339,39 @@ def render_strategy_tradeoff(result: ExperimentResult, out_dir: str,
     return artifacts
 
 
+@register_renderer("cascading_faults")
+def render_cascading_faults(result: ExperimentResult, out_dir: str,
+                            basename: str, digits: int = 6) -> List[Artifact]:
+    """Cascading-fault sweep: scheme degradation vs propagation probability.
+
+    Rows are labelled ``p=<probability>``; columns pair a metric with a
+    scheme (``"makespan asynchronous"``).  One figure per metric, one line
+    per scheme, plus the standalone metric table.
+    """
+    probabilities = [_label_number(row.label, "p=") for row in result.rows]
+    metrics = sorted({column.split(" ", 1)[0] for column in result.columns})
+    artifacts: List[Artifact] = []
+    for idx, metric in enumerate(metrics):
+        chart = LineChart(
+            title=f"Cascading faults — {metric} vs propagation probability",
+            subtitle=result.paper_reference,
+            x_label="cascade propagation probability p",
+            y_label=metric,
+            x=probabilities,
+        )
+        for column in result.columns:
+            head, _, scheme = column.partition(" ")
+            if head == metric and scheme:
+                chart.add_series(scheme, result.column(column))
+        name = basename if idx == 0 else f"{basename}_{metric}"
+        artifacts.append(_emit_line_chart(
+            chart, out_dir, name,
+            f"Cascading faults — {metric} per scheme as common-mode strikes "
+            "propagate"))
+    artifacts.extend(render_table(result, out_dir, basename, digits))
+    return artifacts
+
+
 @register_renderer("table")
 def render_table(result: ExperimentResult, out_dir: str,
                  basename: str, digits: int = 6) -> List[Artifact]:

@@ -47,15 +47,35 @@ class DESIntervalSampler:
         bit-for-bit reproducible.
     max_events_per_interval:
         Safety valve against parameterisations whose intervals never close.
+    failure_law / failure_shape:
+        Recovery-point interarrival law.  The default ``exponential`` is the
+        memoryless model above, bit-identical to what this sampler always
+        produced.  ``weibull``/``lognormal`` make the per-process timers a
+        renewal process of that law with mean ``1/μ_i`` (drawn from the same
+        named ``rp.<i>`` streams via the buffered law helpers); every timer
+        is redrawn when a recovery line forms.  Pending timers superseded by
+        such a reset are retired by an epoch counter — a stale event no-ops —
+        rather than by engine-level cancellation, which keeps the hot path
+        allocation-free.
     """
 
     def __init__(self, params: SystemParameters, seed: Optional[int] = None,
-                 max_events_per_interval: int = 10_000_000) -> None:
+                 max_events_per_interval: int = 10_000_000,
+                 failure_law: str = "exponential",
+                 failure_shape: Optional[float] = None) -> None:
         if max_events_per_interval < 1:
             raise ValueError("max_events_per_interval must be >= 1")
+        if failure_law not in ("exponential", "weibull", "lognormal"):
+            raise ValueError(f"unknown failure law {failure_law!r}")
+        if failure_law != "exponential" and not (failure_shape or 0) > 0:
+            raise ValueError(f"failure_law {failure_law!r} needs a positive "
+                             "failure_shape")
         self.params = params
         self.streams = RandomStreams(seed)
         self.max_events_per_interval = int(max_events_per_interval)
+        self.failure_law = failure_law
+        self.failure_shape = None if failure_shape is None \
+            else float(failure_shape)
 
     # ------------------------------------------------------------------ sampling
     def sample_intervals(self, n_intervals: int) -> SimulatedIntervals:
@@ -85,9 +105,31 @@ class DESIntervalSampler:
             "events": 0,
         }
 
+        renewal = self.failure_law != "exponential"
+        if renewal:
+            shape = self.failure_shape
+            means = 1.0 / np.asarray(params.mu, dtype=float)
+            if self.failure_law == "weibull":
+                from scipy.special import gamma as _gamma_fn
+                scales = (means / _gamma_fn(1.0 + 1.0 / shape)).tolist()
+
+                def draw_rp_delay(i: int) -> float:
+                    return self.streams.weibull(f"rp.{i}", shape, scales[i])
+            else:
+                log_means = (np.log(means) - 0.5 * shape * shape).tolist()
+
+                def draw_rp_delay(i: int) -> float:
+                    return self.streams.lognormal(f"rp.{i}", log_means[i],
+                                                  shape)
+            state["epoch"] = 0
+
         def schedule_rp(i: int) -> None:
             delay = self.streams.exponential(f"rp.{i}", float(params.mu[i]))
             engine.schedule(delay, fire_rp, i)
+
+        def schedule_rp_renewal(i: int) -> None:
+            engine.schedule(draw_rp_delay(i), fire_rp_renewal, i,
+                            state["epoch"])
 
         def schedule_interaction(i: int, j: int, rate: float) -> None:
             delay = self.streams.exponential(f"interaction.{i}.{j}", rate)
@@ -115,6 +157,32 @@ class DESIntervalSampler:
                 state["events"] = 0
             schedule_rp(i)
 
+        def fire_rp_renewal(i: int, epoch: int) -> None:
+            if state["collected"] >= n_intervals:
+                return
+            if epoch != state["epoch"]:
+                return                  # superseded by a line-formation reset
+            bump_events()
+            state["row"][i] += 1
+            state["mask"] |= 1 << i
+            if state["mask"] == full_mask:
+                r = state["collected"]
+                lengths[r] = engine.now - state["interval_start"]
+                counts[r] = state["row"]
+                completing[r] = i
+                state["collected"] = r + 1
+                state["interval_start"] = engine.now
+                state["row"] = [0] * n
+                state["events"] = 0
+                # The line resets *every* renewal timer; pending ones are
+                # retired by the epoch bump and fresh ones scheduled in
+                # process order (part of the determinism contract).
+                state["epoch"] = epoch + 1
+                for p in range(n):
+                    schedule_rp_renewal(p)
+            else:
+                schedule_rp_renewal(i)
+
         def fire_interaction(i: int, j: int, rate: float) -> None:
             if state["collected"] >= n_intervals:
                 return
@@ -123,7 +191,7 @@ class DESIntervalSampler:
             schedule_interaction(i, j, rate)
 
         for i in range(n):
-            schedule_rp(i)
+            schedule_rp_renewal(i) if renewal else schedule_rp(i)
         for i, j, rate in pairs:
             schedule_interaction(i, j, rate)
 

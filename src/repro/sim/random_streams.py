@@ -42,9 +42,11 @@ class RandomStreams:
         self._seed_seq = np.random.SeedSequence(seed)
         self._root = np.random.default_rng(self._seed_seq)
         self._streams: Dict[str, np.random.Generator] = {}
-        # name -> [scale, values, next position] / [values, next position].
+        # name -> [scale, values, next position] / [values, next position] /
+        # [(param, param), values, next position].
         self._exp_buffers: Dict[str, List] = {}
         self._uniform_buffers: Dict[str, List] = {}
+        self._law_buffers: Dict[str, List] = {}
 
     @property
     def root(self) -> np.random.Generator:
@@ -100,6 +102,51 @@ class RandomStreams:
         buf[2] += 1
         return value
 
+    def _law_variate(self, name: str, params, sampler) -> float:
+        """Serve one variate of a pinned-parameter law from a named buffer.
+
+        Shared machinery of :meth:`weibull` and :meth:`lognormal`: like
+        :meth:`exponential`, the distribution parameters of a named stream are
+        pinned at first use and a change raises instead of silently serving
+        variates drawn under the old parameters.
+        """
+        buf = self._law_buffers.get(name)
+        if buf is None:
+            buf = [params, sampler(self.stream(name), _BUFFER_SIZE).tolist(), 0]
+            self._law_buffers[name] = buf
+        elif buf[0] != params:
+            raise ValueError(
+                f"stream {name!r} was buffered with parameters {buf[0]}, got "
+                f"{params}; buffered law streams need constant parameters per "
+                "name — use one stream name per source")
+        elif buf[2] >= _BUFFER_SIZE:
+            buf[1] = sampler(self.stream(name), _BUFFER_SIZE).tolist()
+            buf[2] = 0
+        value = buf[1][buf[2]]
+        buf[2] += 1
+        return value
+
+    def weibull(self, name: str, shape: float, scale: float) -> float:
+        """One Weibull(*shape*, *scale*) variate from the named stream.
+
+        Buffered like :meth:`exponential`; the variate is
+        ``scale · Generator.weibull(shape)``, identical bit-for-bit to the
+        scalar numpy draw sequence.
+        """
+        if shape <= 0.0 or scale <= 0.0:
+            raise ValueError("shape and scale must be positive")
+        return self._law_variate(
+            name, ("weibull", float(shape), float(scale)),
+            lambda rng, k: rng.weibull(shape, k) * scale)
+
+    def lognormal(self, name: str, mu: float, sigma: float) -> float:
+        """One lognormal variate (log-mean *mu*, log-sd *sigma*), buffered."""
+        if sigma <= 0.0:
+            raise ValueError("sigma must be positive")
+        return self._law_variate(
+            name, ("lognormal", float(mu), float(sigma)),
+            lambda rng, k: rng.lognormal(mu, sigma, k))
+
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
         return float(self.stream(name).uniform(low, high))
 
@@ -131,4 +178,5 @@ class RandomStreams:
         child._streams = {}
         child._exp_buffers = {}
         child._uniform_buffers = {}
+        child._law_buffers = {}
         return child

@@ -96,20 +96,39 @@ def spread_rates(n: int, mu: float, spread: float = 1.0) -> np.ndarray:
 def strategy_workload(n: int, *, mu: float = 1.0, mu_spread: float = 1.0,
                       lam: float = 1.0, work: float = 25.0,
                       error_rate: float = 0.0, checkpoint_cost: float = 0.02,
-                      restart_cost: float = 0.05) -> WorkloadSpec:
+                      restart_cost: float = 0.05,
+                      failure_law: str = "exponential",
+                      failure_shape: Optional[float] = None,
+                      fault_model: Optional[dict] = None) -> WorkloadSpec:
     """The workload family behind the declarative ``strategy`` system kind.
 
     All-pairs interaction at rate *lam*, recovery-point rates spread by
     *mu_spread* (see :func:`spread_rates`), and the stated costs/fault rate.
     With the defaults this is exactly :func:`homogeneous_workload`'s shape, so
     the strategy-comparison scenario keeps its pre-facade workloads.
+
+    *failure_law*/*failure_shape* select the fault interarrival law (mean
+    ``1/error_rate``, exponential by default); *fault_model* is the optional
+    correlated-fault block of the spec schema (``groups``,
+    ``common_mode_rate``, ``propagation_probability``, ``cascade_depth``).
     """
     params = SystemParameters(mu=spread_rates(n, mu, mu_spread),
                               lam=all_pairs_rates(n, lam))
+    correlated = dict(fault_model or {})
+    faults = FaultModel(
+        error_rate=error_rate,
+        interarrival_law=failure_law,
+        interarrival_shape=failure_shape,
+        common_mode_groups=tuple(tuple(int(p) for p in group)
+                                 for group in correlated.get("groups", ())),
+        common_mode_rate=float(correlated.get("common_mode_rate", 0.0)),
+        propagation_probability=float(
+            correlated.get("propagation_probability", 0.0)),
+        cascade_depth=int(correlated.get("cascade_depth", 0)))
     return WorkloadSpec(params=params, work_per_process=work,
                         checkpoint_cost=checkpoint_cost,
                         restart_cost=restart_cost,
-                        faults=FaultModel(error_rate=error_rate))
+                        faults=faults)
 
 
 def pipeline_workload(n: int = 4, *, mu: float = 1.0, lam: float = 2.0,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,20 +32,68 @@ class FaultModel:
         Probability that an acceptance test flags contamination that originated in
         *another* process (Section 2.1: local errors are always detected, external
         ones "may or may not" be).
+    interarrival_law:
+        Law of the per-process fault interarrival times: ``"exponential"``
+        (the default Poisson timeline), ``"weibull"`` or ``"lognormal"``
+        renewal processes with mean interarrival ``1/error_rate``.
+    interarrival_shape:
+        Shape of a non-exponential interarrival law (Weibull ``k`` /
+        lognormal ``σ``); required exactly when the law is non-exponential.
+    common_mode_groups:
+        Common-mode failure groups: subsets of process ids that a single
+        correlated fault event strikes together.
+    common_mode_rate:
+        Poisson rate of common-mode fault events, per group.
+    propagation_probability:
+        Probability that a correlated fault crosses one interaction edge to a
+        neighbouring process during cascade expansion.
+    cascade_depth:
+        Maximum number of hops a correlated fault may cascade beyond the
+        group it struck (0 disables cascading).
     """
 
     error_rate: float = 0.0
     propagate_via_messages: bool = True
     external_detection_probability: float = 1.0
+    interarrival_law: str = "exponential"
+    interarrival_shape: Optional[float] = None
+    common_mode_groups: Tuple[Tuple[int, ...], ...] = ()
+    common_mode_rate: float = 0.0
+    propagation_probability: float = 0.0
+    cascade_depth: int = 0
 
     def __post_init__(self) -> None:
         check_non_negative(self.error_rate, "error_rate")
         check_probability(self.external_detection_probability,
                           "external_detection_probability")
+        if self.interarrival_law not in ("exponential", "weibull", "lognormal"):
+            raise ValueError(f"unknown fault interarrival law "
+                             f"{self.interarrival_law!r}")
+        if self.interarrival_law == "exponential":
+            if self.interarrival_shape is not None:
+                raise ValueError("interarrival_shape requires a "
+                                 "non-exponential interarrival_law")
+        else:
+            if self.interarrival_shape is None or self.interarrival_shape <= 0:
+                raise ValueError("a non-exponential interarrival_law needs a "
+                                 "positive interarrival_shape")
+        object.__setattr__(self, "common_mode_groups",
+                           tuple(tuple(int(p) for p in group)
+                                 for group in self.common_mode_groups))
+        check_non_negative(self.common_mode_rate, "common_mode_rate")
+        check_probability(self.propagation_probability,
+                          "propagation_probability")
+        if int(self.cascade_depth) < 0:
+            raise ValueError("cascade_depth must be >= 0")
 
     @property
     def enabled(self) -> bool:
         return self.error_rate > 0.0
+
+    @property
+    def has_common_mode(self) -> bool:
+        """Whether correlated (common-mode) fault events are configured."""
+        return bool(self.common_mode_groups) and self.common_mode_rate > 0.0
 
 
 @dataclass(frozen=True)

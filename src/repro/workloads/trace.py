@@ -17,7 +17,8 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.core.history import HistoryDiagram
 from repro.core.types import CheckpointKind
 
-__all__ = ["TraceEvent", "TraceWorkload", "history_from_trace", "figure1_trace"]
+__all__ = ["TraceEvent", "TraceWorkload", "history_from_trace",
+           "figure1_trace", "domino_trace"]
 
 
 @dataclass(frozen=True)
@@ -115,3 +116,46 @@ def figure1_trace() -> TraceWorkload:
         # P_1 fails its acceptance test at t = 6.2 (AT_1^4 in the figure).
     ]
     return TraceWorkload(name="figure1", n_processes=3, events=tuple(events))
+
+
+def domino_trace(n: int = 3, *, spacing: float = 0.4) -> TraceWorkload:
+    """Figure 1's domino-effect scenario generalised to *n* processes.
+
+    The structure is the paper's: an early, globally consistent layer of
+    recovery points, then one full cycle of ``msg(i → i+1 mod n)`` /
+    ``rp(i+1 mod n)`` links every *spacing* time units (each later RP
+    sandwiched between messages, so none of them line up), and finally
+    ``n − 1`` closing messages with no recovery points behind them — the
+    configuration in which a single failure dominoes all the way back to the
+    early layer.  ``domino_trace(3)`` with the default spacing reproduces
+    :func:`figure1_trace` event for event.
+
+    The early layer keeps Figure 1's triangular stagger ``t_i = 2.1 −
+    0.05·(n−1−i)·(n−i)`` (which yields the paper's 1.8 / 2.0 / 2.1 for
+    ``n = 3``); for large *n* the whole trace is shifted right so the first
+    layer time stays positive.
+    """
+    if n < 2:
+        raise ValueError("a domino scenario needs at least two processes")
+    if spacing <= 0.0:
+        raise ValueError("spacing must be positive")
+    layer = [2.1 - 0.05 * (n - 1 - i) * (n - i) for i in range(n)]
+    shift = max(0.0, 0.1 - layer[0])
+    # Times are accumulated as (multiple of spacing) offsets and rounded so
+    # binary representation noise cannot creep in: domino_trace(3) must equal
+    # figure1_trace()'s literal event times bit for bit.
+    grid = lambda steps: round(3.0 + shift + spacing * steps, 12)
+    events: List[TraceEvent] = [
+        TraceEvent(time=round(layer[i] + shift, 12), kind="rp", process=i)
+        for i in range(n)
+    ]
+    for i in range(n):
+        events.append(TraceEvent(time=grid(2 * i), kind="msg", process=i,
+                                 peer=(i + 1) % n))
+        events.append(TraceEvent(time=grid(2 * i + 1), kind="rp",
+                                 process=(i + 1) % n))
+    for i in range(n - 1):
+        events.append(TraceEvent(time=grid(2 * n + i), kind="msg",
+                                 process=i, peer=i + 1))
+    return TraceWorkload(name=f"domino{n}", n_processes=n,
+                         events=tuple(events))

@@ -1,0 +1,139 @@
+"""Determinism of the non-exponential failure-law machinery.
+
+Golden hex snapshots pin the exact draw sequences of the new buffered
+``weibull``/``lognormal`` stream helpers and of both renewal interval
+samplers (so refactors cannot silently reshuffle the streams), the DES
+*exponential* path is pinned too (the renewal additions must never perturb
+it), and the strategy engine's bit-identity contracts — serial == process
+pool, chunked == unchunked — are re-asserted for cells that carry a
+``failure_law`` and a ``fault_model`` (mirroring
+tests/api/test_strategy_chunking.py for the new axes).
+"""
+
+import pytest
+
+from repro.api import StudySpec, evaluate
+from repro.core.parameters import SystemParameters
+from repro.markov.montecarlo import RenewalModelSimulator
+from repro.sim.interval_sampler import DESIntervalSampler
+from repro.sim.random_streams import RandomStreams
+
+
+# --------------------------------------------------------------- golden hex
+class TestGoldenStreamDraws:
+    """First draws of the buffered law helpers, pinned bit for bit."""
+
+    def test_weibull_stream(self):
+        streams = RandomStreams(42)
+        draws = [streams.weibull("rp.0", 2.0, 1.5) for _ in range(3)]
+        assert [d.hex() for d in draws] == [
+            "0x1.8952435d94744p-3",
+            "0x1.6c2c330439ab0p+0",
+            "0x1.d10a0e17f2f04p+0",
+        ]
+
+    def test_lognormal_stream(self):
+        streams = RandomStreams(42)
+        draws = [streams.lognormal("rp.1", 0.1, 0.5) for _ in range(3)]
+        assert [d.hex() for d in draws] == [
+            "0x1.1d3b32444b3c5p+1",
+            "0x1.b897e108f1de9p-1",
+            "0x1.5f39c9631b819p-2",
+        ]
+
+    def test_law_buffers_pin_their_parameters(self):
+        streams = RandomStreams(1)
+        streams.weibull("rp.0", 2.0, 1.5)
+        with pytest.raises(ValueError):
+            streams.weibull("rp.0", 2.5, 1.5)
+        streams.lognormal("rp.1", 0.1, 0.5)
+        with pytest.raises(ValueError):
+            streams.lognormal("rp.1", 0.1, 0.6)
+
+
+class TestGoldenSamplerIntervals:
+    params = SystemParameters.symmetric(3, 1.0, 0.5)
+
+    def test_des_weibull_lengths(self):
+        sampler = DESIntervalSampler(self.params, seed=7,
+                                     failure_law="weibull",
+                                     failure_shape=2.0)
+        lengths = sampler.sample_intervals(4).lengths
+        assert [x.hex() for x in lengths] == [
+            "0x1.32bb9a90f7f02p+0",
+            "0x1.b834a7e77e5a4p+0",
+            "0x1.b77317f472b82p+0",
+            "0x1.9a580cc78bc60p+0",
+        ]
+
+    def test_des_exponential_path_is_unperturbed(self):
+        """Regression: adding the renewal branch must never change the
+        exponential sampler's draw sequence."""
+        lengths = DESIntervalSampler(self.params,
+                                     seed=7).sample_intervals(4).lengths
+        assert [x.hex() for x in lengths] == [
+            "0x1.20a63528ad050p+0",
+            "0x1.00277c229a5d0p-3",
+            "0x1.8288e186ad660p-4",
+            "0x1.1ca9c3468b280p-5",
+        ]
+
+    def test_mc_lognormal_lengths(self):
+        sampler = RenewalModelSimulator(self.params, seed=7,
+                                        failure_law="lognormal",
+                                        failure_shape=0.8)
+        lengths = sampler.sample_intervals(4).lengths
+        assert [x.hex() for x in lengths] == [
+            "0x1.742784f2ddb9dp-1",
+            "0x1.c4a33c23b7616p-2",
+            "0x1.6138e33cc9ab4p-2",
+            "0x1.fb5f9b5aa6ff8p-3",
+        ]
+
+
+# ----------------------------------------------------- strategy bit-identity
+def renewal_strategy_payload(**overrides):
+    payload = {
+        "system": {"kind": "strategy", "scheme": "asynchronous", "n": 3,
+                   "mu": 1.0, "lam": 1.0, "work": 10.0, "error_rate": 0.05,
+                   "sync_interval": 2.0,
+                   "failure_law": "weibull", "failure_shape": 0.8,
+                   "fault_model": {"groups": [[0, 1]],
+                                   "common_mode_rate": 0.1,
+                                   "propagation_probability": 0.5,
+                                   "cascade_depth": 2}},
+        "metrics": ["makespan", "rollbacks", "total_saves"],
+        "reps": 5,
+        "seed": 99,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestRenewalStrategyBitIdentity:
+    def test_serial_equality_across_chunk_sizes(self):
+        reference = evaluate(StudySpec.from_dict(renewal_strategy_payload()),
+                             method="strategy").to_dict()
+        for chunk in (1, 2, 64):
+            spec = StudySpec.from_dict(renewal_strategy_payload(
+                options={"rep_chunk": chunk}))
+            assert evaluate(spec, method="strategy").to_dict() == reference, \
+                f"rep_chunk={chunk} changed a renewal-law cell's results"
+
+    def test_serial_equals_process_pool(self):
+        serial = evaluate(StudySpec.from_dict(renewal_strategy_payload()),
+                          method="strategy")
+        pooled = evaluate(StudySpec.from_dict(renewal_strategy_payload()),
+                          method="strategy", backend="process", workers=2)
+        assert serial.to_dict() == pooled.to_dict()
+
+    def test_mc_serial_equals_process_pool(self):
+        payload = {
+            "system": {"kind": "symmetric", "n": 3, "mu": 1.0, "lam": 0.5,
+                       "failure_law": "weibull", "failure_shape": 2.0},
+            "metrics": ["mean", "variance"], "reps": 400, "seed": 13,
+        }
+        serial = evaluate(StudySpec.from_dict(payload), method="mc")
+        pooled = evaluate(StudySpec.from_dict(payload), method="mc",
+                          backend="process", workers=2)
+        assert serial.to_dict() == pooled.to_dict()

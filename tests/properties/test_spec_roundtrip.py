@@ -29,10 +29,44 @@ small_count = st.integers(min_value=2, max_value=6)
 probability = st.floats(min_value=0.0, max_value=0.2,
                         allow_nan=False).map(abs)
 
+# The failure-law axis: None means the exponential default (axis omitted
+# from the payload entirely — the canonical form must not change).
+failure_laws = st.one_of(
+    st.none(),
+    st.tuples(st.sampled_from(["weibull", "lognormal"]),
+              st.floats(min_value=0.4, max_value=3.0, allow_nan=False)))
+
+
+def fault_models():
+    """Optional correlated-fault blocks over processes {0, 1} (always valid
+    for the n >= 2 systems generated here)."""
+    return st.one_of(
+        st.none(),
+        st.builds(
+            lambda members, rate, p, depth: {
+                "groups": [sorted(members)],
+                "common_mode_rate": rate,
+                "propagation_probability": p,
+                "cascade_depth": depth},
+            st.sets(st.integers(min_value=0, max_value=1), min_size=1,
+                    max_size=2),
+            st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            probability,
+            st.integers(min_value=0, max_value=3)))
+
+
+def with_failure_law(args, law):
+    if law is not None:
+        args = dict(args, failure_law=law[0], failure_shape=law[1])
+    return args
+
 
 def symmetric_systems():
-    return st.builds(SystemSpec.symmetric, n=small_count, mu=finite_rate,
-                     lam=finite_rate)
+    return st.builds(
+        lambda n, mu, lam, law: SystemSpec(
+            "symmetric", with_failure_law({"n": n, "mu": mu, "lam": lam},
+                                          law)),
+        small_count, finite_rate, finite_rate, failure_laws)
 
 
 def three_process_systems():
@@ -60,15 +94,21 @@ def heterogeneous_systems():
 
 
 def strategy_systems():
+    def build(scheme, n, mu, spread, lam, work, err, law, fault_model):
+        args = with_failure_law(
+            {"mu": mu, "mu_spread": spread, "lam": lam, "work": work,
+             "error_rate": err}, law)
+        if fault_model is not None:
+            args["fault_model"] = fault_model
+        return SystemSpec.strategy(scheme, n, **args)
+
     return st.builds(
-        lambda scheme, n, mu, spread, lam, work, err: SystemSpec.strategy(
-            scheme, n, mu=mu, mu_spread=spread, lam=lam, work=work,
-            error_rate=err),
+        build,
         st.sampled_from(RECOVERY_SCHEMES), small_count, finite_rate,
         st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
         finite_rate,
         st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
-        probability)
+        probability, failure_laws, fault_models())
 
 
 def system_specs():
@@ -141,6 +181,10 @@ def test_study_spec_round_trips_exactly(spec):
 def test_canonical_key_is_order_insensitive(spec, method):
     if method == "analytic" and spec.system.kind == "strategy":
         method = "auto"   # analytic serves only the closed-form subset
+    if method == "analytic" and spec.system.failure_law != "exponential" \
+            and set(spec.metrics) & {"rp_counts",
+                                     "completion_probabilities"}:
+        method = "auto"   # the PH approximation cannot serve these
     # A sweep spec has no single cell identity; its expanded cells do.
     baseline = [cell.canonical_key(method) for cell in spec.cells()]
     for reverse in (False, True):
@@ -191,3 +235,76 @@ def test_strategy_kind_key_depends_on_scheme():
                       metrics=("makespan",), seed=1).canonical_key("strategy")
             for s in RECOVERY_SCHEMES}
     assert len(keys) == len(RECOVERY_SCHEMES)
+
+
+# ------------------------------------------------- failure-law / fault-model
+def test_exponential_default_is_omitted_from_the_canonical_form():
+    """An explicit exponential law is the default: payload, equality and
+    store identity all collapse onto the law-free spec (existing store keys
+    survive the schema extension)."""
+    plain = SystemSpec.symmetric(3, 1.0, 0.5)
+    explicit = SystemSpec("symmetric", {"n": 3, "mu": 1.0, "lam": 0.5,
+                                        "failure_law": "exponential"})
+    assert explicit == plain
+    assert explicit.to_dict() == plain.to_dict()
+    assert "failure_law" not in plain.to_dict()
+    a = StudySpec(system=plain, metrics=("mean",), seed=1)
+    b = StudySpec(system=explicit, metrics=("mean",), seed=1)
+    assert a.canonical_key("mc") == b.canonical_key("mc")
+
+
+def test_failure_law_axis_separates_cell_identities():
+    def key(**extra):
+        system = SystemSpec("symmetric",
+                            {"n": 3, "mu": 1.0, "lam": 0.5, **extra})
+        return StudySpec(system=system, metrics=("mean",),
+                         seed=1).canonical_key("mc")
+
+    keys = {key(),
+            key(failure_law="weibull", failure_shape=2.0),
+            key(failure_law="weibull", failure_shape=0.7),
+            key(failure_law="lognormal", failure_shape=2.0)}
+    assert len(keys) == 4
+
+
+def test_fault_model_separates_cell_identities():
+    def key(fault_model=None):
+        args = {"mu": 1.0, "lam": 1.0, "work": 10.0, "error_rate": 0.05}
+        if fault_model is not None:
+            args["fault_model"] = fault_model
+        system = SystemSpec.strategy("asynchronous", 3, **args)
+        return StudySpec(system=system, metrics=("makespan",),
+                         seed=1).canonical_key("strategy")
+
+    base = {"groups": [[0, 1]], "common_mode_rate": 0.1}
+    keys = {key(),
+            key(base),
+            key({**base, "common_mode_rate": 0.2}),
+            key({**base, "propagation_probability": 0.5,
+                 "cascade_depth": 2})}
+    assert len(keys) == 4
+
+
+def test_fault_model_canonicalises_group_order():
+    a = SystemSpec.strategy("asynchronous", 4, mu=1.0, lam=1.0, work=10.0,
+                            fault_model={"groups": [[2, 0], [3, 1]],
+                                         "common_mode_rate": 0.1})
+    b = SystemSpec.strategy("asynchronous", 4, mu=1.0, lam=1.0, work=10.0,
+                            fault_model={"groups": [[1, 3], [0, 2]],
+                                         "common_mode_rate": 0.1})
+    assert a == b
+    assert a.to_dict() == b.to_dict()
+
+
+def test_ph_order_tunes_identity_but_not_execution_options():
+    """ph_order changes the analytic answer, so it is identity-bearing —
+    unlike rep_chunk/structure_cache, which tune execution only."""
+    args = {"n": 3, "mu": 1.0, "lam": 0.5, "failure_law": "weibull",
+            "failure_shape": 2.0}
+    plain = StudySpec(system=SystemSpec("symmetric", args),
+                      metrics=("mean",), seed=1)
+    ordered = StudySpec(system=SystemSpec("symmetric", args),
+                        metrics=("mean",), seed=1,
+                        options={"ph_order": 16})
+    assert plain.canonical_key("analytic") != \
+        ordered.canonical_key("analytic")
