@@ -25,7 +25,11 @@ The package provides:
 * a content-addressed result store and paper-figure report pipeline —
   ``python -m repro report --all`` renders Figure 5, Figure 6, Table 1 and the
   heterogeneous sweep into a provenance-stamped ``REPORT.md``
-  (:mod:`repro.report`).
+  (:mod:`repro.report`);
+* an async multi-tenant evaluation service — single-flight dedup of
+  identical in-flight cells, a hot-cell LRU, admission batching into one
+  backend fan-out, and a keyspace-sharded store — ``python -m repro serve``
+  (:mod:`repro.service`).
 
 Quickstart
 ----------
@@ -66,7 +70,7 @@ from repro.markov import (
     RecoveryLineIntervalModel,
     SimplifiedChain,
 )
-from repro.report import ResultStore, generate_report
+from repro.report import ResultStore, ShardedResultStore, generate_report
 from repro.runner import (
     ExperimentRunner,
     ProcessPoolBackend,
@@ -77,6 +81,7 @@ from repro.runner import (
     run_scenario,
     scenario,
 )
+from repro.service import EvaluationService, ServiceClient
 
 __all__ = [
     "__version__",
@@ -99,9 +104,12 @@ __all__ = [
     "PhaseType",
     "RecoveryLineIntervalModel",
     "SimplifiedChain",
+    "EvaluationService",
     "ExperimentRunner",
     "ProcessPoolBackend",
     "ResultStore",
+    "ServiceClient",
+    "ShardedResultStore",
     "RunRecord",
     "ScenarioSpec",
     "SerialBackend",

@@ -13,6 +13,8 @@ Examples
     python -m repro run figure5_full_chain --store .repro-store   # resumable
     python -m repro eval study.json                                # StudySpec
     python -m repro eval study.json --method mc --store .repro-store
+    python -m repro serve --port 8642 --store .repro-store \\
+        --backend process --workers 8                          # shared service
     python -m repro report --all --out reports/
     python -m repro report table1 figure6 --out reports/
 """
@@ -174,6 +176,39 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="print a per-phase wall-time breakdown "
                                "(spec resolve / assembly / solve or sim / "
                                "reduce / store) after the result")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the multi-tenant evaluation service "
+                      "(HTTP/JSON, repro.service)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8642,
+                           help="TCP port (default: 8642; 0 picks an "
+                                "ephemeral port, printed on startup)")
+    serve_cmd.add_argument("--backend", choices=("serial", "process"),
+                           default="serial",
+                           help="execution backend for batch fan-outs "
+                                "(default: serial)")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker processes for --backend process")
+    serve_cmd.add_argument("--store", metavar="DIR", default=None,
+                           help="result-store directory (opened sharded; an "
+                                "existing flat store is read through "
+                                "transparently)")
+    serve_cmd.add_argument("--shards", type=int, default=None,
+                           help="shard count for a new --store "
+                                "(default 16; an existing sharded store "
+                                "keeps its persisted count)")
+    serve_cmd.add_argument("--lru-size", type=int, default=1024,
+                           help="hot-cell LRU capacity (default 1024; "
+                                "0 disables the in-memory cache)")
+    serve_cmd.add_argument("--batch-window", type=float, default=0.01,
+                           help="seconds to hold admissions so concurrent "
+                                "submissions coalesce into one backend "
+                                "fan-out (default 0.01)")
+    serve_cmd.add_argument("--max-batch", type=int, default=256,
+                           help="flush a batch immediately at this many "
+                                "pending cells (default 256)")
 
     report_cmd = sub.add_parser(
         "report", help="render paper figures/tables and a REPORT.md")
@@ -404,6 +439,46 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers is not None and args.backend != "process":
+        raise SystemExit("--workers requires --backend process")
+    if args.lru_size < 0:
+        raise SystemExit("--lru-size must be >= 0")
+    if args.batch_window < 0:
+        raise SystemExit("--batch-window must be >= 0")
+    if args.max_batch < 1:
+        raise SystemExit("--max-batch must be >= 1")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    if args.shards is not None and args.store is None:
+        raise SystemExit("--shards requires --store")
+    import asyncio
+
+    from repro.service import EvaluationServer, EvaluationService
+
+    async def _serve() -> None:
+        service = EvaluationService(
+            backend=args.backend, workers=args.workers, store=args.store,
+            shards=args.shards, lru_size=args.lru_size,
+            batch_window=args.batch_window, max_batch=args.max_batch)
+        server = EvaluationServer(service, host=args.host, port=args.port)
+        await server.start()
+        store_note = f" store={args.store}" if args.store else ""
+        print(f"[repro serve] listening on http://{server.host}:{server.port} "
+              f"backend={service.backend.describe()}{store_note}",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\n[repro serve] stopped")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.workers is not None and args.backend != "process":
         raise SystemExit("--workers requires --backend process")
@@ -495,6 +570,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "eval":
         return _cmd_eval(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_run(args)
 
 

@@ -10,6 +10,12 @@ resumable artifacts:
     :class:`~repro.runner.runner.ExperimentRunner` writes results through
     it and serves cache hits without re-executing, which is what lets an
     interrupted large-n sweep *resume* instead of recompute.
+``sharded``
+    :class:`ShardedResultStore` — the same store partitioned across
+    per-shard indexes by key prefix, so many concurrent writers (the
+    evaluation service, a worker pool) never serialise on one
+    ``index.jsonl``.  Reads through pre-existing flat stores and migrates
+    them in place.
 ``figures``
     The renderer registry mapping scenarios to paper artifacts (Figure 5,
     Figure 6, Table 1, the heterogeneous sweep) with a headless matplotlib
@@ -50,13 +56,17 @@ from repro.report.pipeline import (
     default_scenario_order,
     generate_report,
 )
-from repro.report.store import ResultStore, StoreRecord, canonical_params, store_key
+from repro.report.sharded import ShardedResultStore, shard_of_key
+from repro.report.store import (FileLock, ResultStore, StoreRecord,
+                                canonical_params, store_key)
 
 __all__ = [
     "Artifact",
+    "FileLock",
     "ReportSection",
     "ReportSummary",
     "ResultStore",
+    "ShardedResultStore",
     "StoreRecord",
     "canonical_params",
     "default_scenario_order",
@@ -68,5 +78,6 @@ __all__ = [
     "renderer_names",
     "report_provenance",
     "result_to_markdown_table",
+    "shard_of_key",
     "store_key",
 ]

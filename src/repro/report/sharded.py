@@ -1,0 +1,246 @@
+"""Keyspace-sharded result store: many writers, no single index bottleneck.
+
+:class:`ShardedResultStore` partitions the content-addressed keyspace of
+:class:`~repro.report.store.ResultStore` into a fixed number of shards, each
+an ordinary flat store (its own ``index.jsonl``, its own index lock, its own
+``objects/`` tree).  Cells land in the shard selected by their key prefix, so
+
+* concurrent writers only contend when they hit the *same* shard — with the
+  default 16 shards a pool of workers appending results no longer serialises
+  on one index file;
+* millions of cached cells split their index across shards instead of
+  growing one ``index.jsonl`` without bound.
+
+Because the SHA-256 keys are uniformly distributed, the prefix partition is
+balanced by construction and — crucially — *pure*: a key always maps to the
+same shard, so lookups are a single path probe, exactly like the flat store.
+
+On-disk layout::
+
+    <root>/
+        sharding.json                   {"format": 1, "shards": 16}
+        shards/00/index.jsonl           shard 0 (an ordinary flat store)
+        shards/00/objects/<scenario>/<key>.json
+        ...
+        shards/0f/...
+        index.jsonl                     optional: a pre-sharding legacy store
+        objects/<scenario>/<key>.json   (read through transparently)
+
+The shard count is persisted in ``sharding.json`` on first write and honoured
+on reopen — reopening with a conflicting explicit count is an error, since
+rehashing keys against a different modulus would orphan every stored cell.
+
+**Legacy migration.**  A sharded store rooted at an existing flat store reads
+the flat layout through transparently (shard probe first, flat ``objects/``
+second), so pointing ``python -m repro serve`` at a pre-existing store loses
+nothing.  :meth:`migrate` moves the legacy objects into their shards (atomic
+per-object ``os.replace``) and rebuilds the shard indexes, after which the
+flat layout is empty and every lookup is a one-probe shard hit.
+
+The store duck-types the same ``key``/``get``/``put`` hook surface the runner
+consumes, so it drops in anywhere a :class:`ResultStore` does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.report.store import (FileLock, ResultStore, StoreRecord, store_key)
+
+__all__ = ["DEFAULT_SHARDS", "ShardedResultStore", "shard_of_key"]
+
+#: Default shard count.  Enough to make index contention negligible for a
+#: pool of local workers while keeping the directory fan-out tiny; stores
+#: that expect heavier write concurrency can pass a larger power of two.
+DEFAULT_SHARDS = 16
+
+#: Name of the persisted shard-layout config file.
+SHARDING_CONFIG = "sharding.json"
+
+#: Format version of ``sharding.json``.
+SHARDING_FORMAT = 1
+
+
+def shard_of_key(key: str, shards: int) -> int:
+    """The shard index of a store key: its leading hex, modulo *shards*.
+
+    Uses the first 8 hex digits (32 uniformly-distributed bits), so any
+    shard count — not just powers of two — partitions evenly.
+    """
+    return int(key[:8], 16) % shards
+
+
+class ShardedResultStore:
+    """A :class:`ResultStore`-compatible store partitioned by key prefix.
+
+    Parameters
+    ----------
+    root:
+        Store directory.  May be empty, an existing sharded store, or an
+        existing *flat* store (whose cells are served via read-through until
+        :meth:`migrate` moves them into shards).
+    shards:
+        Shard count for a *new* store; ``None`` adopts the persisted count
+        (or :data:`DEFAULT_SHARDS` when the store is new).  Passing a count
+        that conflicts with the persisted ``sharding.json`` raises — the
+        partition function is part of the on-disk layout.
+    """
+
+    def __init__(self, root: str, shards: Optional[int] = None) -> None:
+        self.root = os.fspath(root)
+        persisted = self._read_config()
+        if persisted is not None:
+            if shards is not None and int(shards) != persisted:
+                raise ValueError(
+                    f"store at {self.root} is sharded {persisted} ways; "
+                    f"cannot reopen it with shards={shards} (the partition "
+                    "function is part of the layout)")
+            self.shards = persisted
+        else:
+            if shards is not None and int(shards) < 1:
+                raise ValueError("shards must be >= 1")
+            self.shards = int(shards) if shards is not None else DEFAULT_SHARDS
+        #: The pre-sharding flat layout at the root, read through on misses.
+        self._legacy = ResultStore(self.root)
+        self._shard_stores: Dict[int, ResultStore] = {}
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def config_path(self) -> str:
+        return os.path.join(self.root, SHARDING_CONFIG)
+
+    def _read_config(self) -> Optional[int]:
+        if not os.path.isfile(self.config_path):
+            return None
+        with open(self.config_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        shards = int(payload["shards"])
+        if shards < 1:
+            raise ValueError(f"corrupt {self.config_path}: shards={shards}")
+        return shards
+
+    def _write_config(self) -> None:
+        if os.path.isfile(self.config_path):
+            return
+        os.makedirs(self.root, exist_ok=True)
+        with FileLock(self.config_path + ".lock"):
+            if os.path.isfile(self.config_path):     # lost the creation race
+                return
+            tmp = self.config_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"format": SHARDING_FORMAT, "shards": self.shards},
+                          handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.config_path)
+
+    def shard_root(self, index: int) -> str:
+        return os.path.join(self.root, "shards", f"{index:02x}")
+
+    def shard_store(self, index: int) -> ResultStore:
+        """The flat :class:`ResultStore` backing shard *index*."""
+        store = self._shard_stores.get(index)
+        if store is None:
+            store = self._shard_stores[index] = ResultStore(
+                self.shard_root(index))
+        return store
+
+    def shard_for(self, key: str) -> ResultStore:
+        return self.shard_store(shard_of_key(key, self.shards))
+
+    # ------------------------------------------------------------------ hook surface
+    def key(self, scenario: str, params: Dict[str, object],
+            seed: Optional[int], reps: Optional[int]) -> str:
+        """Content address of a cell — identical to the flat store's.
+
+        Sharding partitions *where* a record lives, never *what addresses
+        it*: the key function is byte-for-byte :func:`store_key`, so flat
+        and sharded stores are cache-compatible.
+        """
+        return store_key(scenario, params, seed, reps)
+
+    def get(self, key: str, scenario: Optional[str] = None
+            ) -> Optional[StoreRecord]:
+        """Load by key: one shard probe, then legacy flat read-through."""
+        record = self.shard_for(key).get(key, scenario)
+        if record is not None:
+            return record
+        return self._legacy.get(key, scenario)
+
+    def put(self, scenario: str, params: Dict[str, object],
+            seed: Optional[int], reps: Optional[int], *, backend: str,
+            elapsed_seconds: float, result: ExperimentResult) -> StoreRecord:
+        """Persist one run into its shard (per-shard index lock applies)."""
+        self._write_config()
+        key = self.key(scenario, params, seed, reps)
+        return self.shard_for(key).put(
+            scenario, params, seed, reps, backend=backend,
+            elapsed_seconds=elapsed_seconds, result=result)
+
+    # ------------------------------------------------------------------ inspection
+    def contains(self, key: str) -> bool:
+        return self.shard_for(key).contains(key) or self._legacy.contains(key)
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Iterate all index metadata: legacy first, then shards in order.
+
+        Within each component records come oldest first; across shards the
+        interleaving is by shard index, not global timestamp.
+        """
+        yield from self._legacy.records()
+        for index in range(self.shards):
+            yield from self.shard_store(index).records()
+
+    def __len__(self) -> int:
+        return len(self._legacy) + sum(len(self.shard_store(i))
+                                       for i in range(self.shards))
+
+    def compact(self) -> int:
+        """Rebuild every shard index (and the legacy index) from objects."""
+        total = self._legacy.compact()
+        for index in range(self.shards):
+            if os.path.isdir(self.shard_root(index)):
+                total += self.shard_store(index).compact()
+        return total
+
+    # ------------------------------------------------------------------ migration
+    def migrate(self) -> int:
+        """Move legacy flat-layout objects into their shards; return count.
+
+        Each object file is moved with an atomic ``os.replace`` into the
+        shard selected by its key, so a crash mid-migration leaves every
+        cell readable (either still in the flat layout — read through — or
+        already in its shard).  Shard indexes are rebuilt from objects at
+        the end; the legacy index is compacted down to whatever objects
+        remain (none, after a complete pass).
+        """
+        objects = os.path.join(self.root, "objects")
+        moved = 0
+        touched: set = set()
+        if os.path.isdir(objects):
+            for scenario in sorted(os.listdir(objects)):
+                subdir = os.path.join(objects, scenario)
+                if not os.path.isdir(subdir):
+                    continue
+                for name in sorted(os.listdir(subdir)):
+                    if not name.endswith(".json"):
+                        continue
+                    key = name[:-len(".json")]
+                    shard = shard_of_key(key, self.shards)
+                    target = self.shard_store(shard).object_path(key, scenario)
+                    os.makedirs(os.path.dirname(target), exist_ok=True)
+                    os.replace(os.path.join(subdir, name), target)
+                    touched.add(shard)
+                    moved += 1
+                if not os.listdir(subdir):
+                    os.rmdir(subdir)
+            if os.path.isdir(objects) and not os.listdir(objects):
+                os.rmdir(objects)
+        if moved:
+            self._write_config()
+            for shard in sorted(touched):
+                self.shard_store(shard).compact()
+            self._legacy.compact()
+        return moved

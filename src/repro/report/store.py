@@ -39,14 +39,54 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from typing import Dict, Iterator, List, Optional
 
+try:                                    # POSIX inter-process file locking
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from repro._version import __version__
 from repro.experiments.common import ExperimentResult
 
-__all__ = ["ResultStore", "StoreRecord", "canonical_params", "store_key",
-           "strict_jsonable"]
+__all__ = ["FileLock", "ResultStore", "StoreRecord", "canonical_params",
+           "store_key", "strict_jsonable"]
 
 #: Bumped when the envelope layout changes incompatibly.
 STORE_FORMAT = 1
+
+
+class FileLock:
+    """Advisory inter-process mutex over a sidecar lock file.
+
+    Two processes appending to the same ``index.jsonl`` concurrently could
+    interleave their lines (a single ``write`` is only atomic up to
+    ``PIPE_BUF``), so every index append happens under an exclusive
+    ``flock`` on ``<index>.lock``.  Re-entrant use within one process is not
+    supported (and not needed — the store takes the lock around one append).
+
+    On platforms without :mod:`fcntl` the lock degrades to a no-op: the
+    atomic object writes still guarantee the *objects* are never partial,
+    and the index is advisory (lookups go to the object files).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "FileLock":
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
 
 
 def strict_jsonable(value):
@@ -186,6 +226,10 @@ class ResultStore:
     def index_path(self) -> str:
         return os.path.join(self.root, "index.jsonl")
 
+    @property
+    def index_lock_path(self) -> str:
+        return self.index_path + ".lock"
+
     def object_path(self, key: str, scenario: str) -> str:
         return os.path.join(self.root, "objects", scenario, f"{key}.json")
 
@@ -228,9 +272,13 @@ class ResultStore:
         path = self.object_path(record.key, scenario)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         self._write_atomic(path, record.to_envelope())
-        with open(self.index_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(strict_jsonable(record.metadata()),
-                                    sort_keys=True, allow_nan=False) + "\n")
+        line = json.dumps(strict_jsonable(record.metadata()),
+                          sort_keys=True, allow_nan=False) + "\n"
+        # The lock serialises concurrent writers (processes *and* threads)
+        # on this index, so lines never interleave however large they are.
+        with FileLock(self.index_lock_path):
+            with open(self.index_path, "a", encoding="utf-8") as handle:
+                handle.write(line)
         return record
 
     # ------------------------------------------------------------------ inspection
@@ -238,14 +286,26 @@ class ResultStore:
         return any(os.path.isfile(p) for p in self._candidate_paths(key, None))
 
     def records(self) -> Iterator[Dict[str, object]]:
-        """Iterate the index metadata lines, oldest first."""
+        """Iterate the index metadata lines, oldest first.
+
+        A process killed mid-append leaves a truncated (or otherwise
+        undecodable) trailing line behind; the index is advisory — the
+        object files are the authority — so such lines are *skipped*, not
+        raised, and :meth:`compact` rebuilds a clean index from the objects.
+        """
         if not os.path.isfile(self.index_path):
             return
         with open(self.index_path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue                      # crash-truncated append
+                if isinstance(entry, dict):
+                    yield entry
 
     def __len__(self) -> int:
         objects = os.path.join(self.root, "objects")
@@ -253,6 +313,51 @@ class ResultStore:
             return 0
         return sum(name.endswith(".json")
                    for _, _, files in os.walk(objects) for name in files)
+
+    def compact(self) -> int:
+        """Rewrite ``index.jsonl`` from the object files; return the count.
+
+        The objects are the source of truth (every write lands there
+        atomically before the index append), so compaction repairs any
+        index damage — truncated trailing lines, appends lost to a crash
+        between object write and index append — and drops duplicate lines
+        left by forced re-runs.  Entries are ordered by ``created_at`` then
+        key, so a compacted index is deterministic for a given object set.
+        """
+        entries: List[Dict[str, object]] = []
+        objects = os.path.join(self.root, "objects")
+        if os.path.isdir(objects):
+            for scenario in sorted(os.listdir(objects)):
+                subdir = os.path.join(objects, scenario)
+                if not os.path.isdir(subdir):
+                    continue
+                for name in sorted(os.listdir(subdir)):
+                    if not name.endswith(".json"):
+                        continue
+                    with open(os.path.join(subdir, name), "r",
+                              encoding="utf-8") as handle:
+                        envelope = json.load(handle)
+                    envelope.pop("result", None)
+                    entries.append(envelope)
+        entries.sort(key=lambda e: (str(e.get("created_at", "")),
+                                    str(e.get("key", ""))))
+        os.makedirs(self.root, exist_ok=True)
+        with FileLock(self.index_lock_path):
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for entry in entries:
+                        handle.write(json.dumps(strict_jsonable(entry),
+                                                sort_keys=True,
+                                                allow_nan=False) + "\n")
+                os.replace(tmp, self.index_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return len(entries)
 
     # ------------------------------------------------------------------ internals
     def _candidate_paths(self, key: str, scenario: Optional[str]) -> List[str]:

@@ -1,0 +1,85 @@
+"""Bounded in-memory LRU in front of the :class:`ResultStore`.
+
+The service keeps the hottest cells resident so repeat submissions of
+popular cells (the whole point of a shared evaluation front end) cost a
+dict probe instead of a store read.  Entries are keyed by the cell's store
+key and hold the *stored* currency — the encoded
+:class:`~repro.experiments.common.ExperimentResult` plus its compute-time
+provenance — so an LRU hit decodes through exactly the same path as a store
+hit and the two are bit-identical by construction.
+
+The cache is confined to the service's event-loop thread (every mutation
+happens between ``await``\\ s), so it needs no locking; eviction is plain
+least-recently-used on access order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["CachedResult", "ResultLRU"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One resident cell: the stored result form plus its provenance."""
+
+    key: str
+    result: ExperimentResult
+    elapsed_seconds: float
+
+
+class ResultLRU:
+    """A bounded least-recently-used map from store key to result.
+
+    ``maxsize=0`` disables caching entirely (every ``get`` misses, ``put``
+    is a no-op) — the service treats that as "store-only" mode.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        """Look up *key*, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, entry: CachedResult) -> None:
+        """Insert (or refresh) *entry*, evicting the coldest past capacity."""
+        if self.maxsize == 0:
+            return
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop *key* (a forced recompute must not serve the stale entry)."""
+        return self._entries.pop(key, None) is not None
+
+    def stats(self) -> Dict[str, int]:
+        return {"size": len(self._entries), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

@@ -1,0 +1,139 @@
+"""ShardedResultStore: partitioning, legacy read-through, migration."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.report.sharded import (DEFAULT_SHARDS, ShardedResultStore,
+                                  shard_of_key)
+from repro.report.store import ResultStore, store_key
+
+
+def _result(value=2.5):
+    result = ExperimentResult(
+        name="sharded_fixture",
+        paper_reference="unit fixture",
+        columns=["a"],
+        notes="fixture",
+    )
+    result.add_row("row", a=value)
+    return result
+
+
+def _put(store, params, seed=7, value=2.5):
+    return store.put("scenario", params, seed, 100, backend="serial",
+                     elapsed_seconds=0.25, result=_result(value))
+
+
+class TestShardOfKey:
+    def test_pure_and_in_range(self):
+        key = store_key("scenario", {"x": 1}, 7, 100)
+        assert shard_of_key(key, 16) == shard_of_key(key, 16)
+        assert 0 <= shard_of_key(key, 16) < 16
+        assert shard_of_key(key, 1) == 0
+
+    def test_distribution_covers_shards(self):
+        shards = {shard_of_key(store_key("s", {"x": i}, 7, 100), 4)
+                  for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+
+class TestKeyCompatibility:
+    def test_key_identical_to_flat_store(self, tmp_path):
+        flat = ResultStore(str(tmp_path / "flat"))
+        sharded = ShardedResultStore(str(tmp_path / "sharded"))
+        assert sharded.key("scenario", {"x": 1}, 7, 100) == \
+            flat.key("scenario", {"x": 1}, 7, 100)
+
+
+class TestShardedRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        record = _put(store, {"x": 1})
+        hit = store.get(record.key, "scenario")
+        assert hit is not None
+        assert hit.result.to_dict() == _result().to_dict()
+        assert store.contains(record.key)
+        assert len(store) == 1
+
+    def test_records_land_in_their_shard(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), shards=4)
+        records = [_put(store, {"x": i}) for i in range(8)]
+        for record in records:
+            shard = shard_of_key(record.key, 4)
+            path = store.shard_store(shard).object_path(record.key, "scenario")
+            assert os.path.isfile(path)
+        # The root-level flat layout stays empty — no legacy writes.
+        assert not os.path.isdir(os.path.join(str(tmp_path), "objects"))
+
+    def test_shard_count_persisted_and_enforced(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), shards=4)
+        _put(store, {"x": 1})
+        assert ShardedResultStore(str(tmp_path)).shards == 4
+        assert ShardedResultStore(str(tmp_path), shards=4).shards == 4
+        with pytest.raises(ValueError):
+            ShardedResultStore(str(tmp_path), shards=8)
+
+    def test_compact_rebuilds_shard_indexes(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), shards=4)
+        records = [_put(store, {"x": i}) for i in range(6)]
+        for index in range(4):
+            path = store.shard_store(index).index_path
+            if os.path.isfile(path):
+                os.remove(path)
+        assert store.compact() == 6
+        assert len(store) == 6
+        assert {r["key"] for r in store.records()} == \
+            {r.key for r in records}
+
+
+class TestLegacyReadThrough:
+    def test_flat_store_cells_are_served(self, tmp_path):
+        flat = ResultStore(str(tmp_path))
+        record = _put(flat, {"x": 1})
+        sharded = ShardedResultStore(str(tmp_path))
+        hit = sharded.get(record.key, "scenario")
+        assert hit is not None
+        assert hit.result.to_dict() == _result().to_dict()
+        assert sharded.contains(record.key)
+        assert len(sharded) == 1
+
+    def test_migrate_moves_objects_into_shards(self, tmp_path):
+        flat = ResultStore(str(tmp_path))
+        records = [_put(flat, {"x": i}, value=float(i)) for i in range(10)]
+        sharded = ShardedResultStore(str(tmp_path), shards=4)
+        assert sharded.migrate() == 10
+        # Flat layout is now empty; every cell still loads (from its shard).
+        assert not os.path.isdir(os.path.join(str(tmp_path), "objects"))
+        assert len(ResultStore(str(tmp_path))) == 0
+        for index, record in enumerate(records):
+            hit = sharded.get(record.key, "scenario")
+            assert hit is not None
+            assert hit.result.to_dict() == _result(float(index)).to_dict()
+        assert len(sharded) == 10
+        # Migration is idempotent.
+        assert sharded.migrate() == 0
+
+    def test_mixed_store_counts_both_layouts(self, tmp_path):
+        flat = ResultStore(str(tmp_path))
+        _put(flat, {"x": "legacy"})
+        sharded = ShardedResultStore(str(tmp_path))
+        _put(sharded, {"x": "new"})
+        assert len(sharded) == 2
+        assert len({r["key"] for r in sharded.records()}) == 2
+
+
+class TestRunnerIntegration:
+    def test_sharded_store_drops_into_the_runner(self, tmp_path):
+        from repro.runner import ExperimentRunner
+
+        store = ShardedResultStore(str(tmp_path), shards=4)
+        runner = ExperimentRunner(store=store)
+        first = runner.run_record("validation", seed=7, reps=50)
+        assert first.cached is False
+        second = runner.run_record("validation", seed=7, reps=50)
+        assert second.cached is True
+        assert second.key == first.key
+        assert second.result.to_dict() == first.result.to_dict()

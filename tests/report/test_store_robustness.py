@@ -1,0 +1,133 @@
+"""ResultStore robustness: corrupt index lines, compaction, concurrent puts."""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.report.store import FileLock, ResultStore
+
+
+def _result(name="robustness_fixture", value=1.25):
+    result = ExperimentResult(
+        name=name,
+        paper_reference="unit fixture",
+        columns=["a"],
+        notes="fixture",
+    )
+    result.add_row("row", a=value)
+    return result
+
+
+def _put(store, params, seed=7):
+    return store.put("scenario", params, seed, 100, backend="serial",
+                     elapsed_seconds=0.5, result=_result())
+
+
+class TestCorruptIndexTolerance:
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        _put(store, {"x": 1})
+        _put(store, {"x": 2})
+        # Simulate a crash mid-append: the last line is cut short.
+        with open(store.index_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "scenario": "trunc')
+        records = list(store.records())
+        assert len(records) == 2
+        assert len(store) == 2
+
+    def test_garbage_line_is_skipped(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        _put(store, {"x": 1})
+        with open(store.index_path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write("[1, 2, 3]\n")        # valid JSON, wrong shape
+        _put(store, {"x": 2})
+        assert len(store) == 2
+        # The records that do parse keep their metadata intact.
+        keys = {record["key"] for record in store.records()}
+        assert len(keys) == 2
+
+    def test_objects_survive_a_corrupt_index(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record = _put(store, {"x": 1})
+        with open(store.index_path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        # Index is advisory: the content-addressed object still loads.
+        hit = store.get(record.key, "scenario")
+        assert hit is not None
+        assert hit.result.to_dict() == _result().to_dict()
+
+
+class TestCompact:
+    def test_compact_rebuilds_index_from_objects(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        first = _put(store, {"x": 1})
+        second = _put(store, {"x": 2}, seed=8)
+        os.remove(store.index_path)
+        assert list(store.records()) == []     # index gone, objects remain
+        assert len(store) == 2                 # ...and objects are authority
+        assert store.compact() == 2
+        keys = {record["key"] for record in store.records()}
+        assert keys == {first.key, second.key}
+        for record in store.records():
+            assert "result" not in record      # index carries metadata only
+
+    def test_compact_drops_corrupt_lines_and_duplicates(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        record = _put(store, {"x": 1})
+        # Duplicate index entry (a double append) plus garbage.
+        with open(store.index_path, "r", encoding="utf-8") as handle:
+            first_line = handle.readline()
+        with open(store.index_path, "a", encoding="utf-8") as handle:
+            handle.write(first_line)
+            handle.write("garbage\n")
+        assert store.compact() == 1
+        records = list(store.records())
+        assert len(records) == 1
+        assert records[0]["key"] == record.key
+
+    def test_compact_empty_store(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.compact() == 0
+        assert len(store) == 0
+
+
+def _hammer_worker(args):
+    """Process-pool entry: append one record to the shared store."""
+    root, worker_id = args
+    store = ResultStore(root)
+    store.put("scenario", {"worker": worker_id}, worker_id, 100,
+              backend="serial", elapsed_seconds=0.1,
+              result=_result(value=float(worker_id)))
+    return worker_id
+
+
+class TestConcurrentPuts:
+    @pytest.mark.slow
+    def test_process_pool_puts_never_interleave_index_lines(self, tmp_path):
+        root = str(tmp_path)
+        workers = 16
+        with ProcessPoolExecutor(max_workers=8) as pool:
+            done = list(pool.map(_hammer_worker, [(root, i)
+                                                  for i in range(workers)]))
+        assert sorted(done) == list(range(workers))
+        store = ResultStore(root)
+        # Every appended line parses — no torn/interleaved writes — and
+        # every record is individually loadable.
+        with open(store.index_path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == workers
+        for line in lines:
+            entry = json.loads(line)
+            assert store.get(entry["key"], "scenario") is not None
+
+    def test_file_lock_is_reentrant_across_instances(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with FileLock(path):
+            pass
+        with FileLock(path):        # fresh fd, lock released by first exit
+            pass
+        assert os.path.exists(path)

@@ -1,0 +1,61 @@
+"""ResultLRU: hit/miss accounting, recency order, bounded eviction."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.service.cache import CachedResult, ResultLRU
+
+
+def _entry(key, value=1.0):
+    result = ExperimentResult(name="lru_fixture", paper_reference="fixture",
+                              columns=["a"], notes="")
+    result.add_row("row", a=value)
+    return CachedResult(key=key, result=result, elapsed_seconds=0.1)
+
+
+class TestResultLRU:
+    def test_round_trip_and_counters(self):
+        lru = ResultLRU(maxsize=4)
+        assert lru.get("k") is None
+        lru.put(_entry("k", 2.0))
+        hit = lru.get("k")
+        assert hit is not None
+        assert hit.result.rows[0].values["a"] == 2.0
+        assert lru.stats() == {"size": 1, "maxsize": 4, "hits": 1,
+                               "misses": 1, "evictions": 0}
+
+    def test_eviction_is_least_recently_used(self):
+        lru = ResultLRU(maxsize=2)
+        lru.put(_entry("a"))
+        lru.put(_entry("b"))
+        assert lru.get("a") is not None       # refresh 'a'; 'b' is coldest
+        lru.put(_entry("c"))
+        assert "b" not in lru
+        assert "a" in lru and "c" in lru
+        assert lru.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        lru = ResultLRU(maxsize=2)
+        lru.put(_entry("a"))
+        lru.put(_entry("b"))
+        lru.put(_entry("a", 3.0))             # refresh + replace
+        lru.put(_entry("c"))
+        assert "b" not in lru
+        assert lru.get("a").result.rows[0].values["a"] == 3.0
+
+    def test_maxsize_zero_disables(self):
+        lru = ResultLRU(maxsize=0)
+        lru.put(_entry("a"))
+        assert len(lru) == 0
+        assert lru.get("a") is None
+
+    def test_invalidate(self):
+        lru = ResultLRU(maxsize=4)
+        lru.put(_entry("a"))
+        assert lru.invalidate("a") is True
+        assert lru.invalidate("a") is False
+        assert lru.get("a") is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            ResultLRU(maxsize=-1)

@@ -1,0 +1,151 @@
+"""Single-flight dedup: N concurrent identical submissions, one execution."""
+
+import asyncio
+
+import pytest
+
+from repro.api import StudySpec, SystemSpec
+from repro.runner.backends import SerialBackend
+from repro.service import EvaluationService, ServiceClient, SingleFlight
+
+
+class CountingBackend(SerialBackend):
+    """Serial backend that counts ``map`` dispatches and mapped tasks."""
+
+    def __init__(self):
+        self.dispatches = 0
+        self.tasks = 0
+
+    def map(self, func, tasks):
+        tasks = list(tasks)
+        self.dispatches += 1
+        self.tasks += len(tasks)
+        return super().map(func, tasks)
+
+
+def _mc_spec(seed=7, n=5):
+    return StudySpec(system=SystemSpec.symmetric(n, 1.0, 0.5),
+                     metrics=("mean",), seed=seed, reps=64)
+
+
+def _analytic_spec(n=5):
+    return StudySpec(system=SystemSpec.symmetric(n, 1.0, 0.5),
+                     metrics=("mean",))
+
+
+class TestSingleFlightPrimitive:
+    def test_leader_then_joiners(self):
+        async def main():
+            flights = SingleFlight()
+            future, leader = flights.lease("k")
+            assert leader is True
+            joined, joined_leader = flights.lease("k")
+            assert joined_leader is False
+            assert joined is future
+            future.set_result(42)
+            assert await joined == 42
+            await asyncio.sleep(0)            # done-callback unregisters
+            assert "k" not in flights
+            assert flights.stats() == {"in_flight": 0, "flights": 1,
+                                       "joined": 1}
+        asyncio.run(main())
+
+    def test_key_can_fly_again_after_landing(self):
+        async def main():
+            flights = SingleFlight()
+            first, _ = flights.lease("k")
+            first.set_result(1)
+            await asyncio.sleep(0)
+            second, leader = flights.lease("k")
+            assert leader is True
+            assert second is not first
+            second.set_result(2)
+        asyncio.run(main())
+
+
+class TestServiceDedup:
+    def test_concurrent_identical_submissions_execute_once(self):
+        backend = CountingBackend()
+
+        async def main():
+            service = EvaluationService(backend=backend)
+            spec = _mc_spec()
+            outcomes = await asyncio.gather(
+                *(service.submit_cell(spec, "mc") for _ in range(8)))
+            return service, outcomes
+
+        service, outcomes = asyncio.run(main())
+        assert backend.dispatches == 1
+        sources = sorted(outcome.source for outcome in outcomes)
+        assert sources.count("computed") == 1
+        assert sources.count("inflight") == 7
+        metrics = {repr(outcome.evaluation.metrics) for outcome in outcomes}
+        assert len(metrics) == 1              # everyone got the same result
+        assert service.flights.stats()["joined"] == 7
+
+    def test_multiple_tenants_share_one_flight(self):
+        backend = CountingBackend()
+
+        async def main():
+            service = EvaluationService(backend=backend)
+            clients = [ServiceClient(service, tenant=f"t{i}")
+                       for i in range(4)]
+            spec = _mc_spec()
+            outs = await asyncio.gather(
+                *(client.submit(spec, "mc") for client in clients))
+            return service, outs
+
+        service, outs = asyncio.run(main())
+        assert backend.dispatches == 1
+        assert service.cells_executed == 1
+        assert all(client_out.cells[0].key == outs[0].cells[0].key
+                   for client_out in outs)
+
+    def test_seedless_stochastic_cells_never_dedup(self):
+        backend = CountingBackend()
+
+        async def main():
+            service = EvaluationService(backend=backend)
+            spec = _mc_spec(seed=None)
+            outcomes = await asyncio.gather(
+                *(service.submit_cell(spec, "mc") for _ in range(3)))
+            return service, outcomes
+
+        service, outcomes = asyncio.run(main())
+        # One batch (they coalesce), but three distinct executions.
+        assert service.cells_executed == 3
+        assert all(outcome.source == "computed" for outcome in outcomes)
+        assert all(outcome.key is None for outcome in outcomes)
+        assert service.flights.stats()["flights"] == 0
+
+    def test_resubmission_after_landing_hits_the_lru(self):
+        async def main():
+            service = EvaluationService()
+            spec = _analytic_spec()
+            first = await service.submit_cell(spec)
+            second = await service.submit_cell(spec)
+            return first, second, service
+
+        first, second, service = asyncio.run(main())
+        assert first.source == "computed"
+        assert second.source == "lru"
+        assert second.evaluation.metrics == first.evaluation.metrics
+        assert service.stats()["dedup_hit_rate"] == 0.5
+
+    def test_force_recomputes_and_refreshes(self):
+        backend = CountingBackend()
+
+        async def main():
+            service = EvaluationService(backend=backend)
+            spec = _mc_spec()
+            first = await service.submit_cell(spec, "mc")
+            forced = await service.submit_cell(spec, "mc", force=True)
+            again = await service.submit_cell(spec, "mc")
+            return first, forced, again
+
+        first, forced, again = asyncio.run(main())
+        assert forced.source == "computed"
+        assert backend.dispatches == 2
+        assert again.source == "lru"
+        # Seeded recompute reproduces the identical result.
+        assert forced.evaluation.metrics == first.evaluation.metrics

@@ -1,0 +1,158 @@
+"""HTTP front end: routes, framing, concurrent clients, error mapping."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import StudySpec, SystemSpec, evaluate
+from repro.service import (EvaluationServer, EvaluationService,
+                           ServiceHTTPClient)
+
+
+def _spec_dict(n=5, **extra):
+    payload = {"system": {"kind": "symmetric", "n": n, "mu": 1.0,
+                          "lam": 0.5},
+               "metrics": ["mean"]}
+    payload.update(extra)
+    return payload
+
+
+def _run_with_server(coro_factory, **service_kwargs):
+    """Start a server on an ephemeral port, run the coroutine, tear down."""
+    async def main():
+        service = EvaluationService(**service_kwargs)
+        server = EvaluationServer(service, port=0)
+        await server.start()
+        try:
+            return await coro_factory(server)
+        finally:
+            await server.stop()
+    return asyncio.run(main())
+
+
+class TestRoutes:
+    def test_health(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            payload = await client.health()
+            await client.close()
+            return payload
+
+        assert _run_with_server(scenario) == {"status": "ok",
+                                              "service": "repro"}
+
+    def test_evaluate_round_trip(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, payload = await client.evaluate(_spec_dict())
+            await client.close()
+            return status, payload
+
+        status, payload = _run_with_server(scenario)
+        assert status == 200
+        assert payload["ok"] is True
+        cell = payload["cells"][0]
+        assert cell["source"] == "computed"
+        assert cell["key"]
+        direct = evaluate(StudySpec.from_dict(_spec_dict()))
+        value = cell["result"]["rows"][0]["values"]["value"]
+        assert value == direct.metrics["mean"]
+
+    def test_stats_reflects_traffic(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            await client.evaluate(_spec_dict())
+            await client.evaluate(_spec_dict())      # LRU hit
+            stats = await client.stats()
+            await client.close()
+            return stats
+
+        stats = _run_with_server(scenario)
+        assert stats["cells_submitted"] == 2
+        assert stats["cells_executed"] == 1
+        assert stats["lru"]["hits"] == 1
+        assert stats["dedup_hit_rate"] == 0.5
+
+    def test_unknown_route_404(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, _payload = await client.request("GET", "/nope")
+            await client.close()
+            return status
+
+        assert _run_with_server(scenario) == 404
+
+    def test_wrong_method_405(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, _payload = await client.request("POST", "/v1/health",
+                                                    {"x": 1})
+            await client.close()
+            return status
+
+        assert _run_with_server(scenario) == 405
+
+
+class TestErrorMapping:
+    def test_bad_spec_is_400(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, payload = await client.evaluate(
+                {"system": {"kind": "nope"}})
+            await client.close()
+            return status, payload
+
+        status, payload = _run_with_server(scenario)
+        assert status == 400
+        assert payload["ok"] is False
+        assert "nope" in payload["error"]
+
+    def test_non_json_body_is_400(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, payload = await client.request("POST", "/v1/evaluate",
+                                                   None)
+            await client.close()
+            return status, payload
+
+        status, payload = _run_with_server(scenario)
+        assert status == 400
+        assert payload["ok"] is False
+
+
+class TestMultiTenant:
+    def test_three_clients_identical_spec_single_flight(self):
+        async def scenario(server):
+            clients = [ServiceHTTPClient(port=server.port) for _ in range(3)]
+            spec = _spec_dict(seed=7, reps=64)
+            results = await asyncio.gather(
+                *(client.evaluate(spec, method="mc") for client in clients))
+            stats = await clients[0].stats()
+            for client in clients:
+                await client.close()
+            return results, stats
+
+        results, stats = _run_with_server(scenario, batch_window=0.05)
+        assert all(status == 200 for status, _payload in results)
+        values = {json.dumps(payload["cells"][0]["result"], sort_keys=True)
+                  for _status, payload in results}
+        assert len(values) == 1               # same bits for every tenant
+        assert stats["cells_executed"] == 1   # one backend execution
+        sources = sorted(payload["cells"][0]["source"]
+                         for _status, payload in results)
+        assert sources.count("computed") == 1
+
+    def test_keep_alive_serves_many_requests_per_connection(self):
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            statuses = []
+            for n in (3, 4, 5):
+                status, _payload = await client.evaluate(_spec_dict(n=n))
+                statuses.append(status)
+            await client.close()
+            return statuses, server.requests
+
+        statuses, requests = _run_with_server(scenario)
+        assert statuses == [200, 200, 200]
+        assert requests == 3
