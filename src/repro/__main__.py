@@ -1,4 +1,4 @@
-"""``python -m repro`` — list, run, evaluate and report on scenarios.
+"""``python -m repro`` — list, run, evaluate, report and query scenarios.
 
 Examples
 --------
@@ -17,6 +17,9 @@ Examples
         --backend process --workers 8                          # shared service
     python -m repro report --all --out reports/
     python -m repro report table1 figure6 --out reports/
+    python -m repro query load --store .repro-store --db warehouse.sqlite
+    python -m repro query kpi scheme_frontier --format csv
+    python -m repro query sql "SELECT COUNT(*) FROM cells"
 """
 
 from __future__ import annotations
@@ -242,6 +245,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--digits", type=int, default=6,
                             help="significant digits in report tables "
                                  "(default 6)")
+
+    from repro.warehouse.cli import add_query_parser
+    add_query_parser(sub)
     return parser
 
 
@@ -572,6 +578,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_eval(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "query":
+        from repro.warehouse.cli import cmd_query
+        return cmd_query(args)
     return _cmd_run(args)
 
 

@@ -16,6 +16,11 @@ resumable artifacts:
     evaluation service, a worker pool) never serialise on one
     ``index.jsonl``.  Reads through pre-existing flat stores and migrates
     them in place.
+
+Both store flavours expose ``envelopes()``, the authoritative
+object-file iteration that feeds the analytics warehouse
+(:mod:`repro.warehouse` — load every stored cell into SQLite and query
+it with ``python -m repro query``).
 ``figures``
     The renderer registry mapping scenarios to paper artifacts (Figure 5,
     Figure 6, Table 1, the heterogeneous sweep) with a headless matplotlib

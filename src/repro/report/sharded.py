@@ -193,6 +193,17 @@ class ShardedResultStore:
         for index in range(self.shards):
             yield from self.shard_store(index).records()
 
+    def envelopes(self) -> Iterator[Dict[str, object]]:
+        """Iterate full object envelopes: legacy layout first, then shards.
+
+        Reads the object files (the authority), like the flat store's
+        :meth:`~repro.report.store.ResultStore.envelopes`; the warehouse ETL
+        consumes this so flat and sharded stores load identically.
+        """
+        yield from self._legacy.envelopes()
+        for index in range(self.shards):
+            yield from self.shard_store(index).envelopes()
+
     def __len__(self) -> int:
         return len(self._legacy) + sum(len(self.shard_store(i))
                                        for i in range(self.shards))

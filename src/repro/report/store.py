@@ -113,6 +113,11 @@ def canonical_params(value):
     become strings — so ``(1, 2)`` and ``[1, 2]`` (or ``np.float64(0.5)`` and
     ``0.5``) address the same cell, and the canonical form survives a JSON
     round trip unchanged.
+
+    Non-finite floats are rejected: the key digest would hash them as raw
+    ``NaN``/``Infinity`` JSON tokens while :func:`strict_jsonable` persists
+    them as ``"nan"``-style strings, so a stored envelope could never
+    re-derive its own key.  They are never legitimate cell parameters.
     """
     if isinstance(value, dict):
         return {str(k): canonical_params(v) for k, v in sorted(value.items(),
@@ -120,7 +125,13 @@ def canonical_params(value):
     if isinstance(value, (list, tuple)):
         return [canonical_params(v) for v in value]
     if hasattr(value, "item") and callable(value.item):    # numpy scalars
-        return value.item()
+        return canonical_params(value.item())
+    if isinstance(value, float) and not math.isfinite(value):
+        raise TypeError(
+            f"parameter value {value!r} is not a finite number; non-finite "
+            "floats cannot address a store cell (their canonical JSON and "
+            "their persisted form diverge, so the stored envelope could "
+            "never re-derive its key)")
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     raise TypeError(f"parameter value {value!r} ({type(value).__name__}) is "
@@ -146,7 +157,11 @@ def store_key(scenario: str, params: Dict[str, object],
         "reps": canonical_params(reps),
         "version": version,
     }
-    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    # canonical_params already rejected non-finite floats; allow_nan=False
+    # keeps that invariant load-bearing (a bypass fails loudly, not quietly
+    # minting a key no stored envelope can re-derive).
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -306,6 +321,30 @@ class ResultStore:
                     continue                      # crash-truncated append
                 if isinstance(entry, dict):
                     yield entry
+
+    def envelopes(self) -> Iterator[Dict[str, object]]:
+        """Iterate the full object envelopes (result included), sorted by
+        scenario then key.
+
+        Unlike :meth:`records` this reads the **object files** — the
+        authority — so a truncated or lagging ``index.jsonl`` never hides a
+        stored cell.  This is the read path of the analytics warehouse ETL
+        (:mod:`repro.warehouse`), which must see exactly the cells
+        :meth:`compact` would rebuild the index from.
+        """
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return
+        for scenario in sorted(os.listdir(objects)):
+            subdir = os.path.join(objects, scenario)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if not name.endswith(".json"):
+                    continue
+                with open(os.path.join(subdir, name), "r",
+                          encoding="utf-8") as handle:
+                    yield json.load(handle)
 
     def __len__(self) -> int:
         objects = os.path.join(self.root, "objects")

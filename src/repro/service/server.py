@@ -47,6 +47,19 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             500: "Internal Server Error"}
 
 
+class _PayloadTooLarge(Exception):
+    """A request declared a body beyond :data:`MAX_BODY_BYTES`.
+
+    Raised out of header parsing and answered with a real 413 — it must NOT
+    be an ``IncompleteReadError`` subclass, which ``_handle`` treats as
+    "client went away" and swallows without responding.
+    """
+
+    def __init__(self, declared: int) -> None:
+        super().__init__(f"declared body of {declared} bytes")
+        self.declared = declared
+
+
 def _encode_outcome(outcome: SubmitOutcome) -> Dict[str, object]:
     """One response cell: the stored result encoding plus provenance."""
     return {
@@ -97,7 +110,27 @@ class EvaluationServer:
                       writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _PayloadTooLarge as exc:
+                    # Drain the declared body (bounded chunks, nothing is
+                    # retained) so the client's in-flight upload doesn't die
+                    # on a reset before it reads the response, then answer
+                    # and close — the stream stays in sync either way.
+                    self.requests += 1
+                    remaining = exc.declared
+                    while remaining > 0:
+                        chunk = await reader.read(min(65536, remaining))
+                        if not chunk:
+                            break
+                        remaining -= len(chunk)
+                    await self._respond(
+                        writer, 413,
+                        {"ok": False,
+                         "error": f"request body of {exc.declared} bytes "
+                                  f"exceeds the {MAX_BODY_BYTES}-byte limit"},
+                        keep_alive=False)
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
@@ -141,7 +174,7 @@ class EvaluationServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > MAX_BODY_BYTES:
-            raise asyncio.IncompleteReadError(b"", length)
+            raise _PayloadTooLarge(length)
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
@@ -229,16 +262,31 @@ class ServiceHTTPClient:
         self._writer.write(head + body)
         await self._writer.drain()
         status_line = await self._reader.readline()
+        if not status_line.strip():
+            # The server hung up (or sent nothing) instead of a status line;
+            # drop the dead socket so the next request reconnects cleanly.
+            await self.close()
+            raise ConnectionError(
+                "server closed the connection before sending a status line")
         status = int(status_line.decode("latin-1").split()[1])
         length = 0
+        server_closes = False
         while True:
             line = await self._reader.readline()
             if not line or line in (b"\r\n", b"\n"):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 length = int(value.strip())
+            elif name == "connection":
+                server_closes = value.strip().lower() == "close"
         raw = await self._reader.readexactly(length) if length else b""
+        if server_closes:
+            # Honor the server's `Connection: close`: this socket will never
+            # carry another response, so the next request must reconnect
+            # rather than write into a half-closed stream.
+            await self.close()
         return status, json.loads(raw.decode("utf-8")) if raw else {}
 
     async def health(self) -> Dict[str, object]:

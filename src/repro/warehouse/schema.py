@@ -1,0 +1,175 @@
+"""The warehouse schema: typed SQLite tables over the result store.
+
+One database holds the queryable history of every loaded
+:class:`~repro.report.store.ResultStore` cell, split into three typed
+tables plus provenance:
+
+``cells``
+    One row per stored cell: the content-address ``key`` (primary key —
+    this is what makes loads idempotent), scenario, engine/backends, seed,
+    replication budget, producing code version, creation time and elapsed
+    compute seconds.
+``axes``
+    One row per spec parameter of the cell — the sweep axes (``scheme``,
+    ``n``, ``lam``, ``checkpoint_cost``, ``failure_law``, ...) flattened
+    out of the stored params so SQL can pivot on them.  Scalars carry a
+    ``num_value`` sidecar for numeric comparison; structured values
+    (vectors, matrices, fault-model blocks) are stored as canonical JSON
+    text.
+``metrics``
+    One row per ``(row label, column)`` float of the stored
+    :class:`~repro.experiments.common.ExperimentResult`.  Every float is
+    stored twice: as a SQLite ``REAL`` for arithmetic and as its
+    ``float.hex()`` string, so the warehouse round-trips the stored record
+    **bit-exactly** (asserted by tests — SQLite REALs are IEEE doubles, but
+    the hex sidecar makes the contract explicit and diffable).  Stochastic
+    ``stderr_<metric>`` companions are additionally folded into the
+    ``stderr`` column of their base metric's row.
+``loads``
+    One row per ETL invocation: store root, repro version, load timestamp,
+    cells seen/inserted.  ``cells.load_id`` points at the load that first
+    inserted the cell.
+
+The schema version lives in ``warehouse_meta``; opening a database written
+by an incompatible version fails loudly instead of mis-reading it.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from typing import Optional
+
+__all__ = ["SCHEMA_VERSION", "connect", "connect_readonly", "float_hex",
+           "hex_float", "initialize"]
+
+#: Bumped when the table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS warehouse_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS loads (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    store_root     TEXT NOT NULL,
+    repro_version  TEXT NOT NULL,
+    loaded_at      TEXT NOT NULL,
+    cells_seen     INTEGER NOT NULL,
+    cells_inserted INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    key             TEXT PRIMARY KEY,
+    scenario        TEXT NOT NULL,
+    engine          TEXT,
+    backend         TEXT,
+    engine_backend  TEXT,
+    seed            INTEGER,
+    reps            INTEGER,
+    version         TEXT NOT NULL,
+    created_at      TEXT NOT NULL,
+    elapsed_seconds REAL NOT NULL,
+    elapsed_hex     TEXT NOT NULL,
+    n_processes     INTEGER,
+    n_samples       INTEGER,
+    load_id         INTEGER NOT NULL REFERENCES loads(id)
+);
+CREATE TABLE IF NOT EXISTS axes (
+    key        TEXT NOT NULL REFERENCES cells(key),
+    axis       TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    text_value TEXT,
+    num_value  REAL,
+    PRIMARY KEY (key, axis)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    key        TEXT NOT NULL REFERENCES cells(key),
+    label      TEXT NOT NULL,
+    col        TEXT NOT NULL,
+    value      REAL,
+    value_hex  TEXT NOT NULL,
+    stderr     REAL,
+    stderr_hex TEXT,
+    PRIMARY KEY (key, label, col)
+);
+CREATE INDEX IF NOT EXISTS idx_axes_axis ON axes(axis, text_value);
+CREATE INDEX IF NOT EXISTS idx_metrics_label ON metrics(label);
+CREATE INDEX IF NOT EXISTS idx_cells_scenario ON cells(scenario);
+"""
+
+
+def float_hex(value: float) -> str:
+    """The bit-exact sidecar encoding of one stored float.
+
+    ``float.hex`` covers finite doubles; the non-finite values a *result*
+    may legitimately contain (an infinite slowdown, a NaN from a dropped
+    metric) get their ``repr`` — both parse back via :func:`hex_float`.
+    """
+    value = float(value)
+    if math.isfinite(value):
+        return value.hex()
+    return repr(value)                       # 'inf' / '-inf' / 'nan'
+
+
+def hex_float(text: str) -> float:
+    """Inverse of :func:`float_hex`."""
+    try:
+        return float.fromhex(text)
+    except ValueError:
+        return float(text)                   # 'inf' / '-inf' / 'nan'
+
+
+def _sql_value(value: float) -> Optional[float]:
+    """The REAL column form: NULL for NaN (SQLite has no NaN REAL)."""
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+def initialize(conn: sqlite3.Connection) -> None:
+    """Create the schema (idempotent) and stamp/verify its version."""
+    conn.executescript(_DDL)
+    row = conn.execute(
+        "SELECT value FROM warehouse_meta WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        conn.execute(
+            "INSERT INTO warehouse_meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)))
+        conn.commit()
+    elif int(row[0]) != SCHEMA_VERSION:
+        raise ValueError(
+            f"warehouse schema version {row[0]} is incompatible with this "
+            f"code (expects {SCHEMA_VERSION}); load into a fresh database")
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open (creating if needed) a warehouse database read-write.
+
+    Also (re)creates the canned KPI views, so a database written by an
+    older release serves the current view definitions after any load.
+    """
+    from repro.warehouse.views import create_views
+    conn = sqlite3.connect(path)
+    initialize(conn)
+    create_views(conn)
+    return conn
+
+
+def connect_readonly(path: str) -> sqlite3.Connection:
+    """Open an existing warehouse strictly read-only.
+
+    The connection is opened with SQLite's ``mode=ro`` URI flag *and*
+    ``PRAGMA query_only`` — the sandbox behind ``repro query sql``, which
+    accepts arbitrary statements: even an ``INSERT``/``DROP`` smuggled past
+    the CLI cannot modify the database.
+    """
+    import os
+    if not os.path.isfile(path):
+        raise FileNotFoundError(
+            f"warehouse database not found: {path} "
+            "(run `python -m repro query load` first)")
+    uri = f"file:{path}?mode=ro"
+    conn = sqlite3.connect(uri, uri=True)
+    conn.execute("PRAGMA query_only = ON")
+    return conn

@@ -1,0 +1,177 @@
+"""Canned KPI views: the paper's questions as SQL over the warehouse.
+
+Each view answers one recurring analysis directly from the ``cells`` /
+``axes`` / ``metrics`` tables, so nobody hand-parses JSON envelopes to ask
+it again:
+
+``scheme_frontier``
+    The recovery-scheme trade-off frontier: makespan / slowdown /
+    checkpoint-overhead per ``scheme`` × workload point (``n``, ``lam``,
+    ``checkpoint_cost``, ``work``) — "which scheme dominates at which
+    checkpoint cost?".
+``slowdown_surface``
+    Slowdown as a surface over ``checkpoint_cost`` × ``scheme`` (with the
+    ``n``/``lam`` workload coordinates carried along) — the scaling
+    question "how does slowdown move as checkpointing gets dearer?".
+``conformance_drift``
+    Per (scenario, engine, metric) value summaries grouped by producing
+    code version — the same cell family recomputed under a new release
+    shows up as a second version row, so drift is one ``SELECT`` away.
+``cache_economics``
+    What the content-addressed store is worth: cells, total and mean
+    compute seconds per (scenario, engine) — the seconds a warm cache
+    saves on every re-run.
+
+Views are (re)created by :func:`create_views` whenever a warehouse is opened
+read-write, so their definitions always match the running code; read-only
+query connections see whatever the last load created.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["KPI_VIEWS", "KPIView", "create_views", "kpi_rows"]
+
+
+@dataclass(frozen=True)
+class KPIView:
+    """One canned view: its CLI name, SQL view name, description and DDL."""
+
+    name: str
+    view: str
+    description: str
+    sql: str
+
+
+_SCHEME_FRONTIER = """
+CREATE VIEW kpi_scheme_frontier AS
+SELECT
+    scheme.text_value  AS scheme,
+    n.num_value        AS n,
+    lam.num_value      AS lam,
+    cost.num_value     AS checkpoint_cost,
+    work.num_value     AS work,
+    mk.value           AS makespan,
+    mk.stderr          AS makespan_stderr,
+    sd.value           AS slowdown,
+    sd.stderr          AS slowdown_stderr,
+    ov.value           AS checkpoint_overhead,
+    c.seed             AS seed,
+    c.reps             AS reps,
+    c.version          AS version,
+    c.key              AS key
+FROM cells c
+JOIN axes scheme  ON scheme.key = c.key AND scheme.axis = 'scheme'
+JOIN axes n       ON n.key = c.key      AND n.axis = 'n'
+LEFT JOIN axes lam  ON lam.key = c.key  AND lam.axis = 'lam'
+LEFT JOIN axes cost ON cost.key = c.key AND cost.axis = 'checkpoint_cost'
+LEFT JOIN axes work ON work.key = c.key AND work.axis = 'work'
+LEFT JOIN metrics mk ON mk.key = c.key
+    AND mk.label = 'makespan' AND mk.col = 'value'
+LEFT JOIN metrics sd ON sd.key = c.key
+    AND sd.label = 'slowdown' AND sd.col = 'value'
+LEFT JOIN metrics ov ON ov.key = c.key
+    AND ov.label = 'checkpoint_overhead' AND ov.col = 'value'
+ORDER BY n.num_value, lam.num_value, cost.num_value, scheme.text_value
+"""
+
+_SLOWDOWN_SURFACE = """
+CREATE VIEW kpi_slowdown_surface AS
+SELECT
+    scheme.text_value  AS scheme,
+    cost.num_value     AS checkpoint_cost,
+    n.num_value        AS n,
+    lam.num_value      AS lam,
+    sd.value           AS slowdown,
+    sd.stderr          AS slowdown_stderr,
+    c.version          AS version,
+    c.key              AS key
+FROM cells c
+JOIN axes scheme ON scheme.key = c.key AND scheme.axis = 'scheme'
+JOIN metrics sd  ON sd.key = c.key
+    AND sd.label = 'slowdown' AND sd.col = 'value'
+LEFT JOIN axes cost ON cost.key = c.key AND cost.axis = 'checkpoint_cost'
+LEFT JOIN axes n    ON n.key = c.key    AND n.axis = 'n'
+LEFT JOIN axes lam  ON lam.key = c.key  AND lam.axis = 'lam'
+ORDER BY scheme.text_value, cost.num_value, n.num_value, lam.num_value
+"""
+
+_CONFORMANCE_DRIFT = """
+CREATE VIEW kpi_conformance_drift AS
+SELECT
+    c.scenario         AS scenario,
+    c.engine           AS engine,
+    m.label            AS label,
+    m.col              AS col,
+    c.version          AS version,
+    COUNT(*)           AS cells,
+    AVG(m.value)       AS mean_value,
+    MIN(m.value)       AS min_value,
+    MAX(m.value)       AS max_value
+FROM cells c
+JOIN metrics m ON m.key = c.key
+WHERE m.label NOT LIKE 'stderr_%'
+GROUP BY c.scenario, c.engine, m.label, m.col, c.version
+ORDER BY c.scenario, m.label, m.col, c.version, c.engine
+"""
+
+_CACHE_ECONOMICS = """
+CREATE VIEW kpi_cache_economics AS
+SELECT
+    c.scenario              AS scenario,
+    c.engine                AS engine,
+    COUNT(*)                AS cells,
+    SUM(c.elapsed_seconds)  AS total_compute_seconds,
+    AVG(c.elapsed_seconds)  AS mean_cell_seconds,
+    MAX(c.elapsed_seconds)  AS max_cell_seconds
+FROM cells c
+GROUP BY c.scenario, c.engine
+ORDER BY total_compute_seconds DESC
+"""
+
+#: The KPI catalog, keyed by the name ``repro query kpi <name>`` takes.
+KPI_VIEWS: Dict[str, KPIView] = {
+    view.name: view for view in (
+        KPIView("scheme_frontier", "kpi_scheme_frontier",
+                "recovery-scheme trade-off frontier: makespan/slowdown/"
+                "overhead per scheme x workload", _SCHEME_FRONTIER),
+        KPIView("slowdown_surface", "kpi_slowdown_surface",
+                "slowdown vs checkpoint_cost x scheme (n/lam carried along)",
+                _SLOWDOWN_SURFACE),
+        KPIView("conformance_drift", "kpi_conformance_drift",
+                "per-metric value summaries grouped by producing code "
+                "version and engine", _CONFORMANCE_DRIFT),
+        KPIView("cache_economics", "kpi_cache_economics",
+                "cells and compute seconds banked per scenario/engine — "
+                "what a warm cache saves", _CACHE_ECONOMICS),
+    )
+}
+
+
+def create_views(conn: sqlite3.Connection) -> None:
+    """(Re)create every KPI view so definitions track the running code."""
+    for view in KPI_VIEWS.values():
+        conn.execute(f"DROP VIEW IF EXISTS {view.view}")
+        conn.execute(view.sql)
+    conn.commit()
+
+
+def kpi_rows(conn: sqlite3.Connection, name: str,
+             limit: int = 0) -> Tuple[List[str], List[Sequence[object]]]:
+    """Rows of one KPI view: ``(column names, rows)``.
+
+    Raises ``KeyError`` with the catalog listed when *name* is unknown.
+    """
+    view = KPI_VIEWS.get(name)
+    if view is None:
+        known = ", ".join(sorted(KPI_VIEWS))
+        raise KeyError(f"unknown KPI view {name!r}; known views: {known}")
+    sql = f"SELECT * FROM {view.view}"
+    if limit > 0:
+        sql += f" LIMIT {int(limit)}"
+    cursor = conn.execute(sql)
+    columns = [desc[0] for desc in cursor.description]
+    return columns, cursor.fetchall()

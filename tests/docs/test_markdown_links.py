@@ -16,7 +16,8 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
 #: The documentation set under link check.
 DOC_FILES = ["README.md", "ROADMAP.md", "CHANGES.md",
              "docs/INDEX.md", "docs/ARCHITECTURE.md",
-             "docs/RUNNER.md", "docs/ANALYTIC.md"]
+             "docs/RUNNER.md", "docs/ANALYTIC.md",
+             "docs/SERVICE.md", "docs/WAREHOUSE.md"]
 
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)

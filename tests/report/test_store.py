@@ -66,6 +66,55 @@ class TestStoreKey:
         assert "serial" not in json.dumps({"k": k})
 
 
+class TestNonFiniteParams:
+    # Regression: store_key used to serialize NaN/inf params via json's
+    # default allow_nan=True (bare NaN/Infinity tokens) while put() persisted
+    # them as 'nan'-style *strings* — so the stored envelope hashed to a
+    # different key than the one it was filed under and could never re-derive
+    # its own address.  Non-finite floats are now rejected at the door.
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_canonical_params_rejects_non_finite_floats(self, bad):
+        with pytest.raises(TypeError, match="not a finite number"):
+            canonical_params({"lam": bad})
+
+    def test_rejection_reaches_nested_and_numpy_values(self):
+        with pytest.raises(TypeError, match="not a finite number"):
+            canonical_params({"spec": {"rates": (1.0, float("nan"))}})
+        with pytest.raises(TypeError, match="not a finite number"):
+            canonical_params({"lam": np.float64("inf")})
+
+    def test_store_key_refuses_non_finite_params(self):
+        with pytest.raises(TypeError, match="not a finite number"):
+            store_key("s", {"lam": float("inf")}, 1, 100)
+
+    def test_put_refuses_non_finite_params(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(TypeError, match="not a finite number"):
+            store.put("unit", {"lam": float("nan")}, seed=1, reps=None,
+                      backend="serial", elapsed_seconds=0.0, result=_result())
+
+    def test_every_stored_envelope_rekeys_to_its_filename(self, tmp_path):
+        # The self-addressing invariant the bug broke: hashing a stored
+        # envelope's own params must reproduce the key it is filed under.
+        store = ResultStore(str(tmp_path))
+        store.put("unit", {"rho": (0.5, 1.0), "n": 4, "flag": True},
+                  seed=7, reps=500, backend="serial", elapsed_seconds=0.1,
+                  result=_result())
+        store.put("unit", {"nested": {"lam": 0.25, "tags": ["a", "b"]}},
+                  seed=None, reps=None, backend="serial", elapsed_seconds=0.0,
+                  result=_result())
+        envelopes = list(store.envelopes())
+        assert len(envelopes) == 2
+        for envelope in envelopes:
+            rekeyed = store_key(str(envelope["scenario"]),
+                                dict(envelope["params"]),
+                                envelope["seed"], envelope["reps"],
+                                version=str(envelope["version"]))
+            assert rekeyed == envelope["key"]
+
+
 class TestRoundTrip:
     def test_write_reload_bit_identical(self, tmp_path):
         store = ResultStore(str(tmp_path / "store"))

@@ -121,6 +121,127 @@ class TestErrorMapping:
         assert payload["ok"] is False
 
 
+class TestOversizedBody:
+    # Regression: declaring Content-Length > MAX_BODY_BYTES used to raise
+    # IncompleteReadError inside _read_request, which _handle swallowed as
+    # "client went away" — the connection closed with no response and the
+    # 413 in _REASONS was unreachable.
+
+    def test_oversized_body_gets_a_real_413(self):
+        from repro.service.server import MAX_BODY_BYTES
+
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+            body = b"x" * (MAX_BODY_BYTES + 1)
+            writer.write((f"POST /v1/evaluate HTTP/1.1\r\n"
+                          f"Host: 127.0.0.1:{server.port}\r\n"
+                          "Content-Type: application/json\r\n"
+                          f"Content-Length: {len(body)}\r\n"
+                          "\r\n").encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            raw = await reader.readexactly(int(headers["content-length"]))
+            trailing = await reader.read()       # server must close after
+            writer.close()
+            await writer.wait_closed()
+            return status_line, headers, raw, trailing
+
+        status_line, headers, raw, trailing = _run_with_server(scenario)
+        assert b"413" in status_line and b"Payload Too Large" in status_line
+        assert headers["connection"] == "close"
+        payload = json.loads(raw.decode("utf-8"))
+        assert payload["ok"] is False
+        assert "exceeds" in payload["error"]
+        assert trailing == b""                   # connection really closed
+
+    def test_client_sees_the_413_payload(self):
+        from repro.service.server import MAX_BODY_BYTES
+
+        async def scenario(server):
+            client = ServiceHTTPClient(port=server.port)
+            status, payload = await client.evaluate(
+                {"padding": "x" * (MAX_BODY_BYTES + 1)})
+            # The 413 came with Connection: close; the same client object
+            # must transparently reconnect for the next request.
+            health = await client.health()
+            await client.close()
+            return status, payload, health
+
+        status, payload, health = _run_with_server(scenario)
+        assert status == 413
+        assert payload["ok"] is False
+        assert health == {"status": "ok", "service": "repro"}
+
+
+class TestClientConnectionHandling:
+    # Regression: the client never read the response's Connection header and
+    # only reconnected on is_closing(), so the request after a server
+    # `Connection: close` raced the FIN and could die with an IndexError
+    # from parsing an empty status line.
+
+    def test_client_honors_server_connection_close(self):
+        async def handler(reader, writer):
+            handler.connections += 1
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line in (b"\r\n", b"\n"):
+                    body = b'{"status": "ok"}'
+                    writer.write((f"HTTP/1.1 200 OK\r\n"
+                                  "Content-Type: application/json\r\n"
+                                  f"Content-Length: {len(body)}\r\n"
+                                  "Connection: close\r\n"
+                                  "\r\n").encode("latin-1") + body)
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+                    return
+        handler.connections = 0
+
+        async def main():
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ServiceHTTPClient(port=port)
+            statuses = [(await client.request("GET", "/v1/health"))[0]
+                        for _ in range(3)]
+            await client.close()
+            server.close()
+            await server.wait_closed()
+            return statuses
+
+        statuses = asyncio.run(main())
+        assert statuses == [200, 200, 200]
+        assert handler.connections == 3          # one connection per response
+
+    def test_empty_status_line_raises_connection_error(self):
+        async def handler(reader, writer):
+            await reader.readline()              # swallow the request line
+            writer.close()                       # hang up with no response
+            await writer.wait_closed()
+
+        async def main():
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = ServiceHTTPClient(port=port)
+            with pytest.raises(ConnectionError,
+                               match="before sending a status line"):
+                await client.request("GET", "/v1/health")
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(main())
+
+
 class TestMultiTenant:
     def test_three_clients_identical_spec_single_flight(self):
         async def scenario(server):
